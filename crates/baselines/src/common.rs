@@ -1,0 +1,248 @@
+//! Shared utilities for the baseline trackers: N-antenna window
+//! averaging and a generic grid beam search.
+
+use rf_core::angle::wrap_tau;
+use rf_core::Vec2;
+use rfid_sim::TagReport;
+
+/// One time window, averaged per antenna (N antennas).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiWindow {
+    /// Window centre time, seconds.
+    pub t: f64,
+    /// Circular-mean phase per antenna, radians (`None`: no reads).
+    pub phase: Vec<Option<f64>>,
+    /// Mean RSS per antenna, dBm (`None`: no reads).
+    pub rssi: Vec<Option<f64>>,
+}
+
+/// Average a report stream into fixed windows across `n_antennas`.
+pub fn window_reports(reports: &[TagReport], n_antennas: usize, window_s: f64) -> Vec<MultiWindow> {
+    let (first, last) = match (reports.first(), reports.last()) {
+        (Some(f), Some(l)) => (f.t, l.t),
+        _ => return Vec::new(),
+    };
+    assert!(window_s > 0.0, "window length must be positive");
+    let n_win = ((last - first) / window_s).floor() as usize + 1;
+    let mut sin = vec![vec![0.0; n_antennas]; n_win];
+    let mut cos = vec![vec![0.0; n_antennas]; n_win];
+    let mut rssi_sum = vec![vec![0.0; n_antennas]; n_win];
+    let mut count = vec![vec![0usize; n_antennas]; n_win];
+    for r in reports {
+        if r.antenna >= n_antennas {
+            continue;
+        }
+        let w = (((r.t - first) / window_s).floor() as usize).min(n_win - 1);
+        sin[w][r.antenna] += r.phase_rad.sin();
+        cos[w][r.antenna] += r.phase_rad.cos();
+        rssi_sum[w][r.antenna] += r.rssi_dbm;
+        count[w][r.antenna] += 1;
+    }
+    (0..n_win)
+        .map(|w| MultiWindow {
+            t: first + (w as f64 + 0.5) * window_s,
+            phase: (0..n_antennas)
+                .map(|a| {
+                    if count[w][a] == 0 {
+                        None
+                    } else {
+                        Some(wrap_tau(sin[w][a].atan2(cos[w][a])))
+                    }
+                })
+                .collect(),
+            rssi: (0..n_antennas)
+                .map(|a| {
+                    if count[w][a] == 0 {
+                        None
+                    } else {
+                        Some(rssi_sum[w][a] / count[w][a] as f64)
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// A generic beam search over a uniform grid: per step, each frontier
+/// cell expands to cells within `max_step_m` and is scored by
+/// `score(from, to, step_index)` added to its accumulated score.
+/// Returns the best path's positions (one per step).
+pub struct GridBeam {
+    /// Minimum corner of the grid.
+    pub min: Vec2,
+    /// Cell edge, metres.
+    pub cell_m: f64,
+    /// Cells along X / Y.
+    pub nx: usize,
+    /// Cells along Y.
+    pub ny: usize,
+    /// Beam width.
+    pub beam: usize,
+}
+
+impl GridBeam {
+    /// Grid covering `[min, max]`.
+    pub fn covering(min: Vec2, max: Vec2, cell_m: f64, beam: usize) -> GridBeam {
+        assert!(cell_m > 0.0 && max.x > min.x && max.y > min.y, "degenerate grid");
+        GridBeam {
+            min,
+            cell_m,
+            nx: ((max.x - min.x) / cell_m).ceil() as usize + 1,
+            ny: ((max.y - min.y) / cell_m).ceil() as usize + 1,
+            beam: beam.max(8),
+        }
+    }
+
+    /// Cell centre.
+    pub fn center(&self, idx: usize) -> Vec2 {
+        Vec2::new(
+            self.min.x + ((idx % self.nx) as f64 + 0.5) * self.cell_m,
+            self.min.y + ((idx / self.nx) as f64 + 0.5) * self.cell_m,
+        )
+    }
+
+    /// Cell containing a point (clamped).
+    pub fn index_of(&self, p: Vec2) -> usize {
+        let ix = (((p.x - self.min.x) / self.cell_m).floor() as isize)
+            .clamp(0, self.nx as isize - 1) as usize;
+        let iy = (((p.y - self.min.y) / self.cell_m).floor() as isize)
+            .clamp(0, self.ny as isize - 1) as usize;
+        iy * self.nx + ix
+    }
+
+    /// Run the beam search for `n_steps` steps from `start`.
+    pub fn decode<F>(&self, start: Vec2, n_steps: usize, max_step_m: f64, mut score: F) -> Vec<Vec2>
+    where
+        F: FnMut(Vec2, Vec2, usize) -> f64,
+    {
+        if n_steps == 0 {
+            return Vec::new();
+        }
+        let n = self.nx * self.ny;
+        let r_cells = (max_step_m / self.cell_m).ceil() as isize;
+        let mut frontier: Vec<(u32, f64)> = vec![(self.index_of(start) as u32, 0.0)];
+        let mut backptr: Vec<std::collections::HashMap<u32, u32>> = Vec::with_capacity(n_steps);
+        let mut dense: Vec<(f64, u32)> = vec![(f64::NEG_INFINITY, u32::MAX); n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        for step in 0..n_steps {
+            for &(from, s_from) in &frontier {
+                let c_from = self.center(from as usize);
+                let ix0 = (from as usize % self.nx) as isize;
+                let iy0 = (from as usize / self.nx) as isize;
+                for dy in -r_cells..=r_cells {
+                    for dx in -r_cells..=r_cells {
+                        let (ix, iy) = (ix0 + dx, iy0 + dy);
+                        if ix < 0 || iy < 0 || ix >= self.nx as isize || iy >= self.ny as isize {
+                            continue;
+                        }
+                        let to = iy as usize * self.nx + ix as usize;
+                        let c_to = self.center(to);
+                        if c_from.distance(c_to) > max_step_m + 1e-12 {
+                            continue;
+                        }
+                        let s = s_from + score(c_from, c_to, step);
+                        let entry = &mut dense[to];
+                        if entry.1 == u32::MAX && entry.0 == f64::NEG_INFINITY {
+                            touched.push(to as u32);
+                        }
+                        if s > entry.0 {
+                            *entry = (s, from);
+                        }
+                    }
+                }
+            }
+            let mut next: Vec<(u32, f64)> =
+                touched.iter().map(|&c| (c, dense[c as usize].0)).collect();
+            next.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
+            next.truncate(self.beam);
+            backptr.push(next.iter().map(|&(c, _)| (c, dense[c as usize].1)).collect());
+            for &c in &touched {
+                dense[c as usize] = (f64::NEG_INFINITY, u32::MAX);
+            }
+            touched.clear();
+            if !next.is_empty() {
+                frontier = next;
+            }
+        }
+
+        let mut idx = frontier
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(c, _)| c)
+            .unwrap_or(0);
+        let mut rev = Vec::with_capacity(n_steps);
+        for bp in backptr.iter().rev() {
+            rev.push(self.center(idx as usize));
+            match bp.get(&idx) {
+                Some(&prev) => idx = prev,
+                None => break,
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(t: f64, antenna: usize, phase: f64) -> TagReport {
+        TagReport { t, antenna, rssi_dbm: -40.0, phase_rad: phase, channel: 24, epc: 1 }
+    }
+
+    #[test]
+    fn windowing_averages_four_antennas() {
+        let reports = vec![
+            report(0.00, 0, 1.0),
+            report(0.01, 1, 2.0),
+            report(0.02, 2, 3.0),
+            report(0.03, 3, 4.0),
+            report(0.06, 0, 1.1),
+        ];
+        let w = window_reports(&reports, 4, 0.05);
+        assert_eq!(w.len(), 2);
+        for a in 0..4 {
+            assert!(w[0].phase[a].is_some(), "antenna {a} missing");
+        }
+        assert!(w[1].phase[0].is_some());
+        assert!(w[1].phase[1].is_none());
+    }
+
+    #[test]
+    fn windowing_empty_input() {
+        assert!(window_reports(&[], 4, 0.05).is_empty());
+    }
+
+    #[test]
+    fn beam_decodes_a_pulled_path() {
+        // Score pulls toward a target point; the decoded path must end
+        // near it.
+        let grid = GridBeam::covering(Vec2::new(0.0, 0.0), Vec2::new(0.2, 0.2), 0.01, 500);
+        let target = Vec2::new(0.15, 0.12);
+        let path = grid.decode(Vec2::new(0.02, 0.02), 30, 0.015, |_, to, _| {
+            -to.distance(target)
+        });
+        assert_eq!(path.len(), 30);
+        assert!(path.last().unwrap().distance(target) < 0.02);
+        // Steps obey the cap.
+        for w in path.windows(2) {
+            assert!(w[0].distance(w[1]) <= 0.015 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn beam_zero_steps() {
+        let grid = GridBeam::covering(Vec2::new(0.0, 0.0), Vec2::new(0.1, 0.1), 0.01, 100);
+        assert!(grid.decode(Vec2::ZERO, 0, 0.01, |_, _, _| 0.0).is_empty());
+    }
+
+    #[test]
+    fn grid_index_round_trip() {
+        let grid = GridBeam::covering(Vec2::new(-0.1, 0.2), Vec2::new(0.3, 0.5), 0.02, 100);
+        for idx in [0usize, 7, 42] {
+            assert_eq!(grid.index_of(grid.center(idx)), idx);
+        }
+    }
+}

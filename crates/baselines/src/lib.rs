@@ -1,0 +1,30 @@
+//! # baselines — the comparison trackers of §5.3
+//!
+//! The paper evaluates PolarDraw against two state-of-the-art RFID
+//! trackers, re-implemented on the same report stream:
+//!
+//! * [`tagoram`] — Tagoram (Yang et al., MobiCom 2014): the
+//!   *differential augmented hologram*. Every grid cell is scored by how
+//!   consistently the *changes* in each antenna's phase match the
+//!   changes the cell hypothesis predicts; differencing cancels the
+//!   unknown tag/cable phase offsets. Works with any antenna count
+//!   (§5.1 compares both the 2- and 4-antenna variants).
+//! * [`rfidraw`] — RF-IDraw (Wang et al., SIGCOMM 2014): antenna-pair
+//!   interferometry. Each pair's phase difference constrains the tag to
+//!   a hyperbola family; intersecting the families from (near-)
+//!   orthogonal pairs yields a position fix per window. The paper
+//!   compares the 4-antenna variant ("Most COTS RFID readers support
+//!   four antennas apiece"), which is what we implement.
+//!
+//! Both implement [`rfid_sim::TrajectoryTracker`], so the experiment
+//! harness drives them interchangeably with PolarDraw.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod rfidraw;
+pub mod tagoram;
+
+pub use rfidraw::{RfIdraw, RfIdrawConfig};
+pub use tagoram::{Tagoram, TagoramConfig};

@@ -1,0 +1,222 @@
+//! Tagoram's differential augmented hologram (DAH) tracker.
+//!
+//! Tagoram (Yang et al., MobiCom 2014) localizes a moving tag by
+//! building a *hologram*: every candidate grid position is scored by how
+//! well the phases it predicts match the measurements. The *augmented,
+//! differential* form scores phase **changes** between consecutive
+//! readings instead of absolute phases, cancelling the unknown tag and
+//! cable offsets:
+//!
+//! ```text
+//! L(p_t | p_{t−1}) = Σ_j cos( Δθ_j,meas − 4π(‖p_t − a_j‖ − ‖p_{t−1} − a_j‖)/λ )
+//! ```
+//!
+//! summed over antennas j with readings in both windows. We decode the
+//! most consistent position sequence with the same grid beam search the
+//! rest of the workspace uses. The paper runs Tagoram with 4 antennas
+//! (its original configuration) and with 2 (hardware parity with
+//! PolarDraw); antenna count is a constructor parameter here.
+
+use crate::common::{window_reports, GridBeam};
+use rf_core::angle::phase_diff;
+use rf_core::{Vec2, Vec3};
+use rfid_sim::tracking::{Trail, TrajectoryTracker};
+use rfid_sim::TagReport;
+use serde::{Deserialize, Serialize};
+
+/// Tagoram configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagoramConfig {
+    /// Antenna positions, metres (board frame, writing plane z = 0).
+    pub antennas: Vec<Vec3>,
+    /// Window length, seconds.
+    pub window_s: f64,
+    /// Carrier wavelength, metres.
+    pub wavelength_m: f64,
+    /// Maximum per-window displacement, metres.
+    pub max_step_m: f64,
+    /// Grid cell size, metres.
+    pub cell_m: f64,
+    /// Board region minimum corner.
+    pub board_min: Vec2,
+    /// Board region maximum corner.
+    pub board_max: Vec2,
+    /// Bootstrap position.
+    pub start_hint: Vec2,
+    /// Beam width for decoding.
+    pub beam: usize,
+}
+
+impl TagoramConfig {
+    /// The paper's four-antenna rig (Fig. 17): a 2×2 array facing the
+    /// writing block, 56 cm apart horizontally.
+    pub fn four_antenna() -> TagoramConfig {
+        TagoramConfig {
+            antennas: vec![
+                Vec3::new(-0.28, 0.05, 0.65),
+                Vec3::new(0.28, 0.05, 0.65),
+                Vec3::new(-0.28, 0.35, 0.65),
+                Vec3::new(0.28, 0.35, 0.65),
+            ],
+            ..TagoramConfig::two_antenna()
+        }
+    }
+
+    /// Hardware parity with PolarDraw: the same two antenna positions.
+    pub fn two_antenna() -> TagoramConfig {
+        TagoramConfig {
+            antennas: vec![Vec3::new(-0.28, 0.15, 0.65), Vec3::new(0.28, 0.15, 0.65)],
+            window_s: 0.05,
+            wavelength_m: 0.3276,
+            max_step_m: 0.01,
+            cell_m: 0.0025,
+            board_min: Vec2::new(-0.45, 0.35),
+            board_max: Vec2::new(0.75, 1.1),
+            start_hint: Vec2::new(-0.2, 0.7),
+            beam: 2500,
+        }
+    }
+}
+
+/// The Tagoram tracker.
+#[derive(Debug, Clone)]
+pub struct Tagoram {
+    /// Configuration (public for experiment sweeps).
+    pub config: TagoramConfig,
+}
+
+impl Tagoram {
+    /// Build a tracker.
+    pub fn new(config: TagoramConfig) -> Tagoram {
+        Tagoram { config }
+    }
+}
+
+impl TrajectoryTracker for Tagoram {
+    fn name(&self) -> &str {
+        match self.config.antennas.len() {
+            2 => "Tagoram (2-antenna)",
+            4 => "Tagoram (4-antenna)",
+            _ => "Tagoram",
+        }
+    }
+
+    fn antenna_count(&self) -> usize {
+        self.config.antennas.len()
+    }
+
+    fn track(&self, reports: &[TagReport]) -> Trail {
+        let cfg = &self.config;
+        let n_ant = cfg.antennas.len();
+        let windows = window_reports(reports, n_ant, cfg.window_s);
+        if windows.len() < 2 {
+            return Trail::default();
+        }
+
+        // Measured per-antenna phase deltas per step.
+        let mut deltas: Vec<Vec<Option<f64>>> = Vec::with_capacity(windows.len() - 1);
+        let mut times: Vec<f64> = Vec::with_capacity(windows.len() - 1);
+        for pair in windows.windows(2) {
+            let step: Vec<Option<f64>> = (0..n_ant)
+                .map(|a| match (pair[0].phase[a], pair[1].phase[a]) {
+                    (Some(p0), Some(p1)) => Some(phase_diff(p1, p0)),
+                    _ => None,
+                })
+                .collect();
+            deltas.push(step);
+            times.push(pair[1].t);
+        }
+
+        let grid = GridBeam::covering(cfg.board_min, cfg.board_max, cfg.cell_m, cfg.beam);
+        let k = 4.0 * std::f64::consts::PI / cfg.wavelength_m;
+        let antennas = cfg.antennas.clone();
+        let points = grid.decode(cfg.start_hint, deltas.len(), cfg.max_step_m, |from, to, step| {
+            // DAH likelihood: phase-change consistency over all antennas
+            // (3-D ranges; the pen writes on the z = 0 plane).
+            let mut s = 0.0;
+            for (a, meas) in deltas[step].iter().enumerate() {
+                if let Some(m) = meas {
+                    let pred = k
+                        * (to.with_z(0.0).distance(antennas[a])
+                            - from.with_z(0.0).distance(antennas[a]));
+                    s += (m - pred).cos();
+                }
+            }
+            s
+        });
+        let times: Vec<f64> = times.into_iter().take(points.len()).collect();
+        Trail::new(times, points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_core::wrap_tau;
+
+    /// Synthesize the clean report stream a tag moving along `path`
+    /// (positions per 10 ms) would produce at the rig.
+    fn synth_reports(cfg: &TagoramConfig, path: &[Vec2]) -> Vec<TagReport> {
+        let k = 4.0 * std::f64::consts::PI / cfg.wavelength_m;
+        let mut out = Vec::new();
+        for (i, p) in path.iter().enumerate() {
+            let t = i as f64 * 0.01;
+            let a = i % cfg.antennas.len();
+            let phase = wrap_tau(k * p.with_z(0.0).distance(cfg.antennas[a]) + 0.7 * a as f64);
+            out.push(TagReport { t, antenna: a, rssi_dbm: -40.0, phase_rad: phase, channel: 24, epc: 1 });
+        }
+        out
+    }
+
+    fn straight_path(from: Vec2, dir: Vec2, speed: f64, n: usize) -> Vec<Vec2> {
+        (0..n).map(|i| from + dir * (speed * i as f64 * 0.01)).collect()
+    }
+
+    #[test]
+    fn four_antenna_tracks_straight_motion() {
+        let cfg = TagoramConfig::four_antenna();
+        let start = cfg.start_hint;
+        let path = straight_path(start, Vec2::new(0.0, 1.0), 0.06, 300);
+        let reports = synth_reports(&cfg, &path);
+        let trail = Tagoram::new(cfg).track(&reports);
+        assert!(!trail.is_empty());
+        let net = *trail.points.last().unwrap() - trail.points[0];
+        assert!(net.y > 0.10, "must track ~17 cm of downward motion, got {net:?}");
+        assert!(net.x.abs() < 0.05, "and stay near the vertical, got {net:?}");
+    }
+
+    #[test]
+    fn two_antenna_variant_still_tracks_radial_motion() {
+        let cfg = TagoramConfig::two_antenna();
+        let start = cfg.start_hint;
+        let path = straight_path(start, Vec2::new(0.0, 1.0), 0.06, 300);
+        let reports = synth_reports(&cfg, &path);
+        let trail = Tagoram::new(cfg).track(&reports);
+        let net = *trail.points.last().unwrap() - trail.points[0];
+        assert!(net.y > 0.08, "2-antenna Tagoram tracks radial motion, got {net:?}");
+    }
+
+    #[test]
+    fn still_tag_stays_put() {
+        let cfg = TagoramConfig::four_antenna();
+        let path = vec![cfg.start_hint; 200];
+        let reports = synth_reports(&cfg, &path);
+        let trail = Tagoram::new(cfg.clone()).track(&reports);
+        for p in &trail.points {
+            assert!(p.distance(cfg.start_hint) < 0.03, "wandered to {p:?}");
+        }
+    }
+
+    #[test]
+    fn names_reflect_antenna_count() {
+        assert_eq!(Tagoram::new(TagoramConfig::two_antenna()).name(), "Tagoram (2-antenna)");
+        assert_eq!(Tagoram::new(TagoramConfig::four_antenna()).name(), "Tagoram (4-antenna)");
+        assert_eq!(Tagoram::new(TagoramConfig::four_antenna()).antenna_count(), 4);
+    }
+
+    #[test]
+    fn empty_reports_empty_trail() {
+        let trail = Tagoram::new(TagoramConfig::four_antenna()).track(&[]);
+        assert!(trail.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! The reproduction harness: regenerate every table and figure.
+//!
+//! ```text
+//! repro [ids…] [--trials N] [--seed S] [--threads T] [--out DIR]
+//! ```
+//!
+//! With no ids, runs the whole suite in paper order. Each report is
+//! printed (measured rows next to the paper's claim) and written as CSV
+//! under `--out` (default `results/`). The Fig. 2 / Fig. 20 trajectory
+//! point clouds are additionally dumped as CSVs for plotting.
+
+use experiments::runner::RunOpts;
+use experiments::{all_experiments, Report};
+use std::io::Write;
+
+struct Args {
+    ids: Vec<String>,
+    opts: RunOpts,
+    out_dir: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        opts: RunOpts::default(),
+        out_dir: std::path::PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next_val = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--trials" => {
+                args.opts.trials =
+                    next_val("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--seed" => {
+                args.opts.seed = next_val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                args.opts.threads =
+                    next_val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => args.out_dir = next_val("--out")?.into(),
+            "--help" | "-h" => {
+                return Err("usage: repro [ids…] [--trials N] [--seed S] [--threads T] [--out DIR]"
+                    .to_string())
+            }
+            id if !id.starts_with('-') => args.ids.push(id.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn write_csv(dir: &std::path::Path, report: &Report) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.csv", report.id));
+    std::fs::File::create(path)?.write_all(report.to_csv().as_bytes())
+}
+
+fn dump_fig02_trajectories(dir: &std::path::Path, opts: &RunOpts) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (name, truth, trail) in experiments::exp::fig02::trajectories(opts) {
+        let path = dir.join(format!("fig02_{}.csv", name.to_lowercase()));
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "kind,x_m,y_m")?;
+        for p in truth {
+            writeln!(f, "truth,{:.4},{:.4}", p.x, p.y)?;
+        }
+        for p in trail {
+            writeln!(f, "recovered,{:.4},{:.4}", p.x, p.y)?;
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let defs = all_experiments();
+    let selected: Vec<_> = if args.ids.is_empty() {
+        defs
+    } else {
+        let mut out = Vec::new();
+        for id in &args.ids {
+            match defs.iter().find(|d| d.id == *id || d.produces.contains(&id.as_str())) {
+                Some(d) => {
+                    if !out.iter().any(|e: &experiments::ExperimentDef| e.id == d.id) {
+                        out.push(d.clone());
+                    }
+                }
+                None => {
+                    eprintln!("unknown experiment id: {id}");
+                    eprintln!(
+                        "known: {}",
+                        defs.iter()
+                            .flat_map(|d| d.produces.iter())
+                            .copied()
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    println!(
+        "# PolarDraw reproduction — {} experiment(s), trials={}, seed={}, threads={}",
+        selected.len(),
+        args.opts.trials,
+        args.opts.seed,
+        args.opts.threads
+    );
+    let t0 = std::time::Instant::now();
+    for def in &selected {
+        let started = std::time::Instant::now();
+        let reports = (def.run)(&args.opts);
+        for report in &reports {
+            println!("\n{report}");
+            if let Err(e) = write_csv(&args.out_dir, report) {
+                eprintln!("warning: could not write {}/{}.csv: {e}", args.out_dir.display(), report.id);
+            }
+        }
+        if def.id == "fig02" {
+            if let Err(e) = dump_fig02_trajectories(&args.out_dir, &args.opts) {
+                eprintln!("warning: could not dump fig02 trajectories: {e}");
+            }
+        }
+        println!("[{} done in {:.1?}]", def.id, started.elapsed());
+    }
+    println!("\n# all done in {:.1?}; CSVs in {}", t0.elapsed(), args.out_dir.display());
+}

@@ -1,0 +1,54 @@
+//! # polardraw-bench — benchmarks and the reproduction harness
+//!
+//! Two entry points:
+//!
+//! * `cargo run --release -p polardraw-bench --bin repro [-- ids…]` —
+//!   regenerate every table and figure of the paper (or a subset by
+//!   id), printing the measured rows next to the paper's claims and
+//!   writing CSVs under `results/`.
+//! * `cargo bench -p polardraw-bench` — Criterion micro/meso benchmarks:
+//!   channel evaluation, Gen2 inventory, pre-processing, Viterbi
+//!   decoding, the three trackers end-to-end, and the recognizer —
+//!   backing the paper's §3.5 claim that decoding is real-time.
+//!
+//! Shared workload builders live here so the benches and the harness
+//! stay in sync.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pen_sim::{Scene, WriterProfile};
+use rfid_sim::reader::TagPose;
+use rfid_sim::{Reader, TagReport};
+
+/// Build the standard benchmark report stream: one letter written on
+/// the default rig.
+pub fn letter_reports(ch: char, seed: u64) -> Vec<TagReport> {
+    let session = pen_sim::scene::write_text(
+        &Scene::default(),
+        &WriterProfile::natural(),
+        &ch.to_string(),
+        seed,
+    );
+    let channel = rf_physics::ChannelModel::two_antenna_whiteboard(15f64.to_radians(), 0.56, 0.30);
+    let reader = Reader::new(channel);
+    let poses: Vec<TagPose> = session
+        .poses
+        .iter()
+        .map(|p| TagPose { t: p.t, position: p.tip, dipole: p.dipole })
+        .collect();
+    reader.inventory(&poses, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_workload_is_nonempty_and_deterministic() {
+        let a = letter_reports('W', 3);
+        let b = letter_reports('W', 3);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,255 @@
+//! Movement distance estimation (§3.4, Eqs. 5–7).
+//!
+//! Phase deltas bound the per-window displacement from below (triangle
+//! inequality against each antenna's range change) while the maximum
+//! writing speed bounds it from above, defining the annular *feasible
+//! region* of Fig. 12(a). The inter-antenna phase difference adds the
+//! hyperbola constraint of Fig. 12(c): the pen must lie where the
+//! range *difference* to the two antennas matches the measured
+//! `Δθ^{2,1}` up to the 2kπ ambiguity.
+
+use rf_core::{wrap_pi, Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Tuning for distance estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistanceConfig {
+    /// Carrier wavelength λ, metres.
+    pub wavelength_m: f64,
+    /// Maximum pen speed v_max, m/s (paper: 0.2).
+    pub vmax_mps: f64,
+    /// Phase-noise allowance subtracted from each |Δθ| before it enters
+    /// the lower bound, radians. Without it, measurement noise alone
+    /// would force the decoder to move every window even for a still
+    /// pen (the paper's reader averages more reads per window than the
+    /// noise floor of ours; this keeps the bound meaningful).
+    pub noise_margin_rad: f64,
+}
+
+impl Default for DistanceConfig {
+    fn default() -> Self {
+        DistanceConfig { wavelength_m: 0.3276, vmax_mps: 0.2, noise_margin_rad: 0.10 }
+    }
+}
+
+/// The feasible displacement annulus for one timestep (Fig. 12(a)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasibleRegion {
+    /// Lower bound: `max_j |Δl_j|`, metres.
+    pub min_dist: f64,
+    /// Upper bound: `v_max · Δt`, metres.
+    pub max_dist: f64,
+}
+
+impl FeasibleRegion {
+    /// Whether a displacement magnitude is inside the annulus.
+    pub fn contains(&self, dist: f64) -> bool {
+        dist >= self.min_dist - 1e-12 && dist <= self.max_dist + 1e-12
+    }
+
+    /// Whether the region is non-empty (`min ≤ max`). An empty region
+    /// means the phase moved faster than v_max allows — evidence of a
+    /// spurious reading that survived pre-processing.
+    pub fn is_consistent(&self) -> bool {
+        self.min_dist <= self.max_dist
+    }
+}
+
+/// Eq. 5: convert a per-antenna phase delta (radians, wrapped) into a
+/// range change, metres.
+pub fn range_delta(dtheta: f64, wavelength_m: f64) -> f64 {
+    wrap_pi(dtheta) * wavelength_m / (4.0 * std::f64::consts::PI)
+}
+
+/// Compute the feasible annulus from both antennas' phase deltas over a
+/// window of `dt` seconds.
+pub fn feasible_region(dth: [Option<f64>; 2], dt: f64, config: &DistanceConfig) -> FeasibleRegion {
+    let min_dist = dth
+        .iter()
+        .flatten()
+        .map(|&d| {
+            let denoised = (wrap_pi(d).abs() - config.noise_margin_rad).max(0.0);
+            range_delta(denoised, config.wavelength_m).abs()
+        })
+        .fold(0.0, f64::max);
+    FeasibleRegion { min_dist, max_dist: config.vmax_mps * dt }
+}
+
+/// The best single displacement estimate from the phase deltas: the
+/// largest noise-compensated |Δl_j| (a lower bound on true displacement;
+/// the residual scale bias washes out in Procrustes evaluation).
+pub fn displacement_estimate(dth: [Option<f64>; 2], config: &DistanceConfig) -> f64 {
+    feasible_region(dth, f64::INFINITY, config).min_dist
+}
+
+/// In-plane gradient of the 3-D range `‖p − a_j‖` with the pen on the
+/// board plane (z = 0): moving the pen by board vector `v` changes the
+/// range by `g_j · v`. Unlike a unit direction, `‖g_j‖ < 1` when the
+/// antenna stands off the board — the out-of-plane component of the
+/// line of sight does not respond to in-plane motion.
+pub fn range_gradient(antenna: Vec3, from: Vec2) -> Vec2 {
+    let p = from.with_z(0.0);
+    let delta = p - antenna;
+    let l = delta.norm();
+    if l < 1e-9 {
+        Vec2::ZERO
+    } else {
+        Vec2::new(delta.x / l, delta.y / l)
+    }
+}
+
+/// Displacement estimate *along a known moving direction* — the
+/// Fig. 12(b)×(c) intersection. Each antenna measures the range rate
+/// `Δl_j = d · (g_j · dir)`; dividing by the projection recovers `d`.
+/// Only antennas whose range gradient projects at least `min_projection`
+/// onto the direction contribute (a near-tangential antenna amplifies
+/// noise instead of information); falls back to the plain lower bound
+/// when neither qualifies.
+pub fn directional_displacement(
+    dth: [Option<f64>; 2],
+    antennas: [Vec3; 2],
+    from: Vec2,
+    dir: Vec2,
+    config: &DistanceConfig,
+) -> f64 {
+    const MIN_PROJECTION: f64 = 0.3;
+    let mut best = 0.0_f64;
+    for j in 0..2 {
+        let Some(d) = dth[j] else { continue };
+        let g = range_gradient(antennas[j], from);
+        let proj = g.dot(dir).abs();
+        if proj < MIN_PROJECTION {
+            continue;
+        }
+        let denoised = (wrap_pi(d).abs() - config.noise_margin_rad).max(0.0);
+        let dl = range_delta(denoised, config.wavelength_m).abs();
+        best = best.max(dl / proj);
+    }
+    best.max(displacement_estimate(dth, config))
+}
+
+/// Eq. 7: the set of plausible range-*differences* `Δl^{2,1} = l₂ − l₁`
+/// consistent with a measured inter-antenna phase difference, one per
+/// integer ambiguity `k`, limited to geometrically possible values
+/// (`|Δl| ≤` antenna separation).
+pub fn hyperbola_range_differences(
+    dtheta21: f64,
+    antenna_separation_m: f64,
+    wavelength_m: f64,
+) -> Vec<f64> {
+    let base = wrap_pi(dtheta21) * wavelength_m / (4.0 * std::f64::consts::PI);
+    let half_cycle = wavelength_m / 2.0; // 2π of Δθ ↔ λ/2 of Δl
+    let k_max = (antenna_separation_m / half_cycle).ceil() as i64 + 1;
+    let mut out = Vec::new();
+    for k in -k_max..=k_max {
+        let dl = base + k as f64 * half_cycle;
+        if dl.abs() <= antenna_separation_m {
+            out.push(dl);
+        }
+    }
+    out
+}
+
+/// The range difference `l₂ − l₁` of a board point (on the z = 0 plane)
+/// to the two antennas — the quantity the hyperbola constraint pins
+/// down. Full 3-D ranges: the antennas stand off the board.
+pub fn range_difference_at(p: Vec2, antennas: [Vec3; 2]) -> f64 {
+    let p3 = p.with_z(0.0);
+    p3.distance(antennas[1]) - p3.distance(antennas[0])
+}
+
+/// Theoretical inter-antenna phase difference (mod 2π, wrapped to
+/// `(−π, π]`) at a board point — used by the HMM emission (Eq. 11's
+/// `Δθ^{1,2}_{x₁,y₁}` term).
+pub fn expected_dtheta21(p: Vec2, antennas: [Vec3; 2], wavelength_m: f64) -> f64 {
+    wrap_pi(4.0 * std::f64::consts::PI * range_difference_at(p, antennas) / wavelength_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: DistanceConfig =
+        DistanceConfig { wavelength_m: 0.3276, vmax_mps: 0.2, noise_margin_rad: 0.10 };
+
+    #[test]
+    fn eq5_range_delta_scaling() {
+        // A full 2π of phase = λ/2 of motion.
+        let full = range_delta(std::f64::consts::PI, CFG.wavelength_m);
+        assert!((full - CFG.wavelength_m / 4.0).abs() < 1e-12);
+        assert_eq!(range_delta(0.0, CFG.wavelength_m), 0.0);
+        assert!(range_delta(-0.5, CFG.wavelength_m) < 0.0);
+    }
+
+    #[test]
+    fn feasible_region_bounds() {
+        let r = feasible_region([Some(0.2), Some(-0.3)], 0.05, &CFG);
+        let expect_min = range_delta(0.3 - CFG.noise_margin_rad, CFG.wavelength_m).abs();
+        assert!((r.min_dist - expect_min).abs() < 1e-12, "lower bound is the max |Δl|");
+        assert!((r.max_dist - 0.01).abs() < 1e-12, "v_max·Δt = 0.2·0.05");
+        assert!(r.is_consistent());
+        assert!(r.contains(0.008));
+        assert!(!r.contains(0.02));
+        assert!(!r.contains(0.0));
+    }
+
+    #[test]
+    fn missing_phases_relax_the_lower_bound() {
+        let r = feasible_region([None, None], 0.05, &CFG);
+        assert_eq!(r.min_dist, 0.0);
+        assert!(r.contains(0.0));
+    }
+
+    #[test]
+    fn inconsistent_region_detected() {
+        // Phase claims ~λ/4 ≈ 8 cm of motion in 50 ms → impossible at
+        // v_max = 0.2 m/s.
+        let r = feasible_region([Some(3.0), None], 0.05, &CFG);
+        assert!(!r.is_consistent());
+    }
+
+    #[test]
+    fn hyperbola_candidates_cover_the_true_difference() {
+        let rig = [Vec3::new(-0.28, 0.15, 0.65), Vec3::new(0.28, 0.15, 0.65)];
+        let p = Vec2::new(0.07, 0.62);
+        let true_dl = range_difference_at(p, rig);
+        let dtheta = 4.0 * std::f64::consts::PI * true_dl / CFG.wavelength_m;
+        let candidates = hyperbola_range_differences(dtheta, 0.56, CFG.wavelength_m);
+        let best = candidates
+            .iter()
+            .map(|c| (c - true_dl).abs())
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 1e-9, "one candidate must hit the true Δl, best err {best}");
+    }
+
+    #[test]
+    fn hyperbola_candidates_respect_geometry() {
+        let candidates = hyperbola_range_differences(1.0, 0.56, CFG.wavelength_m);
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(c.abs() <= 0.56, "|l₂ − l₁| can never exceed the baseline");
+        }
+        // Adjacent candidates are λ/2 apart.
+        for w in candidates.windows(2) {
+            assert!((w[1] - w[0] - CFG.wavelength_m / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn expected_dtheta_matches_forward_model() {
+        let rig = [Vec3::new(-0.28, 0.15, 0.65), Vec3::new(0.28, 0.15, 0.65)];
+        let p = Vec2::new(-0.1, 0.8);
+        let dl = range_difference_at(p, rig);
+        let th = expected_dtheta21(p, rig, CFG.wavelength_m);
+        let reconstructed = wrap_pi(4.0 * std::f64::consts::PI * dl / CFG.wavelength_m);
+        assert!((th - reconstructed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equidistant_point_has_zero_difference() {
+        let rig = [Vec3::new(-0.28, 0.15, 0.65), Vec3::new(0.28, 0.15, 0.65)];
+        let p = Vec2::new(0.0, 0.7); // on the perpendicular bisector
+        assert!(range_difference_at(p, rig).abs() < 1e-12);
+        assert!(expected_dtheta21(p, rig, CFG.wavelength_m).abs() < 1e-12);
+    }
+}

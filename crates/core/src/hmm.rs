@@ -1,0 +1,487 @@
+//! HMM trajectory decoding (§3.5, Eqs. 8–11).
+//!
+//! The whiteboard is discretized into equal cells; the hidden state is
+//! the cell containing the pen. Transitions (Eq. 8) are uniform over the
+//! feasible annulus — displacement between `max_j |Δl_j|` and
+//! `v_max·Δt`. Emissions (Eq. 11) weight a candidate cell by (a) how
+//! well its theoretical inter-antenna phase difference matches the
+//! measurement (the hyperbola constraint, Fig. 12(c)) and (b) how close
+//! it lies to the ray from the previous cell along the estimated moving
+//! direction (Fig. 12(b)). Viterbi then extracts the most likely cell
+//! sequence; complexity is linear in steps × cells × annulus size, which
+//! is what lets the paper claim real-time decoding on a mini PC.
+//!
+//! Implementation note: the paper multiplies two `1 − x/…` factors; we
+//! score in log-space with configurable sharpness weights, which
+//! preserves the ranking the paper's product induces while letting the
+//! ablation benches explore the weighting (see DESIGN.md).
+
+use crate::distance::{expected_dtheta21, FeasibleRegion};
+use rf_core::{wrap_pi, Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A uniform cell grid over the board region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Minimum corner of the board region, metres.
+    pub min: Vec2,
+    /// Cell edge, metres.
+    pub cell_m: f64,
+    /// Cells along X.
+    pub nx: usize,
+    /// Cells along Y.
+    pub ny: usize,
+}
+
+impl Grid {
+    /// Build a grid covering `[min, max]` with the given cell size.
+    pub fn covering(min: Vec2, max: Vec2, cell_m: f64) -> Grid {
+        assert!(cell_m > 0.0, "cell size must be positive");
+        assert!(max.x > min.x && max.y > min.y, "degenerate board region");
+        let nx = ((max.x - min.x) / cell_m).ceil() as usize + 1;
+        let ny = ((max.y - min.y) / cell_m).ceil() as usize + 1;
+        Grid { min, cell_m, nx, ny }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Whether the grid is empty (never true for `covering`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Centre of cell `idx`.
+    pub fn center(&self, idx: usize) -> Vec2 {
+        let ix = idx % self.nx;
+        let iy = idx / self.nx;
+        Vec2::new(
+            self.min.x + (ix as f64 + 0.5) * self.cell_m,
+            self.min.y + (iy as f64 + 0.5) * self.cell_m,
+        )
+    }
+
+    /// Cell index containing a point (clamped to the grid).
+    pub fn index_of(&self, p: Vec2) -> usize {
+        let ix = (((p.x - self.min.x) / self.cell_m).floor() as isize)
+            .clamp(0, self.nx as isize - 1) as usize;
+        let iy = (((p.y - self.min.y) / self.cell_m).floor() as isize)
+            .clamp(0, self.ny as isize - 1) as usize;
+        iy * self.nx + ix
+    }
+
+    /// Indices of cells whose centres lie within `radius` of cell
+    /// `from`'s centre.
+    pub fn neighbourhood(&self, from: usize, radius: f64) -> Vec<usize> {
+        let c = self.center(from);
+        let r_cells = (radius / self.cell_m).ceil() as isize + 1;
+        let ix0 = (from % self.nx) as isize;
+        let iy0 = (from / self.nx) as isize;
+        let mut out = Vec::new();
+        for dy in -r_cells..=r_cells {
+            for dx in -r_cells..=r_cells {
+                let ix = ix0 + dx;
+                let iy = iy0 + dy;
+                if ix < 0 || iy < 0 || ix >= self.nx as isize || iy >= self.ny as isize {
+                    continue;
+                }
+                let idx = iy as usize * self.nx + ix as usize;
+                if self.center(idx).distance(c) <= radius + 1e-12 {
+                    out.push(idx);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-step observation fed to the decoder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepObservation {
+    /// Feasible displacement annulus (Eq. 8's bounds).
+    pub region: FeasibleRegion,
+    /// Estimated moving direction (unit), if any.
+    pub direction: Option<Vec2>,
+    /// Calibrated inter-antenna phase difference measurement, radians
+    /// wrapped to `(−π, π]`, if both antennas reported.
+    pub dtheta21: Option<f64>,
+    /// Displacement estimate along the direction line, metres — the
+    /// Fig. 12(b)×(c) intersection: each antenna's range change divided
+    /// by the projection of its line-of-sight onto the moving direction.
+    /// Falls back to the annulus lower bound when no direction is known.
+    pub target_dist: f64,
+}
+
+/// Decoder tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HmmConfig {
+    /// Cell edge, metres (accuracy/runtime trade-off).
+    pub cell_m: f64,
+    /// Carrier wavelength, metres.
+    pub wavelength_m: f64,
+    /// Log-score weight of the hyperbola term.
+    pub hyperbola_weight: f64,
+    /// Log-score weight of the direction-line term.
+    pub direction_weight: f64,
+    /// Multiplicative log-penalty for candidates *behind* the moving
+    /// direction (Fig. 12(b) keeps only forward candidates).
+    pub backward_penalty: f64,
+    /// Log-score weight pulling the decoded displacement toward the
+    /// phase-measured amount (the annulus lower bound). This is what
+    /// keeps a still pen still and a moving pen moving at its measured
+    /// speed despite cell quantization.
+    pub distance_weight: f64,
+    /// Distance weight used when *no* direction estimate exists for the
+    /// step. Horizontal pen motion is nearly tangential to both
+    /// antennas — per-antenna phases stay flat and the step classifies
+    /// as "still" — but the inter-antenna difference Δθ^{2,1} still
+    /// moves (its iso-lines run mostly vertically). A softer anchor
+    /// lets the hyperbola term drag the track sideways in that regime.
+    pub distance_weight_still: f64,
+}
+
+/// Beam width for the sparse Viterbi frontier (see [`viterbi`]).
+pub const DEFAULT_BEAM_WIDTH: usize = 2500;
+
+impl Default for HmmConfig {
+    fn default() -> Self {
+        HmmConfig {
+            cell_m: 0.0025,
+            wavelength_m: 0.3276,
+            hyperbola_weight: 10.0,
+            direction_weight: 6.0,
+            backward_penalty: 4.0,
+            distance_weight: 5.0,
+            distance_weight_still: 1.5,
+        }
+    }
+}
+
+/// Viterbi decoding of the cell sequence, with a sparse beam frontier.
+///
+/// * `grid` — the state space.
+/// * `antenna_xy` — antenna positions projected on the board.
+/// * `start` — initial position estimate (the paper bootstraps from an
+///   arbitrary point on a measured hyperbola; relative trajectories are
+///   evaluated Procrustes-style so the translation washes out).
+/// * `steps` — one observation per window transition.
+///
+/// Exact Viterbi over the full grid would cost `steps × cells ×
+/// annulus`; since the posterior is sharply unimodal (the pen is one
+/// object), we keep only the best [`DEFAULT_BEAM_WIDTH`] cells per step.
+/// This is the standard beam approximation; the paper's linear-time
+/// claim (§3.5) corresponds to the same pruned regime.
+///
+/// Returns one position per step (the position *after* each step).
+pub fn viterbi(
+    grid: &Grid,
+    antennas: [Vec3; 2],
+    start: Vec2,
+    steps: &[StepObservation],
+    config: &HmmConfig,
+) -> Vec<Vec2> {
+    viterbi_beam(grid, antennas, start, steps, config, DEFAULT_BEAM_WIDTH)
+}
+
+/// [`viterbi`] with an explicit beam width (ablation hook).
+pub fn viterbi_beam(
+    grid: &Grid,
+    antennas: [Vec3; 2],
+    start: Vec2,
+    steps: &[StepObservation],
+    config: &HmmConfig,
+    beam_width: usize,
+) -> Vec<Vec2> {
+    if steps.is_empty() {
+        return Vec::new();
+    }
+    let beam_width = beam_width.max(8);
+    let n = grid.len();
+    // Frontier: (cell, score) pairs; backpointer log per step.
+    let mut frontier: Vec<(u32, f64)> = vec![(grid.index_of(start) as u32, 0.0)];
+    let mut backptr: Vec<std::collections::HashMap<u32, u32>> = Vec::with_capacity(steps.len());
+    // Dense scratch (score, backpointer) reused across steps; `touched`
+    // tracks which entries to reset, keeping each step O(frontier ×
+    // annulus) instead of O(cells).
+    let mut dense: Vec<(f64, u32)> = vec![(f64::NEG_INFINITY, u32::MAX); n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for obs in steps {
+        let max_r = obs.region.max_dist.max(grid.cell_m);
+        let dmax = max_r;
+        let target = obs.target_dist.min(obs.region.max_dist);
+        // Outlier suppression: a candidate well below the (already
+        // noise-compensated) lower bound is rejected outright — Eq. 8's
+        // hard annulus with generous quantization slack.
+        let hard_min = obs.region.min_dist - 2.0 * grid.cell_m;
+
+        for &(from, s_from) in &frontier {
+            let c_from = grid.center(from as usize);
+            for to in grid.neighbourhood(from as usize, max_r) {
+                let c_to = grid.center(to);
+                let delta = c_to - c_from;
+                let d = delta.norm();
+                if d < hard_min {
+                    continue;
+                }
+                let mut s = s_from;
+                // Hyperbola term (Fig. 12(c)).
+                if let Some(meas) = obs.dtheta21 {
+                    let expected = expected_dtheta21(c_to, antennas, config.wavelength_m);
+                    let err = wrap_pi(meas - expected).abs() / std::f64::consts::PI;
+                    s -= config.hyperbola_weight * err;
+                }
+                // Distance-consistency term: decoded step length should
+                // match the phase-measured displacement.
+                let (d_along, w_dist) = match obs.direction {
+                    Some(dir) => (dir.dot(delta), config.distance_weight),
+                    None => (d, config.distance_weight_still),
+                };
+                s -= w_dist * ((d_along - target).abs() / dmax).min(2.0);
+                // Direction-line term (Fig. 12(b)).
+                if let Some(dir) = obs.direction {
+                    if d > 1e-12 {
+                        let perp = dir.cross(delta).abs();
+                        s -= config.direction_weight * (perp / dmax).min(2.0);
+                        if dir.dot(delta) < 0.0 {
+                            s -= config.backward_penalty;
+                        }
+                    }
+                }
+                let entry = &mut dense[to];
+                if entry.0 == f64::NEG_INFINITY && entry.1 == u32::MAX {
+                    touched.push(to as u32);
+                }
+                if s > entry.0 {
+                    *entry = (s, from);
+                }
+            }
+        }
+
+        if touched.is_empty() {
+            // Inconsistent step: carry the frontier through unchanged.
+            let bp: std::collections::HashMap<u32, u32> =
+                frontier.iter().map(|&(c, _)| (c, c)).collect();
+            backptr.push(bp);
+            continue;
+        }
+
+        let mut next: Vec<(u32, f64)> =
+            touched.iter().map(|&c| (c, dense[c as usize].0)).collect();
+        // Keep the top `beam_width` states.
+        next.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
+        next.truncate(beam_width);
+        let bp: std::collections::HashMap<u32, u32> = next
+            .iter()
+            .map(|&(c, _)| (c, dense[c as usize].1))
+            .collect();
+        backptr.push(bp);
+        for &c in &touched {
+            dense[c as usize] = (f64::NEG_INFINITY, u32::MAX);
+        }
+        touched.clear();
+        frontier = next;
+    }
+
+    // Backtrack from the best final state.
+    let mut idx = frontier
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|&(c, _)| c)
+        .unwrap_or(0);
+    let mut rev = Vec::with_capacity(steps.len());
+    for bp in backptr.iter().rev() {
+        rev.push(grid.center(idx as usize));
+        match bp.get(&idx) {
+            Some(&prev) => idx = prev,
+            None => break,
+        }
+    }
+    rev.reverse();
+    rev
+}
+
+/// Eq. 10: rotate a trajectory about its first point by `−error_rad`
+/// to undo the residual initial-azimuth error.
+pub fn rotate_trajectory(points: &[Vec2], error_rad: f64) -> Vec<Vec2> {
+    let pivot = match points.first() {
+        Some(&p) => p,
+        None => return Vec::new(),
+    };
+    let rot = rf_core::Mat2::rotation(-error_rad);
+    points.iter().map(|&p| pivot + rot.apply(p - pivot)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> Grid {
+        Grid::covering(Vec2::new(0.0, 0.0), Vec2::new(0.2, 0.1), 0.01)
+    }
+
+    fn rig() -> [Vec3; 2] {
+        [Vec3::new(-0.28, 0.15, 0.65), Vec3::new(0.28, 0.15, 0.65)]
+    }
+
+    #[test]
+    fn grid_indexing_round_trips() {
+        let g = small_grid();
+        for idx in [0, 5, g.len() - 1, g.nx + 3] {
+            let c = g.center(idx);
+            assert_eq!(g.index_of(c), idx);
+        }
+    }
+
+    #[test]
+    fn grid_clamps_out_of_range_points() {
+        let g = small_grid();
+        let idx = g.index_of(Vec2::new(-5.0, -5.0));
+        assert_eq!(idx, 0);
+        let idx = g.index_of(Vec2::new(5.0, 5.0));
+        assert_eq!(idx, g.len() - 1);
+    }
+
+    #[test]
+    fn neighbourhood_radius_is_respected() {
+        let g = small_grid();
+        let from = g.index_of(Vec2::new(0.1, 0.05));
+        let hood = g.neighbourhood(from, 0.02);
+        assert!(hood.contains(&from));
+        for &idx in &hood {
+            assert!(g.center(idx).distance(g.center(from)) <= 0.02 + 1e-9);
+        }
+        // 2-cell radius: at most a 5×5 patch.
+        assert!(hood.len() <= 25);
+    }
+
+    #[test]
+    fn neighbourhood_clips_at_edges() {
+        let g = small_grid();
+        let hood = g.neighbourhood(0, 0.02);
+        assert!(!hood.is_empty());
+        assert!(hood.iter().all(|&i| i < g.len()));
+    }
+
+    fn moving_step(min_dist: f64, max_dist: f64, dir: Option<Vec2>) -> StepObservation {
+        StepObservation {
+            region: FeasibleRegion { min_dist, max_dist },
+            direction: dir,
+            dtheta21: None,
+            target_dist: min_dist,
+        }
+    }
+
+    #[test]
+    fn direction_prior_drives_a_straight_track() {
+        let g = small_grid();
+        let start = Vec2::new(0.02, 0.05);
+        let dir = Vec2::new(1.0, 0.0);
+        // Phase measures ~8 mm of motion per step along `dir`.
+        let steps: Vec<StepObservation> =
+            (0..10).map(|_| moving_step(0.008, 0.012, Some(dir))).collect();
+        let track = viterbi(&g, rig(), start, &steps, &HmmConfig::default());
+        assert_eq!(track.len(), 10);
+        let end = track.last().unwrap();
+        assert!(end.x > start.x + 0.05, "track must progress rightward, got {end:?}");
+        assert!((end.y - start.y).abs() < 0.02, "and stay level");
+    }
+
+    #[test]
+    fn annulus_lower_bound_forces_motion() {
+        let g = small_grid();
+        let start = Vec2::new(0.02, 0.05);
+        let steps: Vec<StepObservation> = (0..5)
+            .map(|_| StepObservation {
+                region: FeasibleRegion { min_dist: 0.009, max_dist: 0.012 },
+                direction: Some(Vec2::new(1.0, 0.0)),
+                dtheta21: None,
+                target_dist: 0.009,
+            })
+            .collect();
+        let track = viterbi(&g, rig(), start, &steps, &HmmConfig::default());
+        for w in track.windows(2) {
+            let d = w[0].distance(w[1]);
+            assert!(d > 0.004, "lower bound must prevent standing still, step {d}");
+        }
+    }
+
+    #[test]
+    fn hyperbola_term_pulls_toward_consistent_cells() {
+        let g = Grid::covering(Vec2::new(-0.1, 0.55), Vec2::new(0.1, 0.75), 0.01);
+        let rig = rig();
+        let cfg = HmmConfig::default();
+        let target = Vec2::new(0.06, 0.65);
+        let meas = expected_dtheta21(target, rig, cfg.wavelength_m);
+        // No direction prior; generous annulus; repeated consistent
+        // measurements should walk the track onto the target hyperbola.
+        let steps: Vec<StepObservation> = (0..12)
+            .map(|_| StepObservation {
+                region: FeasibleRegion { min_dist: 0.01, max_dist: 0.015 },
+                direction: None,
+                dtheta21: Some(meas),
+                target_dist: 0.01,
+            })
+            .collect();
+        let track = viterbi(&g, rig, Vec2::new(-0.05, 0.65), &steps, &cfg);
+        let end = *track.last().unwrap();
+        let end_err = wrap_pi(expected_dtheta21(end, rig, cfg.wavelength_m) - meas).abs();
+        let start_err =
+            wrap_pi(expected_dtheta21(Vec2::new(-0.05, 0.65), rig, cfg.wavelength_m) - meas)
+                .abs();
+        assert!(
+            end_err < start_err * 0.5,
+            "end phase error {end_err} should beat start {start_err}"
+        );
+    }
+
+    #[test]
+    fn empty_steps_give_empty_track() {
+        let g = small_grid();
+        assert!(viterbi(&g, rig(), Vec2::ZERO, &[], &HmmConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_annulus_does_not_derail_decoding() {
+        let g = small_grid();
+        let start = Vec2::new(0.05, 0.05);
+        let mut steps: Vec<StepObservation> =
+            (0..4).map(|_| moving_step(0.006, 0.012, Some(Vec2::new(1.0, 0.0)))).collect();
+        // Impossible step: min > max (a spurious reading survived).
+        steps.insert(
+            2,
+            StepObservation {
+                region: FeasibleRegion { min_dist: 0.08, max_dist: 0.012 },
+                direction: None,
+                dtheta21: None,
+                target_dist: 0.012,
+            },
+        );
+        let track = viterbi(&g, rig(), start, &steps, &HmmConfig::default());
+        assert_eq!(track.len(), steps.len(), "decoder must survive the bad step");
+    }
+
+    #[test]
+    fn rotate_trajectory_pivots_on_first_point() {
+        let pts = vec![Vec2::new(1.0, 1.0), Vec2::new(2.0, 1.0)];
+        let rot = rotate_trajectory(&pts, std::f64::consts::FRAC_PI_2);
+        assert_eq!(rot[0], pts[0], "pivot is fixed");
+        // Rotating by −π/2 (cw on screen) maps +X offset to −Y... in our
+        // y-down convention: (x=0, y=−1) offset.
+        assert!((rot[1].x - 1.0).abs() < 1e-12);
+        assert!((rot[1].y - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_empty_trajectory() {
+        assert!(rotate_trajectory(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_grid_panics() {
+        Grid::covering(Vec2::new(0.0, 0.0), Vec2::new(-1.0, 1.0), 0.01);
+    }
+}

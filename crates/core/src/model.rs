@@ -1,0 +1,367 @@
+//! The writing model (§3.2–§3.3): geometry, sectors, and the RSS/phase
+//! trend decision tables.
+//!
+//! ## Geometry recap
+//!
+//! Board plane = X–Y (X rightward, Y down the board); the two antennas
+//! hang above the top edge with polarization axes at `π/2 ± γ` from the
+//! +X axis (antenna 1 tilted left to `π/2 + γ`, antenna 2 right to
+//! `π/2 − γ`), exactly the construction of Fig. 8(c). The pen's azimuth
+//! αa lives in the same plane; during natural writing it stays inside
+//! `[γ, π − γ]`.
+//!
+//! The two polarization axes and their perpendiculars cut that range
+//! into three sectors:
+//!
+//! ```text
+//! Sector 3: [γ,         π/2 − γ]   (right of antenna 2's axis)
+//! Sector 2: [π/2 − γ,   π/2 + γ]   (between the axes)
+//! Sector 1: [π/2 + γ,   π − γ]    (left of antenna 1's axis)
+//! ```
+//!
+//! Rotating the pen changes the mismatch angles β₁, β₂ differently in
+//! each sector, producing the signature RSS trends of Table 3 that break
+//! both the rotation-direction and azimuthal-angle ambiguities.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Which sector (Fig. 8(c)) the pen azimuth lies in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sector {
+    /// `[π/2 + γ, π − γ]` — pen leaning left past antenna 1's axis.
+    One,
+    /// `[π/2 − γ, π/2 + γ]` — pen between the two axes.
+    Two,
+    /// `[γ, π/2 − γ]` — pen leaning right past antenna 2's axis.
+    Three,
+}
+
+impl Sector {
+    /// The azimuth interval `[lo, hi]` of this sector for mounting
+    /// angle γ.
+    pub fn bounds(self, gamma: f64) -> (f64, f64) {
+        match self {
+            Sector::One => (FRAC_PI_2 + gamma, PI - gamma),
+            Sector::Two => (FRAC_PI_2 - gamma, FRAC_PI_2 + gamma),
+            Sector::Three => (gamma, FRAC_PI_2 - gamma),
+        }
+    }
+
+    /// Classify an azimuth (clamped into the writing range).
+    pub fn of_azimuth(alpha: f64, gamma: f64) -> Sector {
+        if alpha >= FRAC_PI_2 + gamma {
+            Sector::One
+        } else if alpha >= FRAC_PI_2 - gamma {
+            Sector::Two
+        } else {
+            Sector::Three
+        }
+    }
+
+    /// The boundary azimuth between two adjacent sectors; `None` when
+    /// the sectors are not adjacent (or equal).
+    pub fn boundary_between(a: Sector, b: Sector, gamma: f64) -> Option<f64> {
+        match (a, b) {
+            (Sector::One, Sector::Two) | (Sector::Two, Sector::One) => Some(FRAC_PI_2 + gamma),
+            (Sector::Two, Sector::Three) | (Sector::Three, Sector::Two) => {
+                Some(FRAC_PI_2 - gamma)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Pen rotation sense in the board plane.
+///
+/// Clockwise (azimuth decreasing, in our y-down frame leaning the pen
+/// toward the right) accompanies rightward strokes; counter-clockwise
+/// accompanies leftward strokes (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rotation {
+    /// Azimuth decreasing — pen moving right.
+    Clockwise,
+    /// Azimuth increasing — pen moving left.
+    CounterClockwise,
+}
+
+/// Table 3: classify a pair of per-antenna RSS deltas into (sector,
+/// rotation sense).
+///
+/// `ds1`, `ds2` are the window-to-window RSS changes of antennas 1 and 2
+/// (dB). Returns `None` when either trend is too small to call (the
+/// caller screens with its own δ threshold first) or the pattern is
+/// inconsistent (equal magnitudes with same signs).
+pub fn classify_rss_trend(ds1: f64, ds2: f64) -> Option<(Sector, Rotation)> {
+    let up1 = ds1 > 0.0;
+    let up2 = ds2 > 0.0;
+    match (up1, up2) {
+        // Opposite trends: sector 2, direction by which antenna gains.
+        (false, true) => Some((Sector::Two, Rotation::Clockwise)),
+        (true, false) => Some((Sector::Two, Rotation::CounterClockwise)),
+        // Same trends: sector 1 or 3 by relative magnitude.
+        (true, true) => {
+            if ds1.abs() < ds2.abs() {
+                Some((Sector::One, Rotation::Clockwise))
+            } else if ds1.abs() > ds2.abs() {
+                Some((Sector::Three, Rotation::CounterClockwise))
+            } else {
+                None
+            }
+        }
+        (false, false) => {
+            if ds1.abs() < ds2.abs() {
+                Some((Sector::One, Rotation::CounterClockwise))
+            } else if ds1.abs() > ds2.abs() {
+                Some((Sector::Three, Rotation::Clockwise))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Eq. 2: the initial azimuth assigned when rotation is first detected —
+/// the boundary of the detected sector that the pen is entering across,
+/// given its rotation sense.
+pub fn initial_azimuth(sector: Sector, rotation: Rotation, gamma: f64) -> f64 {
+    match (rotation, sector) {
+        (Rotation::Clockwise, Sector::One) => PI - gamma,
+        (Rotation::Clockwise, Sector::Two) => FRAC_PI_2 + gamma,
+        (Rotation::Clockwise, Sector::Three) => FRAC_PI_2 - gamma,
+        (Rotation::CounterClockwise, Sector::One) => FRAC_PI_2 + gamma,
+        (Rotation::CounterClockwise, Sector::Two) => FRAC_PI_2 - gamma,
+        (Rotation::CounterClockwise, Sector::Three) => gamma,
+    }
+}
+
+/// Eq. 1: translate the azimuthal angle αa (with the assumed constant
+/// elevation αe) into the pen rotation angle αr projected on the board.
+pub fn rotation_angle(alpha_a: f64, alpha_e: f64) -> f64 {
+    PI - (-alpha_e.sin() / (alpha_e.cos() * alpha_a.cos())).atan()
+}
+
+/// Movement direction implied by a tracked azimuth and rotation sense:
+/// the unit vector perpendicular to the pen's board-plane projection,
+/// signed so that clockwise rotation maps to rightward (+X) travel
+/// (Fig. 7).
+pub fn direction_from_azimuth(alpha_a: f64, rotation: Rotation) -> rf_core::Vec2 {
+    let angle = match rotation {
+        Rotation::Clockwise => alpha_a - FRAC_PI_2,
+        Rotation::CounterClockwise => alpha_a + FRAC_PI_2,
+    };
+    rf_core::Vec2::from_angle(angle)
+}
+
+/// The four coarse directions of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cardinal {
+    /// Toward the antennas (−Y).
+    Up,
+    /// Away from the antennas (+Y).
+    Down,
+    /// −X.
+    Left,
+    /// +X.
+    Right,
+}
+
+impl Cardinal {
+    /// Unit vector in board coordinates (Y is downward).
+    pub fn unit(self) -> rf_core::Vec2 {
+        match self {
+            Cardinal::Up => rf_core::Vec2::new(0.0, -1.0),
+            Cardinal::Down => rf_core::Vec2::new(0.0, 1.0),
+            Cardinal::Left => rf_core::Vec2::new(-1.0, 0.0),
+            Cardinal::Right => rf_core::Vec2::new(1.0, 0.0),
+        }
+    }
+}
+
+/// Table 4: classify the pair of per-antenna phase deltas (antenna 1 on
+/// the left, antenna 2 on the right) into a coarse direction. `None`
+/// when both deltas are negligible (threshold: radians).
+pub fn classify_phase_trend(dth1: f64, dth2: f64, threshold: f64) -> Option<Cardinal> {
+    if dth1.abs() < threshold && dth2.abs() < threshold {
+        return None;
+    }
+    match (dth1 > 0.0, dth2 > 0.0) {
+        (false, false) => Some(Cardinal::Up),
+        (true, true) => Some(Cardinal::Down),
+        (false, true) => Some(Cardinal::Left),
+        (true, false) => Some(Cardinal::Right),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_core::deg_to_rad;
+
+    const GAMMA: f64 = 0.2618; // 15°
+
+    #[test]
+    fn sector_classification_covers_the_writing_range() {
+        assert_eq!(Sector::of_azimuth(deg_to_rad(150.0), GAMMA), Sector::One);
+        assert_eq!(Sector::of_azimuth(deg_to_rad(90.0), GAMMA), Sector::Two);
+        assert_eq!(Sector::of_azimuth(deg_to_rad(30.0), GAMMA), Sector::Three);
+    }
+
+    #[test]
+    fn sector_bounds_tile_the_range() {
+        let (lo3, hi3) = Sector::Three.bounds(GAMMA);
+        let (lo2, hi2) = Sector::Two.bounds(GAMMA);
+        let (lo1, hi1) = Sector::One.bounds(GAMMA);
+        assert!((hi3 - lo2).abs() < 1e-12);
+        assert!((hi2 - lo1).abs() < 1e-12);
+        assert!((lo3 - GAMMA).abs() < 1e-12);
+        assert!((hi1 - (PI - GAMMA)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundaries_between_adjacent_sectors() {
+        assert_eq!(
+            Sector::boundary_between(Sector::One, Sector::Two, GAMMA),
+            Some(FRAC_PI_2 + GAMMA)
+        );
+        assert_eq!(
+            Sector::boundary_between(Sector::Three, Sector::Two, GAMMA),
+            Some(FRAC_PI_2 - GAMMA)
+        );
+        assert_eq!(Sector::boundary_between(Sector::One, Sector::Three, GAMMA), None);
+        assert_eq!(Sector::boundary_between(Sector::Two, Sector::Two, GAMMA), None);
+    }
+
+    /// Ground-truth RSS deltas for a small clockwise rotation at azimuth
+    /// α: s_j ∝ cos²(α − pol_j) (one-way; the round trip squares it
+    /// again but preserves signs of the deltas).
+    fn rss_deltas(alpha: f64, dalpha: f64, gamma: f64) -> (f64, f64) {
+        let pol1 = FRAC_PI_2 + gamma;
+        let pol2 = FRAC_PI_2 - gamma;
+        let s = |a: f64, pol: f64| 40.0 * (a - pol).cos().abs().max(1e-9).log10();
+        (
+            s(alpha + dalpha, pol1) - s(alpha, pol1),
+            s(alpha + dalpha, pol2) - s(alpha, pol2),
+        )
+    }
+
+    #[test]
+    fn table3_recovers_sector_and_direction_from_physics() {
+        // Sweep true azimuths through each sector and both senses; the
+        // classifier must reproduce Table 3 exactly.
+        let cases = [
+            (deg_to_rad(130.0), -1.0, Sector::One, Rotation::Clockwise),
+            (deg_to_rad(130.0), 1.0, Sector::One, Rotation::CounterClockwise),
+            (deg_to_rad(90.0), -1.0, Sector::Two, Rotation::Clockwise),
+            (deg_to_rad(90.0), 1.0, Sector::Two, Rotation::CounterClockwise),
+            (deg_to_rad(50.0), -1.0, Sector::Three, Rotation::Clockwise),
+            (deg_to_rad(50.0), 1.0, Sector::Three, Rotation::CounterClockwise),
+        ];
+        for (alpha, sense, sector, rotation) in cases {
+            let d_alpha = sense * deg_to_rad(3.0);
+            let (ds1, ds2) = rss_deltas(alpha, d_alpha, GAMMA);
+            let got = classify_rss_trend(ds1, ds2);
+            assert_eq!(
+                got,
+                Some((sector, rotation)),
+                "α = {:.0}°, Δα = {:.0}°: ds1 = {ds1:.3}, ds2 = {ds2:.3}",
+                alpha.to_degrees(),
+                d_alpha.to_degrees()
+            );
+        }
+    }
+
+    #[test]
+    fn table3_rejects_perfectly_balanced_trends() {
+        assert_eq!(classify_rss_trend(0.5, 0.5), None);
+        assert_eq!(classify_rss_trend(-0.5, -0.5), None);
+    }
+
+    #[test]
+    fn eq2_initial_azimuth_is_the_entry_boundary() {
+        // Entering sector 1 clockwise means coming from above: π − γ.
+        assert!((initial_azimuth(Sector::One, Rotation::Clockwise, GAMMA) - (PI - GAMMA)).abs() < 1e-12);
+        // Entering sector 1 counter-clockwise: from below, π/2 + γ.
+        assert!(
+            (initial_azimuth(Sector::One, Rotation::CounterClockwise, GAMMA)
+                - (FRAC_PI_2 + GAMMA))
+                .abs()
+                < 1e-12
+        );
+        assert!((initial_azimuth(Sector::Three, Rotation::CounterClockwise, GAMMA) - GAMMA).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_initial_azimuth_lies_inside_the_sector() {
+        for sector in [Sector::One, Sector::Two, Sector::Three] {
+            for rot in [Rotation::Clockwise, Rotation::CounterClockwise] {
+                let a = initial_azimuth(sector, rot, GAMMA);
+                let (lo, hi) = sector.bounds(GAMMA);
+                assert!(
+                    (lo - 1e-9..=hi + 1e-9).contains(&a),
+                    "{sector:?}/{rot:?}: {a} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_is_finite_and_its_line_is_continuous() {
+        // αr as written jumps by π when cos αa crosses zero, but the
+        // quantity the tracker consumes — the *line* through the pen at
+        // slope −cot αr (Eq. 9) — is continuous: lines are modulo π.
+        for ae_deg in [-45.0, -30.0, -15.0, 15.0, 30.0, 45.0] {
+            let ae = deg_to_rad(ae_deg);
+            let mut prev = rotation_angle(deg_to_rad(20.0), ae);
+            for aa_deg in 21..160 {
+                let cur = rotation_angle(deg_to_rad(f64::from(aa_deg)), ae);
+                assert!(cur.is_finite());
+                let line_jump = (cur - prev).rem_euclid(PI).min(PI - (cur - prev).rem_euclid(PI));
+                assert!(line_jump < 0.2, "line jump at αa = {aa_deg}°, αe = {ae_deg}°");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_vertical_pen_gives_vertical_line() {
+        // αa = 90°: Eq. 1 degenerates to αr = 3π/2 — a vertical pen,
+        // whose Eq. 9 slope −cot(3π/2) = 0 describes a horizontal
+        // stroke direction, matching the wrist model.
+        let ar = rotation_angle(FRAC_PI_2, deg_to_rad(30.0));
+        assert!((ar - 3.0 * FRAC_PI_2).abs() < 1e-9, "αr = {ar}");
+    }
+
+    #[test]
+    fn clockwise_rotation_implies_rightward_travel() {
+        let d = direction_from_azimuth(FRAC_PI_2, Rotation::Clockwise);
+        assert!((d.x - 1.0).abs() < 1e-12 && d.y.abs() < 1e-12);
+        let d = direction_from_azimuth(FRAC_PI_2, Rotation::CounterClockwise);
+        assert!((d.x + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tilted_pen_direction_is_perpendicular_to_azimuth() {
+        let alpha = deg_to_rad(70.0);
+        let d = direction_from_azimuth(alpha, Rotation::Clockwise);
+        let pen = rf_core::Vec2::from_angle(alpha);
+        assert!(d.dot(pen).abs() < 1e-12, "direction must be ⊥ to the pen");
+        assert!(d.x > 0.0, "clockwise still travels rightward");
+    }
+
+    #[test]
+    fn table4_decodes_all_four_directions() {
+        let th = 0.05;
+        assert_eq!(classify_phase_trend(-0.3, -0.3, th), Some(Cardinal::Up));
+        assert_eq!(classify_phase_trend(0.3, 0.3, th), Some(Cardinal::Down));
+        assert_eq!(classify_phase_trend(-0.3, 0.3, th), Some(Cardinal::Left));
+        assert_eq!(classify_phase_trend(0.3, -0.3, th), Some(Cardinal::Right));
+        assert_eq!(classify_phase_trend(0.01, -0.01, th), None);
+    }
+
+    #[test]
+    fn cardinal_units_are_consistent_with_board_frame() {
+        assert_eq!(Cardinal::Up.unit().y, -1.0, "up = toward antennas = −Y");
+        assert_eq!(Cardinal::Right.unit().x, 1.0);
+    }
+}

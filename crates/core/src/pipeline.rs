@@ -1,0 +1,489 @@
+//! The end-to-end PolarDraw tracker (Fig. 5's workflow).
+//!
+//! Wires pre-processing → movement-type detection → direction estimation
+//! (rotational via polarization, translational via phase trends) →
+//! distance bounds → HMM Viterbi decoding → trajectory rotation
+//! correction, and exposes it all as a [`rfid_sim::TrajectoryTracker`].
+
+use crate::distance::{feasible_region, DistanceConfig};
+use crate::hmm::{rotate_trajectory, viterbi, Grid, HmmConfig, StepObservation};
+use crate::model::{direction_from_azimuth, rotation_angle, Cardinal, Rotation, Sector};
+use crate::preprocess::{preprocess, PreprocessConfig, Windowed};
+use crate::rotation::{AzimuthTracker, RotationConfig};
+use crate::translation::{estimate_translation, TranslationConfig};
+use rf_core::angle::phase_diff;
+use rf_core::{wrap_pi, Vec2, Vec3};
+use rfid_sim::tracking::{Trail, TrajectoryTracker};
+use rfid_sim::TagReport;
+use serde::{Deserialize, Serialize};
+
+/// Complete tracker configuration. Defaults reproduce the paper's
+/// published parameter choices (§3, §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolarDrawConfig {
+    /// Pre-processing (50 ms windows, spurious rejection).
+    pub preprocess: PreprocessConfig,
+    /// Azimuth tracking (γ, Δβ, step threshold).
+    pub rotation: RotationConfig,
+    /// Translational direction estimation.
+    pub translation: TranslationConfig,
+    /// Distance bounds (λ, v_max).
+    pub distance: DistanceConfig,
+    /// HMM decoding.
+    pub hmm: HmmConfig,
+    /// Movement-type threshold δ: RSS change above this (dB) in a window
+    /// marks the step rotational (paper: 2 dBm).
+    pub movement_rss_threshold_db: f64,
+    /// Assumed constant pen elevation αe, radians (paper: 30°; Table 7
+    /// shows insensitivity).
+    pub alpha_e_rad: f64,
+    /// Antenna positions, metres (board frame; the writing plane is
+    /// z = 0 and the antennas stand off it).
+    pub antennas: [Vec3; 2],
+    /// Board region the HMM covers: minimum corner.
+    pub board_min: Vec2,
+    /// Board region: maximum corner.
+    pub board_max: Vec2,
+    /// Bootstrap position (the paper picks an arbitrary hyperbola
+    /// point; evaluation is translation-invariant).
+    pub start_hint: Vec2,
+    /// `false` reproduces the Table 6 ablation: no polarization-based
+    /// rotation estimation, direction from coarse phase trends only.
+    pub use_polarization: bool,
+    /// Apply the Eq. 10 final rotation correction.
+    pub apply_rotation_correction: bool,
+    /// Clamp on the Eq. 10 correction magnitude, radians. The boundary
+    /// corrections that estimate α̃a are noisy; an unclamped estimate
+    /// can swing the whole trail (paper's Fig. 10 corrections are small).
+    pub max_rotation_correction_rad: f64,
+    /// Apply the constant-velocity Kalman/RTS smoother to the decoded
+    /// trail (the paper's declared future work, §3.5 footnote 5).
+    pub smooth_output: bool,
+    /// Smoother tuning.
+    pub smoother: crate::smoother::SmootherConfig,
+    /// Extension (on by default; not in the paper): refine translational
+    /// direction by least-squares over both antennas' range rates
+    /// instead of snapping to the four Table 4 cardinals. Set `false`
+    /// for the strictly paper-faithful coarse-direction behaviour (the
+    /// ablation benches sweep this).
+    pub refine_translation: bool,
+}
+
+impl Default for PolarDrawConfig {
+    fn default() -> Self {
+        PolarDrawConfig {
+            preprocess: PreprocessConfig::default(),
+            rotation: RotationConfig::default(),
+            translation: TranslationConfig::default(),
+            distance: DistanceConfig::default(),
+            hmm: HmmConfig::default(),
+            movement_rss_threshold_db: 2.0,
+            alpha_e_rad: 30f64.to_radians(),
+            antennas: [Vec3::new(-0.28, 0.15, 0.65), Vec3::new(0.28, 0.15, 0.65)],
+            board_min: Vec2::new(-0.45, 0.35),
+            board_max: Vec2::new(0.75, 1.1),
+            start_hint: Vec2::new(-0.2, 0.7),
+            use_polarization: true,
+            apply_rotation_correction: true,
+            max_rotation_correction_rad: 25f64.to_radians(),
+            smooth_output: true,
+            smoother: crate::smoother::SmootherConfig::default(),
+            refine_translation: false,
+        }
+    }
+}
+
+impl PolarDrawConfig {
+    /// Keep λ consistent across the sub-configs.
+    pub fn with_wavelength(mut self, lambda_m: f64) -> Self {
+        self.translation.wavelength_m = lambda_m;
+        self.distance.wavelength_m = lambda_m;
+        self.hmm.wavelength_m = lambda_m;
+        self
+    }
+
+    /// Set the antenna mounting angle γ everywhere it matters.
+    pub fn with_gamma(mut self, gamma_rad: f64) -> Self {
+        self.rotation.gamma_rad = gamma_rad;
+        self
+    }
+}
+
+/// What kind of movement a step was classified as.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepKind {
+    /// RSS trend dominated: rotational movement (§3.3.1).
+    Rotational {
+        /// Rotation sense.
+        rotation: Rotation,
+        /// Sector the azimuth was classified into.
+        sector: Sector,
+    },
+    /// Phase trend dominated: translational movement (§3.3.2).
+    Translational(Cardinal),
+    /// Nothing moved measurably.
+    Still,
+}
+
+/// Per-step diagnostic record (consumed by the Fig. 9/10 experiments).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepEstimate {
+    /// End-of-step window time, seconds.
+    pub t: f64,
+    /// Movement classification.
+    pub kind: StepKind,
+    /// Unit direction estimate, if any.
+    pub direction: Option<Vec2>,
+    /// Tracked azimuth αa after this step, if rotation tracking is
+    /// initialized, radians.
+    pub azimuth: Option<f64>,
+    /// Pen rotation angle αr from Eq. 1 at the assumed αe, if azimuth is
+    /// tracked, radians.
+    pub alpha_r: Option<f64>,
+    /// Feasible displacement bounds `(min, max)`, metres.
+    pub bounds: (f64, f64),
+}
+
+/// The PolarDraw tracker.
+#[derive(Debug, Clone)]
+pub struct PolarDraw {
+    /// Configuration (public: experiments sweep parameters directly).
+    pub config: PolarDrawConfig,
+}
+
+/// Everything a tracking run produces beyond the trail itself.
+#[derive(Debug, Clone)]
+pub struct TrackOutput {
+    /// The recovered trail.
+    pub trail: Trail,
+    /// Per-step diagnostics.
+    pub steps: Vec<StepEstimate>,
+    /// Pre-processed windows (for the feasibility figures).
+    pub windows: Vec<Windowed>,
+    /// Estimated initial azimuth error α̃a, radians.
+    pub initial_azimuth_error: f64,
+}
+
+impl PolarDraw {
+    /// Build a tracker.
+    pub fn new(config: PolarDrawConfig) -> PolarDraw {
+        PolarDraw { config }
+    }
+
+    /// Run the full pipeline, keeping diagnostics.
+    pub fn track_with_diagnostics(&self, reports: &[TagReport]) -> TrackOutput {
+        let cfg = &self.config;
+        let windows = preprocess(reports, &cfg.preprocess);
+        let mut steps: Vec<StepEstimate> = Vec::new();
+        let mut observations: Vec<StepObservation> = Vec::new();
+        let mut azimuth_tracker = AzimuthTracker::new(cfg.rotation);
+
+        // Calibrate the inter-antenna phase difference against the
+        // bootstrap position at the first window where both antennas
+        // reported (cable phases make the raw difference meaningless).
+        let mut offset21: Option<f64> = None;
+        let mut pos_est = cfg.start_hint;
+
+        for pair in windows.windows(2) {
+            let (prev, cur) = (&pair[0], &pair[1]);
+            let dt = (cur.t - prev.t).max(1e-6);
+
+            let ds = [delta(prev.rssi[0], cur.rssi[0]), delta(prev.rssi[1], cur.rssi[1])];
+            let dth = [
+                delta_phase(prev.phase[0], cur.phase[0]),
+                delta_phase(prev.phase[1], cur.phase[1]),
+            ];
+
+            let region = feasible_region(dth, dt, &cfg.distance);
+
+            // Movement-type detection (§3.3): RSS trend above δ ⇒
+            // rotational (only meaningful with polarization enabled).
+            let max_ds = ds.iter().flatten().map(|d| d.abs()).fold(0.0, f64::max);
+            let rotational = cfg.use_polarization && max_ds > cfg.movement_rss_threshold_db;
+
+            let (kind, direction, azimuth, alpha_r) = if rotational {
+                match (ds[0], ds[1]) {
+                    (Some(d1), Some(d2)) => match azimuth_tracker.step(d1, d2) {
+                        Some(step) => {
+                            let ar = rotation_angle(step.azimuth, cfg.alpha_e_rad);
+                            let dir = direction_from_azimuth(step.azimuth, step.rotation);
+                            (
+                                StepKind::Rotational {
+                                    rotation: step.rotation,
+                                    sector: step.sector,
+                                },
+                                Some(dir),
+                                Some(step.azimuth),
+                                Some(ar),
+                            )
+                        }
+                        None => (StepKind::Still, None, azimuth_tracker.azimuth(), None),
+                    },
+                    _ => (StepKind::Still, None, azimuth_tracker.azimuth(), None),
+                }
+            } else {
+                match (dth[0], dth[1]) {
+                    (Some(d1), Some(d2)) => {
+                        match estimate_translation([d1, d2], cfg.antennas, pos_est, &cfg.translation)
+                        {
+                            Some(tr) => {
+                                let dir = if cfg.refine_translation {
+                                    tr.direction
+                                } else {
+                                    tr.cardinal.unit()
+                                };
+                                (
+                                    StepKind::Translational(tr.cardinal),
+                                    Some(dir),
+                                    azimuth_tracker.azimuth(),
+                                    None,
+                                )
+                            }
+                            None => (StepKind::Still, None, azimuth_tracker.azimuth(), None),
+                        }
+                    }
+                    _ => (StepKind::Still, None, azimuth_tracker.azimuth(), None),
+                }
+            };
+
+            // Calibrated inter-antenna phase difference at the current
+            // window.
+            let dtheta21 = match (cur.phase[0], cur.phase[1]) {
+                (Some(p1), Some(p2)) => {
+                    let raw = wrap_pi(p2 - p1);
+                    let off = *offset21.get_or_insert_with(|| {
+                        raw - crate::distance::expected_dtheta21(
+                            cfg.start_hint,
+                            cfg.antennas,
+                            cfg.distance.wavelength_m,
+                        )
+                    });
+                    Some(wrap_pi(raw - off))
+                }
+                _ => None,
+            };
+
+            // Displacement along the estimated direction (Fig. 12(b)×(c)
+            // intersection); plain lower bound when direction is unknown.
+            let target_dist = match direction {
+                Some(dir) => crate::distance::directional_displacement(
+                    dth,
+                    cfg.antennas,
+                    pos_est,
+                    dir,
+                    &cfg.distance,
+                )
+                .min(region.max_dist),
+                None => region.min_dist,
+            };
+
+            // Dead-reckon a coarse position for the next step's
+            // translational geometry.
+            if let Some(dir) = direction {
+                pos_est += dir * target_dist;
+            }
+
+            steps.push(StepEstimate {
+                t: cur.t,
+                kind,
+                direction,
+                azimuth,
+                alpha_r,
+                bounds: (region.min_dist, region.max_dist),
+            });
+            observations.push(StepObservation { region, direction, dtheta21, target_dist });
+        }
+
+        let grid = Grid::covering(cfg.board_min, cfg.board_max, cfg.hmm.cell_m);
+        let mut points = viterbi(&grid, cfg.antennas, cfg.start_hint, &observations, &cfg.hmm);
+
+        let raw_error = azimuth_tracker.initial_error_estimate();
+        let initial_azimuth_error = raw_error
+            .clamp(-cfg.max_rotation_correction_rad, cfg.max_rotation_correction_rad);
+        if cfg.apply_rotation_correction && initial_azimuth_error != 0.0 {
+            points = rotate_trajectory(&points, initial_azimuth_error);
+        }
+
+        let times: Vec<f64> = steps.iter().map(|s| s.t).take(points.len()).collect();
+        if cfg.smooth_output {
+            points = crate::smoother::smooth(&times, &points, &cfg.smoother);
+        }
+        let trail = Trail::new(times, points);
+        TrackOutput { trail, steps, windows, initial_azimuth_error }
+    }
+}
+
+fn delta(prev: Option<f64>, cur: Option<f64>) -> Option<f64> {
+    match (prev, cur) {
+        (Some(a), Some(b)) => Some(b - a),
+        _ => None,
+    }
+}
+
+fn delta_phase(prev: Option<f64>, cur: Option<f64>) -> Option<f64> {
+    match (prev, cur) {
+        (Some(a), Some(b)) => Some(phase_diff(b, a)),
+        _ => None,
+    }
+}
+
+impl TrajectoryTracker for PolarDraw {
+    fn name(&self) -> &str {
+        if self.config.use_polarization {
+            "PolarDraw (2-antenna)"
+        } else {
+            "PolarDraw w/o polarization"
+        }
+    }
+
+    fn antenna_count(&self) -> usize {
+        2
+    }
+
+    fn track(&self, reports: &[TagReport]) -> Trail {
+        self.track_with_diagnostics(reports).trail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(t: f64, antenna: usize, rssi: f64, phase: f64) -> TagReport {
+        TagReport {
+            t,
+            antenna,
+            rssi_dbm: rssi,
+            phase_rad: rf_core::wrap_tau(phase),
+            channel: 24,
+            epc: 1,
+        }
+    }
+
+    /// A synthetic stream: pen moving straight down (away from both
+    /// antennas) at constant speed — both phases ramp up, RSS flat.
+    fn downward_stream(n_windows: usize) -> Vec<TagReport> {
+        let mut out = Vec::new();
+        let lambda = 0.3276;
+        let speed = 0.06; // m/s
+        for i in 0..n_windows * 5 {
+            let t = i as f64 * 0.01;
+            let ant = i % 2;
+            let phase = 4.0 * std::f64::consts::PI * speed * t / lambda + 1.0;
+            out.push(report(t, ant, -40.0, phase));
+        }
+        out
+    }
+
+    #[test]
+    fn downward_motion_is_classified_translational_down() {
+        let pd = PolarDraw::new(PolarDrawConfig::default());
+        let out = pd.track_with_diagnostics(&downward_stream(30));
+        let downs = out
+            .steps
+            .iter()
+            .filter(|s| matches!(s.kind, StepKind::Translational(Cardinal::Down)))
+            .count();
+        assert!(
+            downs > out.steps.len() / 2,
+            "majority of steps must decode Down, got {downs}/{}",
+            out.steps.len()
+        );
+        // And the trail must actually head down (+Y).
+        let first = out.trail.points.first().unwrap();
+        let last = out.trail.points.last().unwrap();
+        // The noise margin shrinks the per-window distance target, so
+        // with a constant hyperbola field the synthetic stream descends
+        // slowly but steadily.
+        assert!(last.y > first.y + 0.008, "trail must descend: {first:?} → {last:?}");
+    }
+
+    #[test]
+    fn trail_speed_respects_vmax() {
+        let pd = PolarDraw::new(PolarDrawConfig::default());
+        let out = pd.track_with_diagnostics(&downward_stream(30));
+        for w in out.trail.points.windows(2) {
+            let d = w[0].distance(w[1]);
+            // One window is 50 ms; vmax 0.2 m/s ⇒ ≤ 1 cm (+ cell slack).
+            assert!(d <= 0.012 + 0.015, "step {d} exceeds vmax bound");
+        }
+    }
+
+    #[test]
+    fn rss_swing_triggers_rotational_classification() {
+        // Alternate windows with a strong RSS swing on both antennas:
+        // sector-2-style opposite trends.
+        let mut out = Vec::new();
+        for i in 0..120 {
+            let t = i as f64 * 0.01;
+            let ant = i % 2;
+            let swing = (t * 10.0).sin() * 5.0;
+            let rssi = if ant == 0 { -40.0 - swing } else { -40.0 + swing };
+            out.push(report(t, ant, rssi, 1.0));
+        }
+        let pd = PolarDraw::new(PolarDrawConfig::default());
+        let diag = pd.track_with_diagnostics(&out);
+        assert!(
+            diag.steps.iter().any(|s| matches!(s.kind, StepKind::Rotational { .. })),
+            "strong RSS trends must classify as rotational"
+        );
+    }
+
+    #[test]
+    fn no_polarization_mode_never_rotational() {
+        let mut cfg = PolarDrawConfig::default();
+        cfg.use_polarization = false;
+        let mut stream = downward_stream(20);
+        // Inject big RSS swings that WOULD trigger rotation.
+        for (i, r) in stream.iter_mut().enumerate() {
+            r.rssi_dbm += ((i / 10) % 2) as f64 * 6.0;
+        }
+        let pd = PolarDraw::new(cfg);
+        let diag = pd.track_with_diagnostics(&stream);
+        assert!(diag
+            .steps
+            .iter()
+            .all(|s| !matches!(s.kind, StepKind::Rotational { .. })));
+    }
+
+    #[test]
+    fn empty_reports_give_empty_trail() {
+        let pd = PolarDraw::new(PolarDrawConfig::default());
+        let trail = pd.track(&[]);
+        assert!(trail.is_empty());
+    }
+
+    #[test]
+    fn still_tag_stays_near_start() {
+        let mut out = Vec::new();
+        for i in 0..100 {
+            let t = i as f64 * 0.01;
+            out.push(report(t, i % 2, -40.0, 1.0));
+        }
+        let pd = PolarDraw::new(PolarDrawConfig::default());
+        let trail = pd.track(&out);
+        let start = PolarDrawConfig::default().start_hint;
+        for p in &trail.points {
+            assert!(p.distance(start) < 0.06, "still tag wandered to {p:?}");
+        }
+    }
+
+    #[test]
+    fn tracker_reports_names_and_ports() {
+        let pd = PolarDraw::new(PolarDrawConfig::default());
+        assert_eq!(pd.antenna_count(), 2);
+        assert!(pd.name().contains("PolarDraw"));
+        let mut cfg = PolarDrawConfig::default();
+        cfg.use_polarization = false;
+        assert!(PolarDraw::new(cfg).name().contains("w/o"));
+    }
+
+    #[test]
+    fn config_builders_propagate() {
+        let cfg = PolarDrawConfig::default().with_wavelength(0.33).with_gamma(0.5);
+        assert_eq!(cfg.translation.wavelength_m, 0.33);
+        assert_eq!(cfg.distance.wavelength_m, 0.33);
+        assert_eq!(cfg.hmm.wavelength_m, 0.33);
+        assert_eq!(cfg.rotation.gamma_rad, 0.5);
+    }
+}

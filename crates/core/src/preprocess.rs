@@ -1,0 +1,252 @@
+//! RFID data pre-processing (§3.1): window averaging and spurious data
+//! rejection.
+//!
+//! The reader delivers an irregular ~100 Hz interleaved stream from both
+//! antennas. PolarDraw divides time into fixed windows (50 ms in the
+//! paper), averages the RSS and phase readings inside each window per
+//! antenna, and then rejects windows whose phase jumps implausibly far
+//! from the previous window — the signature of a cross-polarized tag
+//! briefly powered through a reflection (§2's "spurious" readings).
+
+use rf_core::angle::{circular_mean, phase_distance};
+use rfid_sim::TagReport;
+use serde::{Deserialize, Serialize};
+
+/// One aligned pre-processing window across both antennas.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Windowed {
+    /// Window centre time, seconds.
+    pub t: f64,
+    /// Mean RSS per antenna, dBm (`None`: no reads in the window).
+    pub rssi: [Option<f64>; 2],
+    /// Circular-mean phase per antenna, radians (`None`: no reads, or
+    /// rejected as spurious).
+    pub phase: [Option<f64>; 2],
+    /// Raw read counts per antenna (diagnostics).
+    pub reads: [usize; 2],
+}
+
+/// Pre-processing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Window length, seconds (paper: 50 ms).
+    pub window_s: f64,
+    /// Reject a window's phase when it differs from the previous valid
+    /// window by more than this, radians (paper: 0.2 rad).
+    pub spurious_threshold_rad: f64,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig { window_s: 0.05, spurious_threshold_rad: 0.25 }
+    }
+}
+
+/// Window-average a report stream and reject spurious phases.
+///
+/// Returns one [`Windowed`] per window from the first to the last
+/// report; windows with no reads on either antenna are retained (with
+/// `None` entries) so that downstream timing stays uniform.
+pub fn preprocess(reports: &[TagReport], config: &PreprocessConfig) -> Vec<Windowed> {
+    let (first, last) = match (reports.first(), reports.last()) {
+        (Some(f), Some(l)) => (f.t, l.t),
+        _ => return Vec::new(),
+    };
+    assert!(config.window_s > 0.0, "window length must be positive");
+    let n_windows = ((last - first) / config.window_s).floor() as usize + 1;
+    let mut acc: Vec<[WindowAcc; 2]> = vec![Default::default(); n_windows];
+    for r in reports {
+        if r.antenna >= 2 {
+            continue; // PolarDraw is strictly two-antenna
+        }
+        let w = (((r.t - first) / config.window_s).floor() as usize).min(n_windows - 1);
+        acc[w][r.antenna].push(r.rssi_dbm, r.phase_rad);
+    }
+
+    let mut out: Vec<Windowed> = Vec::with_capacity(n_windows);
+    for (i, pair) in acc.iter().enumerate() {
+        let t = first + (i as f64 + 0.5) * config.window_s;
+        let mut w = Windowed { t, ..Default::default() };
+        for ant in 0..2 {
+            w.reads[ant] = pair[ant].n;
+            w.rssi[ant] = pair[ant].mean_rssi();
+            w.phase[ant] = pair[ant].mean_phase();
+        }
+        out.push(w);
+    }
+
+    reject_spurious(&mut out, config.spurious_threshold_rad);
+    out
+}
+
+/// Strike phases that jump more than `threshold` radians from the
+/// previous window's phase on the same antenna (§3.1, second step).
+///
+/// The comparison reference is always the *measured* phase of the
+/// previous window — even when that window itself was rejected — exactly
+/// as the paper states ("comparing phase readings of adjacent windows").
+/// Holding a stale reference instead would cascade: legitimate pen
+/// motion drifts the phase away from it and every later window would be
+/// rejected. The cost is that an isolated glitch rejects two windows
+/// (the glitch and the re-entry jump), after which the stream is back.
+fn reject_spurious(windows: &mut [Windowed], threshold: f64) {
+    for ant in 0..2 {
+        let mut prev_measured: Option<f64> = None;
+        for w in windows.iter_mut() {
+            if let Some(p) = w.phase[ant] {
+                if let Some(prev) = prev_measured {
+                    if phase_distance(p, prev) > threshold {
+                        w.phase[ant] = None;
+                    }
+                }
+                prev_measured = Some(p);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowAcc {
+    n: usize,
+    rssi_sum: f64,
+    sin_sum: f64,
+    cos_sum: f64,
+}
+
+impl WindowAcc {
+    fn push(&mut self, rssi: f64, phase: f64) {
+        self.n += 1;
+        self.rssi_sum += rssi;
+        self.sin_sum += phase.sin();
+        self.cos_sum += phase.cos();
+    }
+
+    fn mean_rssi(&self) -> Option<f64> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(self.rssi_sum / self.n as f64)
+        }
+    }
+
+    fn mean_phase(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        // Circular mean: immune to 0/2π straddling inside a window.
+        circular_mean(&[self.sin_sum.atan2(self.cos_sum)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn report(t: f64, antenna: usize, rssi: f64, phase: f64) -> TagReport {
+        TagReport { t, antenna, rssi_dbm: rssi, phase_rad: phase, channel: 24, epc: 1 }
+    }
+
+    #[test]
+    fn empty_stream_preprocesses_to_nothing() {
+        assert!(preprocess(&[], &PreprocessConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn averages_within_windows() {
+        let reports = vec![
+            report(0.00, 0, -40.0, 1.0),
+            report(0.01, 0, -42.0, 1.2),
+            report(0.02, 1, -50.0, 2.0),
+            report(0.06, 0, -44.0, 1.1),
+        ];
+        let w = preprocess(&reports, &PreprocessConfig::default());
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].rssi[0], Some(-41.0));
+        assert_eq!(w[0].reads[0], 2);
+        assert_eq!(w[0].rssi[1], Some(-50.0));
+        let p = w[0].phase[0].unwrap();
+        assert!((p - 1.1).abs() < 1e-6, "circular mean of 1.0, 1.2 is 1.1, got {p}");
+        assert_eq!(w[1].rssi[0], Some(-44.0));
+        assert_eq!(w[1].rssi[1], None);
+    }
+
+    #[test]
+    fn circular_mean_straddles_wrap() {
+        let reports = vec![
+            report(0.00, 0, -40.0, 0.1),
+            report(0.01, 0, -40.0, TAU - 0.1),
+        ];
+        let w = preprocess(&reports, &PreprocessConfig::default());
+        let p = w[0].phase[0].unwrap();
+        assert!(p < 0.01 || p > TAU - 0.01, "mean of ±0.1 wraps to ~0, got {p}");
+    }
+
+    #[test]
+    fn spurious_jump_is_rejected_but_stream_recovers() {
+        let cfg = PreprocessConfig::default();
+        // Window-centre timestamps avoid binary-float boundary flapping.
+        let reports = vec![
+            report(0.000, 0, -40.0, 1.0),
+            report(0.070, 0, -40.0, 1.05),
+            report(0.120, 0, -58.0, 3.0), // cross-pol glitch: +1.95 rad
+            report(0.170, 0, -40.0, 1.10),
+            report(0.220, 0, -40.0, 1.15),
+        ];
+        let w = preprocess(&reports, &cfg);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w[2].phase[0], None, "glitch window rejected");
+        // The re-entry jump (3.0 → 1.10) is also over threshold, so the
+        // window after the glitch is sacrificed too...
+        assert_eq!(w[3].phase[0], None, "re-entry window also rejected");
+        // ...but the stream is back one window later.
+        assert!(w[4].phase[0].is_some(), "stream recovers after the glitch");
+        // RSS is never rejected — only phase is screened.
+        assert_eq!(w[2].rssi[0], Some(-58.0));
+    }
+
+    #[test]
+    fn gradual_phase_motion_is_kept() {
+        // 0.1 rad per window is a legitimate writing speed; nothing may
+        // be rejected.
+        let cfg = PreprocessConfig::default();
+        let reports: Vec<TagReport> =
+            (0..20).map(|i| report(i as f64 * 0.05, 0, -40.0, 1.0 + 0.1 * i as f64)).collect();
+        let w = preprocess(&reports, &cfg);
+        assert!(w.iter().all(|w| w.phase[0].is_some()));
+    }
+
+    #[test]
+    fn antennas_are_screened_independently() {
+        let cfg = PreprocessConfig::default();
+        let reports = vec![
+            report(0.00, 0, -40.0, 1.0),
+            report(0.00, 1, -40.0, 2.0),
+            report(0.07, 0, -40.0, 1.02),
+            report(0.07, 1, -40.0, 4.5), // spurious on antenna 1 only
+        ];
+        let w = preprocess(&reports, &cfg);
+        assert!(w[1].phase[0].is_some());
+        assert_eq!(w[1].phase[1], None);
+    }
+
+    #[test]
+    fn reports_from_extra_antennas_are_ignored() {
+        let reports = vec![report(0.0, 0, -40.0, 1.0), report(0.0, 2, -30.0, 0.5)];
+        let w = preprocess(&reports, &PreprocessConfig::default());
+        assert_eq!(w[0].reads, [1, 0]);
+    }
+
+    #[test]
+    fn window_boundary_wraparound_jump_not_spurious() {
+        // A phase sequence crossing 2π→0 moves only slightly on the
+        // circle; the circular distance must see through the wrap.
+        let cfg = PreprocessConfig::default();
+        let reports = vec![
+            report(0.00, 0, -40.0, TAU - 0.05),
+            report(0.07, 0, -40.0, 0.05),
+        ];
+        let w = preprocess(&reports, &cfg);
+        assert!(w[1].phase[0].is_some(), "wrap crossing is not a spurious jump");
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 2: the teaser — recovered trajectories for "WoW, M, C, W, Z".
+
+use crate::report::Report;
+use crate::runner::RunOpts;
+use crate::setup::{run_trial, TrialSetup};
+use recognition::procrustes_distance;
+
+/// The items of Fig. 2 (lowercase maps to uppercase glyphs).
+pub const ITEMS: [&str; 5] = ["WOW", "M", "C", "W", "Z"];
+
+/// Track each item once and report trajectory fidelity.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig02",
+        "Recovered trajectory gallery: WoW, M, C, W, Z",
+        "recognizable handwriting recovered with two antennas",
+    )
+    .headers(vec!["Item", "Truth points", "Trail points", "Procrustes (cm)"]);
+    for (i, item) in ITEMS.iter().enumerate() {
+        let setup = TrialSetup::word(item);
+        let run = run_trial(&setup, opts.seed.wrapping_add(i as u64));
+        let d = procrustes_distance(&run.truth, &run.trail.points, 64);
+        report.push_row(vec![
+            item.to_string(),
+            run.truth.len().to_string(),
+            run.trail.len().to_string(),
+            d.map_or("—".into(), |d| format!("{:.1}", d * 100.0)),
+        ]);
+    }
+    report.push_note("trajectory CSVs are written next to this report by the repro harness");
+    vec![report]
+}
+
+/// Recovered (truth, trail) point pairs for plotting — used by the
+/// repro harness to dump per-item CSV files.
+pub fn trajectories(opts: &RunOpts) -> Vec<(String, Vec<rf_core::Vec2>, Vec<rf_core::Vec2>)> {
+    ITEMS
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let run = run_trial(&TrialSetup::word(item), opts.seed.wrapping_add(i as u64));
+            (item.to_string(), run.truth, run.trail.points)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_match_the_figure() {
+        assert_eq!(ITEMS, ["WOW", "M", "C", "W", "Z"]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 10: trajectory before and after the initial-azimuth
+//! correction.
+//!
+//! The Eq. 2 bootstrap can be off by α̃a; sector-boundary crossings
+//! estimate the error and Eq. 10 rotates the final trajectory to undo
+//! it. We track the same report stream with the correction disabled and
+//! enabled and compare trajectory fidelity.
+
+use crate::report::Report;
+use crate::runner::{parallel_map, RunOpts};
+use crate::setup::{channel_for, to_tag_poses, TrackerKind, TrialSetup};
+use polardraw_core::{PolarDraw, PolarDrawConfig};
+use recognition::procrustes_distance;
+use rf_core::rng::derive_seed_indexed;
+use rf_core::stats;
+use rfid_sim::Reader;
+
+/// Run the correction A/B.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    let words = ["WE", "ME", "CE"];
+    let jobs: Vec<(String, u64)> = (0..opts.trials.max(2))
+        .map(|i| {
+            (
+                words[i % words.len()].to_string(),
+                derive_seed_indexed(opts.seed, "fig10", i as u64),
+            )
+        })
+        .collect();
+
+    let outcomes = parallel_map(jobs, opts.threads, |(word, seed)| {
+        let setup = TrialSetup::word(word);
+        let session = pen_sim::scene::write_text(
+            &setup.scene,
+            &setup.profile,
+            word,
+            rf_core::rng::derive_seed(*seed, "pen"),
+        );
+        let reader = Reader::new(channel_for(TrackerKind::PolarDraw, setup.gamma_rad, setup.standoff_m));
+        let reports =
+            reader.inventory(&to_tag_poses(&session.poses), rf_core::rng::derive_seed(*seed, "reader"));
+
+        let track = |correct: bool| {
+            let mut cfg = PolarDrawConfig::default();
+            cfg.apply_rotation_correction = correct;
+            let out = PolarDraw::new(cfg).track_with_diagnostics(&reports);
+            (
+                procrustes_distance(&session.truth.points, &out.trail.points, 64),
+                out.initial_azimuth_error,
+            )
+        };
+        let (before, _) = track(false);
+        let (after, err) = track(true);
+        (before, after, err)
+    });
+
+    let before: Vec<f64> = outcomes.iter().filter_map(|o| o.0).collect();
+    let after: Vec<f64> = outcomes.iter().filter_map(|o| o.1).collect();
+    let errs: Vec<f64> = outcomes.iter().map(|o| o.2.abs().to_degrees()).collect();
+
+    let mut report = Report::new(
+        "fig10",
+        "Trajectory before vs after azimuthal-angle correction",
+        "correction visibly straightens the recovered word (Fig. 10(b)→(c))",
+    )
+    .headers(vec!["Variant", "Mean Procrustes (cm)", "Trials"]);
+    report.push_row(vec![
+        "pre-correction".to_string(),
+        stats::mean(&before).map_or("—".into(), |d| format!("{:.1}", d * 100.0)),
+        before.len().to_string(),
+    ]);
+    report.push_row(vec![
+        "post-correction".to_string(),
+        stats::mean(&after).map_or("—".into(), |d| format!("{:.1}", d * 100.0)),
+        after.len().to_string(),
+    ]);
+    report.push_note(format!(
+        "mean |α̃a| estimated from boundary crossings: {:.1}°",
+        stats::mean(&errs).unwrap_or(0.0)
+    ));
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use polardraw_core::hmm::rotate_trajectory;
+    use rf_core::Vec2;
+
+    #[test]
+    fn eq10_rotation_is_what_the_correction_applies() {
+        // Direct check of the correction primitive this experiment
+        // exercises end-to-end.
+        let pts = vec![Vec2::new(0.0, 0.0), Vec2::new(0.1, 0.0)];
+        let rotated = rotate_trajectory(&pts, 0.3);
+        let restored = rotate_trajectory(&rotated, -0.3);
+        for (a, b) in pts.iter().zip(&restored) {
+            assert!(a.distance(*b) < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figures 13 & 14: per-letter recognition accuracy over the alphabet,
+//! and the letter confusion matrix (both computed from one batch of
+//! trials, as in the paper's §5.2.1–§5.2.2).
+
+use crate::report::Report;
+use crate::runner::{confusion_of, letter_accuracy, run_letter_trials, RunOpts};
+use crate::setup::TrialSetup;
+
+/// Run the alphabet experiment; returns the Fig. 13 accuracy table and
+/// the Fig. 14 confusion summary.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    let conditions: Vec<(char, TrialSetup)> = pen_sim::glyph::ALPHABET
+        .iter()
+        .map(|&ch| (ch, TrialSetup::letter(ch)))
+        .collect();
+    let trials = run_letter_trials(&conditions, opts.trials, opts.seed, opts.threads);
+
+    let mut fig13 = Report::new(
+        "fig13",
+        "Per-letter recognition accuracy (26 letters)",
+        "93.6 % mean; 15/26 letters above 90 %, all above 80 %",
+    )
+    .headers(vec!["Letter", "Accuracy (%)"]);
+    let matrix = confusion_of(&trials);
+    for &ch in pen_sim::glyph::ALPHABET.iter() {
+        let sub: Vec<_> = trials.iter().filter(|t| t.actual == ch).cloned().collect();
+        fig13.push_row(vec![ch.to_string(), format!("{:.0}", 100.0 * letter_accuracy(&sub))]);
+    }
+    fig13.push_note(format!(
+        "mean accuracy {:.1} % over {} trials",
+        100.0 * letter_accuracy(&trials),
+        trials.len()
+    ));
+
+    let mut fig14 = Report::new(
+        "fig14",
+        "Letter confusion matrix (top confusions)",
+        "misclassifications concentrate on similar writing styles (e.g. L→I, V→U)",
+    )
+    .headers(vec!["Actual", "Predicted", "Count"]);
+    for (a, p, c) in matrix.top_confusions(12) {
+        fig14.push_row(vec![a.to_string(), p.to_string(), c.to_string()]);
+    }
+    fig14.push_note(format!(
+        "diagonal mass {:.1} %",
+        100.0 * matrix.accuracy().unwrap_or(0.0)
+    ));
+
+    vec![fig13, fig14]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_both_reports() {
+        // One trial on a reduced alphabet would not exercise this module
+        // faithfully, but a single-trial full run is too slow for unit
+        // tests; instead check plumbing via the public runner on two
+        // letters.
+        let conditions = vec![
+            ('I', TrialSetup::letter('I')),
+            ('L', TrialSetup::letter('L')),
+        ];
+        let trials = run_letter_trials(&conditions, 1, 7, 2);
+        assert_eq!(trials.len(), 2);
+        let m = confusion_of(&trials);
+        assert!(m.total() <= 2);
+    }
+}

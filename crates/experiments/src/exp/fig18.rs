@@ -1,0 +1,60 @@
+//! Figure 18: word recognition accuracy vs word length, three systems.
+//!
+//! Ten dictionary words per length group (2–5 letters), written and
+//! recognized against the group as candidate set. The paper finds all
+//! three systems >91 % at two letters, degrading gently with length;
+//! two-antenna PolarDraw degrades slightly more but stays above 75 %.
+
+use crate::report::Report;
+use crate::runner::{run_word_trials, RunOpts};
+use crate::setup::{TrackerKind, TrialSetup};
+use pen_sim::words::all_groups;
+
+/// The systems compared, in figure-legend order.
+pub const SYSTEMS: [TrackerKind; 3] =
+    [TrackerKind::PolarDraw, TrackerKind::RfIdraw4, TrackerKind::Tagoram4];
+
+/// Run the word-length sweep for all three systems.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig18",
+        "Word recognition accuracy vs word length",
+        ">91 % at 2 letters for all; PolarDraw degrades slightly more with length but stays >75 %",
+    )
+    .headers(vec![
+        "Letters/word",
+        "PolarDraw 2-ant (%)",
+        "RF-IDraw 4-ant (%)",
+        "Tagoram 4-ant (%)",
+    ]);
+    // Words are long to write; keep per-word repetitions low.
+    let trials_per = opts.trials.div_ceil(4).max(1);
+    for (len, words) in all_groups() {
+        let mut row = vec![len.to_string()];
+        for kind in SYSTEMS {
+            let base = TrialSetup::word(words[0]).with_tracker(kind);
+            let acc = run_word_trials(
+                words,
+                &base,
+                trials_per,
+                opts.seed.wrapping_add(400 + len as u64),
+                opts.threads,
+            );
+            row.push(format!("{:.0}", 100.0 * acc));
+        }
+        report.push_row(row);
+    }
+    report.push_note("dictionary-constrained matching: candidates are the 10 words of the group");
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_systems_in_legend_order() {
+        assert_eq!(SYSTEMS.len(), 3);
+        assert_eq!(SYSTEMS[0], TrackerKind::PolarDraw);
+    }
+}

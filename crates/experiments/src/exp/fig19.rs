@@ -1,0 +1,77 @@
+//! Figures 19 & 20: trajectory similarity across the three systems.
+//!
+//! Five letters × repetitions per system; Fig. 19 reports the CDF of
+//! the Procrustes distance between recovered and ground-truth
+//! trajectories (paper: 90th percentiles 13.8 cm PolarDraw / 10.2 cm
+//! RF-IDraw / 11.3 cm Tagoram); Fig. 20 is the qualitative per-letter
+//! gallery, which we report as per-letter mean distances.
+
+use crate::exp::SHORT_LETTERS;
+use crate::report::Report;
+use crate::runner::{run_letter_trials, RunOpts};
+use crate::setup::{TrackerKind, TrialSetup};
+use rf_core::stats;
+
+/// The systems compared.
+pub const SYSTEMS: [TrackerKind; 3] =
+    [TrackerKind::PolarDraw, TrackerKind::RfIdraw4, TrackerKind::Tagoram4];
+
+/// Run the similarity comparison.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    let mut fig19 = Report::new(
+        "fig19",
+        "Procrustes distance distribution per system",
+        "90th pct: 13.8 cm (PolarDraw-2) vs 10.2 cm (RF-IDraw-4) vs 11.3 cm (Tagoram-4)",
+    )
+    .headers(vec!["System", "Median (cm)", "90th pct (cm)", "Trials"]);
+    let mut fig20 = Report::new(
+        "fig20",
+        "Per-letter trajectory quality (gallery summary)",
+        "all systems preserve the basic letter profile; trails stretch/rotate at stroke ends",
+    )
+    .headers(vec!["Letter", "PolarDraw (cm)", "RF-IDraw (cm)", "Tagoram (cm)"]);
+
+    let mut per_letter: Vec<Vec<String>> =
+        SHORT_LETTERS.iter().map(|ch| vec![ch.to_string()]).collect();
+
+    for kind in SYSTEMS {
+        let conditions: Vec<(char, TrialSetup)> = SHORT_LETTERS
+            .iter()
+            .map(|&ch| (ch, TrialSetup::letter(ch).with_tracker(kind)))
+            .collect();
+        let trials = run_letter_trials(&conditions, opts.trials, opts.seed, opts.threads);
+        let dists: Vec<f64> = trials.iter().filter_map(|t| t.procrustes_m).collect();
+        fig19.push_row(vec![
+            kind.label().to_string(),
+            stats::median(&dists).map_or("—".into(), |d| format!("{:.1}", d * 100.0)),
+            stats::percentile(&dists, 90.0).map_or("—".into(), |d| format!("{:.1}", d * 100.0)),
+            dists.len().to_string(),
+        ]);
+        for (li, &ch) in SHORT_LETTERS.iter().enumerate() {
+            let letter_d: Vec<f64> = trials
+                .iter()
+                .filter(|t| t.actual == ch)
+                .filter_map(|t| t.procrustes_m)
+                .collect();
+            per_letter[li].push(
+                stats::mean(&letter_d).map_or("—".into(), |d| format!("{:.1}", d * 100.0)),
+            );
+        }
+    }
+    for row in per_letter {
+        fig20.push_row(row);
+    }
+    vec![fig19, fig20]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systems_cover_the_papers_comparison() {
+        assert!(SYSTEMS.contains(&TrackerKind::PolarDraw));
+        assert!(SYSTEMS.contains(&TrackerKind::RfIdraw4));
+        assert!(SYSTEMS.contains(&TrackerKind::Tagoram4));
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 21: recognition accuracy across users.
+//!
+//! Four writer profiles (User 2 deliberately "stiff" — minimal pen
+//! rotation, the adversarial case for polarization sensing) × three
+//! systems. The paper finds consistently high accuracy, with PolarDraw
+//! degrading gracefully on the stiff writer.
+
+use crate::exp::SWEEP_LETTERS;
+use crate::report::Report;
+use crate::runner::{letter_accuracy, run_letter_trials, RunOpts};
+use crate::setup::{TrackerKind, TrialSetup};
+use pen_sim::WriterProfile;
+
+/// The systems compared.
+pub const SYSTEMS: [TrackerKind; 3] =
+    [TrackerKind::PolarDraw, TrackerKind::RfIdraw4, TrackerKind::Tagoram4];
+
+/// Run the user panel.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    let mut report = Report::new(
+        "fig21",
+        "Recognition accuracy across users",
+        "consistent across users; User 2's stiff style degrades PolarDraw only slightly",
+    )
+    .headers(vec![
+        "User",
+        "PolarDraw 2-ant (%)",
+        "RF-IDraw 4-ant (%)",
+        "Tagoram 4-ant (%)",
+    ]);
+    let trials_per = opts.trials.div_ceil(2).max(1);
+    for (ui, profile) in WriterProfile::panel().into_iter().enumerate() {
+        let mut row = vec![format!("{} ({})", ui + 1, profile.name)];
+        for kind in SYSTEMS {
+            let conditions: Vec<(char, TrialSetup)> = SWEEP_LETTERS
+                .iter()
+                .map(|&ch| {
+                    let mut s = TrialSetup::letter(ch).with_tracker(kind);
+                    s.profile = profile;
+                    (ch, s)
+                })
+                .collect();
+            let trials = run_letter_trials(
+                &conditions,
+                trials_per,
+                opts.seed.wrapping_add(500 + ui as u64),
+                opts.threads,
+            );
+            row.push(format!("{:.0}", 100.0 * letter_accuracy(&trials)));
+        }
+        report.push_row(row);
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use pen_sim::WriterProfile;
+
+    #[test]
+    fn panel_includes_the_stiff_user() {
+        let panel = WriterProfile::panel();
+        assert!(panel.iter().any(|p| p.name.contains("stiff")));
+        assert_eq!(panel.len(), 4);
+    }
+}

@@ -1,0 +1,26 @@
+//! One module per paper table/figure.
+
+pub mod fig02;
+pub mod fig03;
+pub mod fig09;
+pub mod fig10;
+pub mod fig13;
+pub mod fig15;
+pub mod fig16;
+pub mod fig18;
+pub mod fig19;
+pub mod fig21;
+pub mod table1;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+/// The ten-letter subset used by the microbenchmark-style sweeps
+/// (the paper "randomly choose[s] 10 letters"; we fix a deterministic,
+/// difficulty-balanced sample).
+pub const SWEEP_LETTERS: [char; 10] = ['C', 'E', 'I', 'L', 'M', 'N', 'S', 'U', 'W', 'Z'];
+
+/// The shorter subset for the most expensive sweeps (bystander,
+/// distance), biased toward mid-difficulty letters.
+pub const SHORT_LETTERS: [char; 5] = ['C', 'L', 'S', 'W', 'Z'];

@@ -1,0 +1,128 @@
+//! Table 1: infrastructure cost comparison.
+//!
+//! Pure arithmetic over the component catalog the paper quotes — kept
+//! as data + code (rather than hardcoded totals) so the comparison
+//! recomputes if a component price is edited.
+
+use crate::report::Report;
+use crate::runner::RunOpts;
+
+/// One line item of a system's bill of materials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineItem {
+    /// Component description.
+    pub item: &'static str,
+    /// Unit cost, USD.
+    pub unit_cost: u32,
+    /// Quantity.
+    pub quantity: u32,
+}
+
+impl LineItem {
+    /// Total cost of this line.
+    pub fn total(&self) -> u32 {
+        self.unit_cost * self.quantity
+    }
+}
+
+/// A system's bill of materials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bom {
+    /// System name.
+    pub system: &'static str,
+    /// Line items.
+    pub items: Vec<LineItem>,
+}
+
+impl Bom {
+    /// System total cost.
+    pub fn total(&self) -> u32 {
+        self.items.iter().map(LineItem::total).sum()
+    }
+}
+
+/// The three bills of materials of Table 1.
+pub fn catalog() -> Vec<Bom> {
+    vec![
+        Bom {
+            system: "PolarDraw",
+            items: vec![
+                LineItem { item: "Reader (2-port) [ThingMagic Micro]", unit_cost: 285, quantity: 1 },
+                LineItem { item: "Antenna [Laird PA9-12]", unit_cost: 79, quantity: 2 },
+            ],
+        },
+        Bom {
+            system: "Tagoram",
+            items: vec![
+                LineItem { item: "Reader (4-port) [ThingMagic M6e]", unit_cost: 398, quantity: 1 },
+                LineItem { item: "Antenna [YAP-100CP]", unit_cost: 135, quantity: 4 },
+            ],
+        },
+        Bom {
+            system: "RF-IDraw",
+            items: vec![
+                LineItem { item: "Reader (4-port) [ThingMagic M6e]", unit_cost: 398, quantity: 2 },
+                LineItem { item: "Antenna [AN-900LH]", unit_cost: 89, quantity: 8 },
+            ],
+        },
+    ]
+}
+
+/// Regenerate Table 1.
+pub fn run(_opts: &RunOpts) -> Vec<Report> {
+    let mut report = Report::new(
+        "table1",
+        "Infrastructure cost comparison",
+        "PolarDraw $443 vs Tagoram $938 vs RF-IDraw $1508",
+    )
+    .headers(vec!["System", "Item", "Unit cost ($)", "Qty", "Total ($)"]);
+    for bom in catalog() {
+        for li in &bom.items {
+            report.push_row(vec![
+                bom.system.to_string(),
+                li.item.to_string(),
+                li.unit_cost.to_string(),
+                li.quantity.to_string(),
+                li.total().to_string(),
+            ]);
+        }
+        report.push_row(vec![
+            bom.system.to_string(),
+            "— system total —".to_string(),
+            String::new(),
+            String::new(),
+            bom.total().to_string(),
+        ]);
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_the_paper() {
+        let totals: Vec<(/*sys*/ &str, u32)> =
+            catalog().iter().map(|b| (b.system, b.total())).collect();
+        assert_eq!(totals, vec![("PolarDraw", 443), ("Tagoram", 938), ("RF-IDraw", 1508)]);
+    }
+
+    #[test]
+    fn polardraw_is_less_than_half_of_rfidraw() {
+        let c = catalog();
+        assert!(c[0].total() * 2 < c[2].total());
+        // "reduces the infrastructure cost by half" vs Tagoram.
+        assert!(f64::from(c[0].total()) < 0.5 * f64::from(c[1].total()) + 40.0);
+    }
+
+    #[test]
+    fn report_renders_all_systems() {
+        let r = &run(&RunOpts::default())[0];
+        let text = r.to_string();
+        for sys in ["PolarDraw", "Tagoram", "RF-IDraw"] {
+            assert!(text.contains(sys));
+        }
+        assert!(text.contains("443") && text.contains("938") && text.contains("1508"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 6: the polarization ablation.
+//!
+//! The paper's headline internal result: stripping the polarization-based
+//! rotation estimation collapses letter recognition from 91 % to 23 % —
+//! a ~4× gain from the polarization information itself.
+
+use crate::exp::SWEEP_LETTERS;
+use crate::report::Report;
+use crate::runner::{letter_accuracy, run_letter_trials, RunOpts};
+use crate::setup::{TrackerKind, TrialSetup};
+
+/// Run the ablation.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    let mut report = Report::new(
+        "table6",
+        "Recognition accuracy with and without polarization",
+        "91 % with polarization vs 23 % without (≈4× gain)",
+    )
+    .headers(vec!["Algorithm", "Accuracy (%)", "Trials"]);
+
+    for (kind, label) in [
+        (TrackerKind::PolarDraw, "PolarDraw"),
+        (TrackerKind::PolarDrawNoPolarization, "w/o polarization"),
+    ] {
+        let conditions: Vec<(char, TrialSetup)> = SWEEP_LETTERS
+            .iter()
+            .map(|&ch| (ch, TrialSetup::letter(ch).with_tracker(kind)))
+            .collect();
+        let trials = run_letter_trials(&conditions, opts.trials, opts.seed, opts.threads);
+        report.push_row(vec![
+            label.to_string(),
+            format!("{:.0}", 100.0 * letter_accuracy(&trials)),
+            trials.len().to_string(),
+        ]);
+    }
+    report.push_note(
+        "the no-polarization variant keeps phase-based direction/distance but loses all \
+         RSS-trend rotation estimation",
+    );
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::setup::{tracker_for, TrackerKind, TrialSetup};
+
+    #[test]
+    fn ablation_uses_distinct_tracker_configs() {
+        let a = tracker_for(&TrialSetup::letter('A').with_tracker(TrackerKind::PolarDraw));
+        let b = tracker_for(
+            &TrialSetup::letter('A').with_tracker(TrackerKind::PolarDrawNoPolarization),
+        );
+        assert_ne!(a.name(), b.name());
+    }
+}

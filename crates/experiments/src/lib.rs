@@ -1,0 +1,40 @@
+//! # experiments — the paper's evaluation, end to end
+//!
+//! One module per table/figure of §5, each running the full stack:
+//! `pen-sim` writes → `rf-physics` propagates → `rfid-sim` reads →
+//! a tracker recovers → `recognition` scores. Everything is
+//! deterministic in a single seed and scales with a trial-count knob.
+//!
+//! | module | paper result |
+//! |---|---|
+//! | [`exp::table1`] | infrastructure cost comparison |
+//! | [`exp::fig02`] | recovered trajectory gallery |
+//! | [`exp::fig03`] | feasibility: RSS/phase under rotation & translation |
+//! | [`exp::fig09`] | two-antenna RSS trends while writing (γ = 30°) |
+//! | [`exp::fig10`] | azimuth correction before/after |
+//! | [`exp::fig13`] | per-letter recognition accuracy (+ Fig. 14 confusion) |
+//! | [`exp::fig15`] | in-air vs whiteboard |
+//! | [`exp::fig16`] | bystander multipath sweep |
+//! | [`exp::fig18`] | word recognition vs word length, 3 systems |
+//! | [`exp::fig19`] | Procrustes-distance CDF, 3 systems (+ Fig. 20 gallery) |
+//! | [`exp::fig21`] | accuracy across users |
+//! | [`exp::table5`] | accuracy vs tag–reader distance (+ Fig. 22) |
+//! | [`exp::table6`] | with vs without polarization |
+//! | [`exp::table7`] | accuracy vs assumed elevation αe |
+//! | [`exp::table8`] | accuracy vs antenna mounting angle γ |
+//!
+//! Run them all via the `repro` binary in `crates/bench`:
+//! `cargo run --release -p polardraw-bench --bin repro`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod setup;
+
+pub use registry::{all_experiments, ExperimentDef};
+pub use report::Report;
+pub use runner::RunOpts;

@@ -1,0 +1,164 @@
+//! The experiment registry: every paper table/figure, addressable by id.
+
+use crate::report::Report;
+use crate::runner::RunOpts;
+
+/// A runnable experiment definition.
+#[derive(Clone)]
+pub struct ExperimentDef {
+    /// Primary id ("fig13"). Some definitions produce several reports
+    /// (e.g. fig13 also yields fig14).
+    pub id: &'static str,
+    /// Every report id this definition produces.
+    pub produces: &'static [&'static str],
+    /// Short description.
+    pub title: &'static str,
+    /// Runner.
+    pub run: fn(&RunOpts) -> Vec<Report>,
+}
+
+/// All experiments, in paper order.
+pub fn all_experiments() -> Vec<ExperimentDef> {
+    vec![
+        ExperimentDef {
+            id: "table1",
+            produces: &["table1"],
+            title: "Infrastructure cost comparison",
+            run: crate::exp::table1::run,
+        },
+        ExperimentDef {
+            id: "fig02",
+            produces: &["fig02"],
+            title: "Recovered trajectory gallery",
+            run: crate::exp::fig02::run,
+        },
+        ExperimentDef {
+            id: "fig03",
+            produces: &["fig03b", "fig03c"],
+            title: "Feasibility: RSS/phase under rotation and translation",
+            run: crate::exp::fig03::run,
+        },
+        ExperimentDef {
+            id: "fig09",
+            produces: &["fig09"],
+            title: "Table 3 decoding from measured RSS trends",
+            run: crate::exp::fig09::run,
+        },
+        ExperimentDef {
+            id: "fig10",
+            produces: &["fig10"],
+            title: "Azimuth correction before/after",
+            run: crate::exp::fig10::run,
+        },
+        ExperimentDef {
+            id: "fig13",
+            produces: &["fig13", "fig14"],
+            title: "Alphabet accuracy + confusion matrix",
+            run: crate::exp::fig13::run,
+        },
+        ExperimentDef {
+            id: "fig15",
+            produces: &["fig15"],
+            title: "In-air vs whiteboard writing",
+            run: crate::exp::fig15::run,
+        },
+        ExperimentDef {
+            id: "fig16",
+            produces: &["fig16"],
+            title: "Bystander multipath sweep",
+            run: crate::exp::fig16::run,
+        },
+        ExperimentDef {
+            id: "fig18",
+            produces: &["fig18"],
+            title: "Word recognition vs word length, three systems",
+            run: crate::exp::fig18::run,
+        },
+        ExperimentDef {
+            id: "fig19",
+            produces: &["fig19", "fig20"],
+            title: "Procrustes CDF + trajectory gallery, three systems",
+            run: crate::exp::fig19::run,
+        },
+        ExperimentDef {
+            id: "fig21",
+            produces: &["fig21"],
+            title: "Accuracy across users",
+            run: crate::exp::fig21::run,
+        },
+        ExperimentDef {
+            id: "table5",
+            produces: &["table5", "fig22"],
+            title: "Accuracy vs tag-to-reader distance",
+            run: crate::exp::table5::run,
+        },
+        ExperimentDef {
+            id: "table6",
+            produces: &["table6"],
+            title: "With vs without polarization",
+            run: crate::exp::table6::run,
+        },
+        ExperimentDef {
+            id: "table7",
+            produces: &["table7"],
+            title: "Sensitivity to assumed elevation angle",
+            run: crate::exp::table7::run,
+        },
+        ExperimentDef {
+            id: "table8",
+            produces: &["table8"],
+            title: "Sensitivity to inter-antenna angle",
+            run: crate::exp::table8::run,
+        },
+    ]
+}
+
+/// Look up an experiment by any id it produces.
+pub fn find(id: &str) -> Option<ExperimentDef> {
+    all_experiments()
+        .into_iter()
+        .find(|e| e.id == id || e.produces.contains(&id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let produced: Vec<&str> =
+            all_experiments().iter().flat_map(|e| e.produces.iter().copied()).collect();
+        for id in [
+            "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14",
+            "fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5",
+            "table6", "table7", "table8",
+        ] {
+            assert!(produced.contains(&id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> =
+            all_experiments().iter().flat_map(|e| e.produces.iter().copied()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn find_resolves_secondary_ids() {
+        assert_eq!(find("fig14").unwrap().id, "fig13");
+        assert_eq!(find("fig22").unwrap().id, "table5");
+        assert!(find("fig99").is_none());
+    }
+
+    #[test]
+    fn cheap_experiments_run_in_tests() {
+        // table1 is pure arithmetic; run it for real.
+        let reports = (find("table1").unwrap().run)(&RunOpts::default());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].id, "table1");
+    }
+}

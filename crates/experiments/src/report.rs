@@ -1,0 +1,151 @@
+//! Experiment result reporting: aligned text tables plus CSV export.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one experiment: an identified, titled table with the
+/// paper's claim alongside, ready to print or dump as CSV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment id ("fig13", "table5", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports for this experiment (for eyeballing the
+    /// shape next to our measured rows).
+    pub paper_claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (deviations, sub-results).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str, paper_claim: &str) -> Report {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_claim: paper_claim.to_string(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn headers<S: Into<String>>(mut self, headers: Vec<S>) -> Report {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a data row.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Append a note.
+    pub fn push_note<S: Into<String>>(&mut self, note: S) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as CSV (headers + rows; notes as trailing comments).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f, "paper: {}", self.paper_claim)?;
+        // Column widths over headers + rows.
+        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        if !self.headers.is_empty() {
+            writeln!(f, "{}", fmt_row(&self.headers))?;
+            writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)))?;
+        }
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("t1", "Demo", "claims 42").headers(vec!["k", "v"]);
+        r.push_row(vec!["alpha", "1"]);
+        r.push_row(vec!["beta", "2,3"]);
+        r.push_note("a note");
+        r
+    }
+
+    #[test]
+    fn display_contains_everything() {
+        let s = sample().to_string();
+        assert!(s.contains("t1"));
+        assert!(s.contains("claims 42"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("k,v\n"));
+        assert!(csv.contains("\"2,3\""));
+        assert!(csv.contains("# a note"));
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let s = sample().to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        // header line and first data row start at the same column for
+        // the second field.
+        let hpos = lines.iter().find(|l| l.starts_with("k")).unwrap().find('v').unwrap();
+        let dpos = lines.iter().find(|l| l.starts_with("alpha")).unwrap().find('1').unwrap();
+        assert_eq!(hpos, dpos);
+    }
+}

@@ -1,0 +1,180 @@
+//! Trial execution: run options, parallel fan-out, and the letter/word
+//! accuracy loops every accuracy experiment shares.
+
+use crate::setup::{run_trial, TrialSetup};
+use recognition::{procrustes_distance, ConfusionMatrix, LetterRecognizer, WordRecognizer};
+use rf_core::rng::derive_seed_indexed;
+
+/// Global run options every experiment receives.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Master seed; all trial seeds derive from it.
+    pub seed: u64,
+    /// Repetitions per condition. The paper uses 10–100; 10 keeps the
+    /// full suite in minutes on a laptop (scale up for smoother curves).
+    pub trials: usize,
+    /// Worker threads for trial fan-out.
+    pub threads: usize,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            seed: 42,
+            trials: 10,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+/// Map `jobs` through `f` on `threads` workers, preserving order.
+pub fn parallel_map<T, R, F>(jobs: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let n = jobs.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let collected = std::sync::Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&jobs[i]);
+                collected.lock().expect("collect lock").push((i, r));
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("collect lock");
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Result of one recognition trial.
+#[derive(Debug, Clone)]
+pub struct LetterTrial {
+    /// Ground-truth letter.
+    pub actual: char,
+    /// Recognized letter (None: degenerate trail).
+    pub predicted: Option<char>,
+    /// Procrustes distance to ground truth, metres.
+    pub procrustes_m: Option<f64>,
+}
+
+/// Run `trials` repetitions of each `(letter, setup)` condition and
+/// score them with a shared recognizer.
+pub fn run_letter_trials(
+    conditions: &[(char, TrialSetup)],
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<LetterTrial> {
+    let recognizer = LetterRecognizer::new();
+    let mut jobs = Vec::new();
+    for (ci, (ch, setup)) in conditions.iter().enumerate() {
+        for t in 0..trials {
+            jobs.push((*ch, setup.clone(), derive_seed_indexed(seed, "letter", (ci * 10_000 + t) as u64)));
+        }
+    }
+    parallel_map(jobs, threads, |(ch, setup, s)| {
+        let run = run_trial(setup, *s);
+        LetterTrial {
+            actual: *ch,
+            predicted: recognizer.classify(&run.trail.points),
+            procrustes_m: procrustes_distance(&run.truth, &run.trail.points, 64),
+        }
+    })
+}
+
+/// Accuracy over letter trials (unrecognized counts as wrong).
+pub fn letter_accuracy(trials: &[LetterTrial]) -> f64 {
+    if trials.is_empty() {
+        return 0.0;
+    }
+    trials.iter().filter(|t| t.predicted == Some(t.actual)).count() as f64 / trials.len() as f64
+}
+
+/// Fold letter trials into a confusion matrix over A–Z.
+pub fn confusion_of(trials: &[LetterTrial]) -> ConfusionMatrix {
+    let mut m = ConfusionMatrix::new(pen_sim::glyph::ALPHABET.to_vec());
+    for t in trials {
+        if let Some(p) = t.predicted {
+            m.record(t.actual, p);
+        }
+    }
+    m
+}
+
+/// Run word-recognition trials: each word in `words` is written
+/// `trials` times and matched against the whole group as dictionary.
+/// Returns accuracy.
+pub fn run_word_trials(
+    words: &[&str],
+    base: &TrialSetup,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> f64 {
+    let recognizer = WordRecognizer::new(words);
+    let mut jobs = Vec::new();
+    for (wi, w) in words.iter().enumerate() {
+        for t in 0..trials {
+            let mut setup = base.clone();
+            setup.text = w.to_string();
+            jobs.push((w.to_string(), setup, derive_seed_indexed(seed, "word", (wi * 10_000 + t) as u64)));
+        }
+    }
+    let outcomes = parallel_map(jobs, threads, |(w, setup, s)| {
+        let run = run_trial(setup, *s);
+        recognizer.classify(&run.trail.points).as_deref() == Some(w.as_str())
+    });
+    outcomes.iter().filter(|&&ok| ok).count() as f64 / outcomes.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(jobs, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_and_empty() {
+        assert_eq!(parallel_map(vec![1, 2, 3], 1, |&x| x + 1), vec![2, 3, 4]);
+        assert!(parallel_map(Vec::<u8>::new(), 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn letter_accuracy_counts_exact_matches() {
+        let trials = vec![
+            LetterTrial { actual: 'A', predicted: Some('A'), procrustes_m: None },
+            LetterTrial { actual: 'B', predicted: Some('C'), procrustes_m: None },
+            LetterTrial { actual: 'C', predicted: None, procrustes_m: None },
+            LetterTrial { actual: 'D', predicted: Some('D'), procrustes_m: None },
+        ];
+        assert!((letter_accuracy(&trials) - 0.5).abs() < 1e-12);
+        assert_eq!(letter_accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_folds_predictions() {
+        let trials = vec![
+            LetterTrial { actual: 'A', predicted: Some('A'), procrustes_m: None },
+            LetterTrial { actual: 'A', predicted: Some('B'), procrustes_m: None },
+            LetterTrial { actual: 'B', predicted: None, procrustes_m: None },
+        ];
+        let m = confusion_of(&trials);
+        assert_eq!(m.count('A', 'A'), 1);
+        assert_eq!(m.count('A', 'B'), 1);
+        assert_eq!(m.total(), 2, "unrecognized trials are not recorded");
+    }
+}

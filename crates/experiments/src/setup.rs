@@ -1,0 +1,305 @@
+//! Scenario construction: RF rigs, trackers, and the simulate→track
+//! round trip shared by every experiment.
+
+use baselines::{RfIdraw, RfIdrawConfig, Tagoram, TagoramConfig};
+use pen_sim::kinematics::PenPose;
+use pen_sim::scene::Session;
+use pen_sim::{Scene, WriterProfile};
+use polardraw_core::{PolarDraw, PolarDrawConfig};
+use rf_core::rng::derive_seed;
+use rf_core::{Vec2, Vec3};
+use rf_physics::antenna::Antenna;
+use rf_physics::{Bystander, ChannelModel};
+use rfid_sim::reader::TagPose;
+use rfid_sim::tracking::{Trail, TrajectoryTracker};
+use rfid_sim::{Reader, TagReport};
+use serde::{Deserialize, Serialize};
+
+/// Which tracking system a trial runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrackerKind {
+    /// PolarDraw, two linearly-polarized antennas (the paper's system).
+    PolarDraw,
+    /// PolarDraw with polarization-based estimation disabled (Table 6).
+    PolarDrawNoPolarization,
+    /// Tagoram with two antennas (hardware parity).
+    Tagoram2,
+    /// Tagoram with four antennas (its native configuration).
+    Tagoram4,
+    /// RF-IDraw with four antennas (§5.1's comparison variant).
+    RfIdraw4,
+}
+
+impl TrackerKind {
+    /// Display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrackerKind::PolarDraw => "PolarDraw (2-antenna)",
+            TrackerKind::PolarDrawNoPolarization => "PolarDraw w/o polarization",
+            TrackerKind::Tagoram2 => "Tagoram (2-antenna)",
+            TrackerKind::Tagoram4 => "Tagoram (4-antenna)",
+            TrackerKind::RfIdraw4 => "RF-IDraw (4-antenna)",
+        }
+    }
+}
+
+/// Everything that parameterizes one simulated trial.
+#[derive(Debug, Clone)]
+pub struct TrialSetup {
+    /// Text to write (A–Z words).
+    pub text: String,
+    /// Writing scene (board position, in-air flag).
+    pub scene: Scene,
+    /// Writer style.
+    pub profile: WriterProfile,
+    /// Tracker under test.
+    pub tracker: TrackerKind,
+    /// Antenna mounting angle γ (PolarDraw only).
+    pub gamma_rad: f64,
+    /// Assumed pen elevation αe fed to the algorithm (Table 7 sweep).
+    pub alpha_e_rad: f64,
+    /// Optional bystander scatterer (Fig. 16).
+    pub bystander: Option<Bystander>,
+    /// Tag-to-reader distance: how far the antennas stand off the
+    /// writing plane, metres (Table 5 sweeps this).
+    pub standoff_m: f64,
+}
+
+impl TrialSetup {
+    /// The default single-letter trial for PolarDraw.
+    pub fn letter(ch: char) -> TrialSetup {
+        TrialSetup {
+            text: ch.to_string(),
+            scene: Scene::default(),
+            profile: WriterProfile::natural(),
+            tracker: TrackerKind::PolarDraw,
+            gamma_rad: 15f64.to_radians(),
+            alpha_e_rad: 30f64.to_radians(),
+            bystander: None,
+            standoff_m: 0.65,
+        }
+    }
+
+    /// Same, for a word.
+    pub fn word(word: &str) -> TrialSetup {
+        TrialSetup { text: word.to_string(), ..TrialSetup::letter('A') }
+    }
+
+    /// Switch the tracker.
+    pub fn with_tracker(mut self, tracker: TrackerKind) -> TrialSetup {
+        self.tracker = tracker;
+        self
+    }
+}
+
+/// The outcome of one simulate→track round trip.
+#[derive(Debug, Clone)]
+pub struct TrialRun {
+    /// Ground-truth pen trajectory.
+    pub truth: Vec<Vec2>,
+    /// Recovered trail.
+    pub trail: Trail,
+    /// Raw report stream (for protocol-level analyses).
+    pub reports: Vec<TagReport>,
+}
+
+/// The RF rig for a tracker kind. Baseline systems get stock
+/// circularly-polarized antennas (orientation-independent coupling —
+/// their algorithms assume reads never vanish with pen rotation);
+/// PolarDraw swaps in the linearly-polarized panels of Fig. 1.
+pub fn channel_for(kind: TrackerKind, gamma_rad: f64, standoff_m: f64) -> ChannelModel {
+    match kind {
+        TrackerKind::PolarDraw | TrackerKind::PolarDrawNoPolarization => {
+            ChannelModel::two_antenna_whiteboard(gamma_rad, 0.56, standoff_m)
+        }
+        TrackerKind::Tagoram2 => circular_rig(&at_standoff(TagoramConfig::two_antenna().antennas, standoff_m)),
+        TrackerKind::Tagoram4 => circular_rig(&at_standoff(TagoramConfig::four_antenna().antennas, standoff_m)),
+        TrackerKind::RfIdraw4 => circular_rig(&at_standoff(RfIdrawConfig::four_antenna().antennas, standoff_m)),
+    }
+}
+
+/// Move an antenna layout to a given standoff from the board plane.
+pub fn at_standoff(mut antennas: Vec<Vec3>, standoff_m: f64) -> Vec<Vec3> {
+    for a in &mut antennas {
+        a.z = standoff_m.max(0.05);
+    }
+    antennas
+}
+
+/// The effective polarization angle γ seen from the writing-area centre:
+/// projecting each antenna's polarization axis onto the plane transverse
+/// to its line of sight warps the mounted γ slightly (a real deployment
+/// calibrates this; the algorithm consumes the effective value).
+pub fn effective_gamma(channel: &ChannelModel, write_center: Vec3) -> f64 {
+    let mut angles = Vec::new();
+    for ant in &channel.antennas {
+        let Some(axis) = ant.linear_axis() else { continue };
+        let Some(k) = (write_center - ant.position).normalized() else { continue };
+        let Some(e) = rf_physics::polarization::transverse_field(axis, k) else { continue };
+        // Angle of the transverse field in the board plane, folded to
+        // the deviation from board-vertical (π/2).
+        let a = e.y.atan2(e.x);
+        angles.push((a - std::f64::consts::FRAC_PI_2).abs());
+    }
+    if angles.is_empty() {
+        0.0
+    } else {
+        angles.iter().sum::<f64>() / angles.len() as f64
+    }
+}
+
+fn circular_rig(antennas: &[Vec3]) -> ChannelModel {
+    let write_center = Vec3::new(0.0, 0.72, 0.0);
+    let antennas: Vec<Antenna> = antennas
+        .iter()
+        .map(|&p| {
+            Antenna::circular(p, (write_center - p).normalized().expect("unit boresight"))
+        })
+        .collect();
+    let n = antennas.len();
+    let mut ch = ChannelModel::free_space(antennas);
+    ch.reflectors = rf_physics::channel::office_clutter();
+    ch.cable_phase_rad = (0..n).map(|i| 0.9 + 1.3 * i as f64).collect();
+    ch
+}
+
+/// Build the tracker instance for a setup, with its HMM board region
+/// sized around the writing area.
+pub fn tracker_for(setup: &TrialSetup) -> Box<dyn TrajectoryTracker + Send + Sync> {
+    let origin = setup.scene.origin;
+    let size = setup.profile.letter_size_m;
+    let advance = size * 0.7 + size * setup.scene.letter_gap;
+    let letters = setup.text.chars().filter(|c| c.is_ascii_alphabetic()).count().max(1);
+    let board_min = Vec2::new(origin.x - 0.12, origin.y - 0.12);
+    let board_max = Vec2::new(
+        origin.x + advance * letters as f64 + 0.12,
+        origin.y + size + 0.15,
+    );
+    let start_hint = Vec2::new(origin.x, origin.y + size * 0.5);
+
+    match setup.tracker {
+        TrackerKind::PolarDraw | TrackerKind::PolarDrawNoPolarization => {
+            let channel = channel_for(setup.tracker, setup.gamma_rad, setup.standoff_m);
+            let gamma_eff = effective_gamma(&channel, Vec3::new(origin.x + 0.2, origin.y + 0.1, 0.0));
+            let mut cfg = PolarDrawConfig::default().with_gamma(gamma_eff);
+            cfg.antennas = [channel.antennas[0].position, channel.antennas[1].position];
+            cfg.alpha_e_rad = setup.alpha_e_rad;
+            cfg.board_min = board_min;
+            cfg.board_max = board_max;
+            cfg.start_hint = start_hint;
+            cfg.use_polarization = setup.tracker == TrackerKind::PolarDraw;
+            Box::new(PolarDraw::new(cfg))
+        }
+        TrackerKind::Tagoram2 | TrackerKind::Tagoram4 => {
+            let mut cfg = if setup.tracker == TrackerKind::Tagoram2 {
+                TagoramConfig::two_antenna()
+            } else {
+                TagoramConfig::four_antenna()
+            };
+            cfg.antennas = at_standoff(cfg.antennas, setup.standoff_m);
+            cfg.board_min = board_min;
+            cfg.board_max = board_max;
+            cfg.start_hint = start_hint;
+            Box::new(Tagoram::new(cfg))
+        }
+        TrackerKind::RfIdraw4 => {
+            let mut cfg = RfIdrawConfig::four_antenna();
+            cfg.antennas = at_standoff(cfg.antennas, setup.standoff_m);
+            cfg.board_min = board_min;
+            cfg.board_max = board_max;
+            cfg.start_hint = start_hint;
+            Box::new(RfIdraw::new(cfg))
+        }
+    }
+}
+
+/// Convert pen poses to the reader's view.
+pub fn to_tag_poses(poses: &[PenPose]) -> Vec<TagPose> {
+    poses
+        .iter()
+        .map(|p| TagPose { t: p.t, position: p.tip, dipole: p.dipole })
+        .collect()
+}
+
+/// Run one full trial: write, propagate, read, track.
+pub fn run_trial(setup: &TrialSetup, seed: u64) -> TrialRun {
+    let session: Session = pen_sim::scene::write_text(
+        &setup.scene,
+        &setup.profile,
+        &setup.text,
+        derive_seed(seed, "pen"),
+    );
+    let mut channel = channel_for(setup.tracker, setup.gamma_rad, setup.standoff_m);
+    channel.bystander = setup.bystander;
+    let reader = Reader::new(channel);
+    let reports = reader.inventory(&to_tag_poses(&session.poses), derive_seed(seed, "reader"));
+    let tracker = tracker_for(setup);
+    let trail = tracker.track(&reports);
+    TrialRun { truth: session.truth.points, trail, reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            TrackerKind::PolarDraw,
+            TrackerKind::PolarDrawNoPolarization,
+            TrackerKind::Tagoram2,
+            TrackerKind::Tagoram4,
+            TrackerKind::RfIdraw4,
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn channels_match_tracker_port_counts() {
+        for kind in [
+            TrackerKind::PolarDraw,
+            TrackerKind::Tagoram2,
+            TrackerKind::Tagoram4,
+            TrackerKind::RfIdraw4,
+        ] {
+            let ch = channel_for(kind, 15f64.to_radians(), 0.65);
+            let setup = TrialSetup::letter('I').with_tracker(kind);
+            let tracker = tracker_for(&setup);
+            assert_eq!(
+                ch.antenna_count(),
+                tracker.antenna_count(),
+                "{:?} rig/tracker mismatch",
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_rigs_are_circular() {
+        let ch = channel_for(TrackerKind::Tagoram4, 0.0, 0.65);
+        for a in &ch.antennas {
+            assert!(a.linear_axis().is_none(), "baselines use circular antennas");
+        }
+    }
+
+    #[test]
+    fn trial_runs_end_to_end() {
+        let setup = TrialSetup::letter('I');
+        let run = run_trial(&setup, 1);
+        assert!(!run.truth.is_empty());
+        assert!(!run.reports.is_empty());
+        assert!(!run.trail.is_empty());
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let setup = TrialSetup::letter('I');
+        let a = run_trial(&setup, 5);
+        let b = run_trial(&setup, 5);
+        assert_eq!(a.trail.points, b.trail.points);
+        assert_eq!(a.reports, b.reports);
+    }
+}

@@ -1,0 +1,272 @@
+//! Stroke templates for the uppercase alphabet.
+//!
+//! Each glyph is a list of strokes; each stroke a polyline on the unit
+//! box with X rightward in `[0, 1]` and Y *downward* in `[0, 1]` (top of
+//! the letter at y = 0), matching the paper's plotting convention.
+//!
+//! These templates serve double duty: `pen-sim` renders them into pen
+//! trajectories, and `recognition` uses the same shapes as matching
+//! templates — mirroring how LipiTk was trained on the same alphabet the
+//! volunteers wrote.
+
+use rf_core::Vec2;
+
+/// A letter shape: one or more polyline strokes on the unit box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Glyph {
+    /// The character this glyph renders.
+    pub ch: char,
+    /// Strokes in writing order.
+    pub strokes: Vec<Vec<Vec2>>,
+}
+
+impl Glyph {
+    /// Total polyline length of all strokes (unit-box units).
+    pub fn ink_length(&self) -> f64 {
+        self.strokes
+            .iter()
+            .map(|s| s.windows(2).map(|w| w[0].distance(w[1])).sum::<f64>())
+            .sum()
+    }
+
+    /// Number of strokes.
+    pub fn stroke_count(&self) -> usize {
+        self.strokes.len()
+    }
+}
+
+fn pts(raw: &[(f64, f64)]) -> Vec<Vec2> {
+    raw.iter().map(|&(x, y)| Vec2::new(x, y)).collect()
+}
+
+/// Look up the glyph for a character (case-insensitive; only A–Z).
+pub fn glyph(ch: char) -> Option<Glyph> {
+    let upper = ch.to_ascii_uppercase();
+    let strokes: Vec<Vec<Vec2>> = match upper {
+        'A' => vec![
+            pts(&[(0.0, 1.0), (0.5, 0.0), (1.0, 1.0)]),
+            pts(&[(0.2, 0.62), (0.8, 0.62)]),
+        ],
+        'B' => vec![
+            pts(&[(0.0, 0.0), (0.0, 1.0)]),
+            pts(&[
+                (0.0, 0.0),
+                (0.62, 0.05),
+                (0.72, 0.25),
+                (0.55, 0.45),
+                (0.0, 0.5),
+            ]),
+            pts(&[(0.0, 0.5), (0.72, 0.58), (0.82, 0.8), (0.6, 0.97), (0.0, 1.0)]),
+        ],
+        'C' => vec![pts(&[
+            (0.9, 0.15),
+            (0.62, 0.0),
+            (0.25, 0.05),
+            (0.0, 0.35),
+            (0.0, 0.65),
+            (0.25, 0.95),
+            (0.62, 1.0),
+            (0.9, 0.85),
+        ])],
+        'D' => vec![
+            pts(&[(0.0, 0.0), (0.0, 1.0)]),
+            pts(&[(0.0, 0.0), (0.6, 0.06), (0.9, 0.3), (0.9, 0.7), (0.6, 0.94), (0.0, 1.0)]),
+        ],
+        'E' => vec![
+            pts(&[(0.95, 0.0), (0.0, 0.0), (0.0, 1.0), (0.95, 1.0)]),
+            pts(&[(0.0, 0.5), (0.7, 0.5)]),
+        ],
+        'F' => vec![
+            pts(&[(0.95, 0.0), (0.0, 0.0), (0.0, 1.0)]),
+            pts(&[(0.0, 0.5), (0.7, 0.5)]),
+        ],
+        'G' => vec![pts(&[
+            (0.9, 0.15),
+            (0.62, 0.0),
+            (0.25, 0.05),
+            (0.0, 0.35),
+            (0.0, 0.65),
+            (0.25, 0.95),
+            (0.62, 1.0),
+            (0.9, 0.88),
+            (0.9, 0.55),
+            (0.55, 0.55),
+        ])],
+        'H' => vec![
+            pts(&[(0.0, 0.0), (0.0, 1.0)]),
+            pts(&[(1.0, 0.0), (1.0, 1.0)]),
+            pts(&[(0.0, 0.5), (1.0, 0.5)]),
+        ],
+        'I' => vec![pts(&[(0.5, 0.0), (0.5, 1.0)])],
+        'J' => vec![pts(&[(0.7, 0.0), (0.7, 0.78), (0.52, 1.0), (0.22, 0.96), (0.1, 0.75)])],
+        'K' => vec![
+            pts(&[(0.0, 0.0), (0.0, 1.0)]),
+            pts(&[(0.9, 0.0), (0.05, 0.55), (0.9, 1.0)]),
+        ],
+        'L' => vec![pts(&[(0.0, 0.0), (0.0, 1.0), (0.9, 1.0)])],
+        'M' => vec![pts(&[(0.0, 1.0), (0.0, 0.0), (0.5, 0.6), (1.0, 0.0), (1.0, 1.0)])],
+        'N' => vec![pts(&[(0.0, 1.0), (0.0, 0.0), (1.0, 1.0), (1.0, 0.0)])],
+        'O' => vec![pts(&[
+            (0.5, 0.0),
+            (0.13, 0.13),
+            (0.0, 0.5),
+            (0.13, 0.87),
+            (0.5, 1.0),
+            (0.87, 0.87),
+            (1.0, 0.5),
+            (0.87, 0.13),
+            (0.5, 0.0),
+        ])],
+        'P' => vec![pts(&[
+            (0.0, 1.0),
+            (0.0, 0.0),
+            (0.68, 0.05),
+            (0.8, 0.25),
+            (0.6, 0.45),
+            (0.0, 0.5),
+        ])],
+        'Q' => vec![
+            pts(&[
+                (0.5, 0.0),
+                (0.13, 0.13),
+                (0.0, 0.5),
+                (0.13, 0.87),
+                (0.5, 1.0),
+                (0.87, 0.87),
+                (1.0, 0.5),
+                (0.87, 0.13),
+                (0.5, 0.0),
+            ]),
+            pts(&[(0.62, 0.7), (1.0, 1.05)]),
+        ],
+        'R' => vec![
+            pts(&[
+                (0.0, 1.0),
+                (0.0, 0.0),
+                (0.68, 0.05),
+                (0.8, 0.25),
+                (0.6, 0.45),
+                (0.0, 0.5),
+            ]),
+            pts(&[(0.3, 0.5), (0.9, 1.0)]),
+        ],
+        'S' => vec![pts(&[
+            (0.9, 0.12),
+            (0.6, 0.0),
+            (0.2, 0.05),
+            (0.1, 0.25),
+            (0.35, 0.45),
+            (0.7, 0.55),
+            (0.9, 0.75),
+            (0.72, 0.95),
+            (0.35, 1.0),
+            (0.05, 0.88),
+        ])],
+        'T' => vec![
+            pts(&[(0.0, 0.0), (1.0, 0.0)]),
+            pts(&[(0.5, 0.0), (0.5, 1.0)]),
+        ],
+        'U' => vec![pts(&[
+            (0.0, 0.0),
+            (0.0, 0.68),
+            (0.18, 0.94),
+            (0.5, 1.0),
+            (0.82, 0.94),
+            (1.0, 0.68),
+            (1.0, 0.0),
+        ])],
+        'V' => vec![pts(&[(0.0, 0.0), (0.5, 1.0), (1.0, 0.0)])],
+        'W' => vec![pts(&[
+            (0.0, 0.0),
+            (0.25, 1.0),
+            (0.5, 0.3),
+            (0.75, 1.0),
+            (1.0, 0.0),
+        ])],
+        'X' => vec![
+            pts(&[(0.0, 0.0), (1.0, 1.0)]),
+            pts(&[(1.0, 0.0), (0.0, 1.0)]),
+        ],
+        'Y' => vec![
+            pts(&[(0.0, 0.0), (0.5, 0.5), (1.0, 0.0)]),
+            pts(&[(0.5, 0.5), (0.5, 1.0)]),
+        ],
+        'Z' => vec![pts(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)])],
+        _ => return None,
+    };
+    Some(Glyph { ch: upper, strokes })
+}
+
+/// The full supported alphabet, in order.
+pub const ALPHABET: [char; 26] = [
+    'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R',
+    'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z',
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_letters_have_glyphs() {
+        for ch in ALPHABET {
+            let g = glyph(ch).unwrap_or_else(|| panic!("missing glyph for {ch}"));
+            assert_eq!(g.ch, ch);
+            assert!(!g.strokes.is_empty());
+        }
+    }
+
+    #[test]
+    fn lowercase_maps_to_uppercase() {
+        let lower = glyph('w').unwrap();
+        let upper = glyph('W').unwrap();
+        assert_eq!(lower.strokes, upper.strokes);
+        assert_eq!(lower.ch, 'W');
+    }
+
+    #[test]
+    fn unsupported_characters_are_none() {
+        assert!(glyph('3').is_none());
+        assert!(glyph('!').is_none());
+        assert!(glyph(' ').is_none());
+    }
+
+    #[test]
+    fn glyphs_stay_near_the_unit_box() {
+        for ch in ALPHABET {
+            for stroke in &glyph(ch).unwrap().strokes {
+                for p in stroke {
+                    assert!((-0.05..=1.1).contains(&p.x), "{ch}: x = {}", p.x);
+                    assert!((-0.05..=1.1).contains(&p.y), "{ch}: y = {}", p.y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_stroke_has_at_least_two_points() {
+        for ch in ALPHABET {
+            for stroke in &glyph(ch).unwrap().strokes {
+                assert!(stroke.len() >= 2, "{ch} has a degenerate stroke");
+            }
+        }
+    }
+
+    #[test]
+    fn ink_length_is_positive_and_sane() {
+        for ch in ALPHABET {
+            let len = glyph(ch).unwrap().ink_length();
+            assert!(len > 0.8, "{ch} too short: {len}");
+            assert!(len < 6.0, "{ch} too long: {len}");
+        }
+    }
+
+    #[test]
+    fn single_stroke_letters_match_papers_observation() {
+        // §5.2.2: single-stroke characters recognize best. Sanity-check a
+        // few stroke counts used in commentary.
+        assert_eq!(glyph('I').unwrap().stroke_count(), 1);
+        assert_eq!(glyph('O').unwrap().stroke_count(), 1);
+        assert_eq!(glyph('H').unwrap().stroke_count(), 3);
+    }
+}

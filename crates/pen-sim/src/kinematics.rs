@@ -1,0 +1,232 @@
+//! Pen pose kinematics: the paper's §3.2 writing model.
+//!
+//! While writing, wrist articulation couples the pen's azimuthal
+//! rotation to its direction of travel: "wrist movements tend to cause
+//! azimuthal rotations clockwise when the pen moves to the right, and
+//! counterclockwise when the pen moves to the left". We model this as a
+//! first-order lag of the azimuth toward a direction-dependent target:
+//!
+//! ```text
+//! α_target(φ) = π/2 − g·cos(φ)         φ = travel direction from +X
+//! dα/dt       = (α_target − α) / τ
+//! ```
+//!
+//! With gain `g` ≈ 25–40° a rightward stroke (φ = 0) pulls the pen
+//! clockwise below board-vertical, a leftward stroke pushes it above —
+//! exactly the sector traversal PolarDraw's Table 3 logic decodes.
+//! Vertical strokes leave the azimuth at rest. A "stiff" writer
+//! (Fig. 21's User 2) is simply `g → small`.
+//!
+//! Elevation α_e stays near a per-user constant (the paper fixes it and
+//! shows accuracy is insensitive to the choice, Table 7).
+
+use crate::path::TimedPoint;
+use rand::Rng;
+use rf_core::rng::gaussian;
+use rf_core::{Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_PI_2;
+
+/// A full pen pose: where the tip is and where the tag's dipole points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenPose {
+    /// Timestamp, seconds.
+    pub t: f64,
+    /// Tip position, metres (z = 0 on the board; nonzero in the air).
+    pub tip: Vec3,
+    /// Unit dipole orientation of the tag along the pen body.
+    pub dipole: Vec3,
+    /// Azimuthal angle α_a, radians from +X in the board plane.
+    pub azimuth: f64,
+    /// Elevation angle α_e out of the board plane, radians.
+    pub elevation: f64,
+}
+
+/// The wrist articulation model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WristModel {
+    /// Azimuthal deflection gain `g`, radians. 0 = perfectly stiff.
+    pub gain_rad: f64,
+    /// First-order lag time constant τ, seconds.
+    pub lag_s: f64,
+    /// Resting azimuth, radians (board-vertical π/2 for a natural grip).
+    pub rest_azimuth_rad: f64,
+    /// Mean elevation α_e, radians.
+    pub elevation_rad: f64,
+    /// Standard deviation of slow elevation wander, radians.
+    pub elevation_jitter_rad: f64,
+    /// Standard deviation of per-step azimuth tremor, radians.
+    pub azimuth_jitter_rad: f64,
+}
+
+impl Default for WristModel {
+    fn default() -> Self {
+        WristModel {
+            gain_rad: 52f64.to_radians(),
+            lag_s: 0.12,
+            rest_azimuth_rad: FRAC_PI_2,
+            elevation_rad: 30f64.to_radians(),
+            elevation_jitter_rad: 2f64.to_radians(),
+            azimuth_jitter_rad: 1.2f64.to_radians(),
+        }
+    }
+}
+
+impl WristModel {
+    /// Azimuth the wrist relaxes toward when travelling along `dir`.
+    pub fn target_azimuth(&self, dir: Vec2) -> f64 {
+        match dir.normalized() {
+            Some(d) => self.rest_azimuth_rad - self.gain_rad * d.x,
+            None => self.rest_azimuth_rad,
+        }
+    }
+
+    /// Convert (azimuth, elevation) into the unit dipole direction: the
+    /// in-plane component at `azimuth` from +X, lifted out of the board
+    /// by `elevation`.
+    pub fn dipole_from_angles(azimuth: f64, elevation: f64) -> Vec3 {
+        let (se, ce) = elevation.sin_cos();
+        let (sa, ca) = azimuth.sin_cos();
+        Vec3::new(ca * ce, sa * ce, se)
+    }
+
+    /// Run the wrist model over a timed tip path, producing full poses.
+    ///
+    /// `rng` drives the tremor terms; pass a fixed-seed RNG for
+    /// reproducible sessions.
+    pub fn animate<R: Rng>(&self, path: &[TimedPoint], rng: &mut R) -> Vec<PenPose> {
+        let mut out = Vec::with_capacity(path.len());
+        let mut azimuth = self.rest_azimuth_rad;
+        let mut elevation = self.elevation_rad;
+        for (i, tp) in path.iter().enumerate() {
+            let (dt, dir) = if i == 0 {
+                (0.0, Vec2::ZERO)
+            } else {
+                let prev = path[i - 1];
+                ((tp.t - prev.t).max(0.0), tp.pos - prev.pos)
+            };
+            if dt > 0.0 {
+                let target = self.target_azimuth(dir);
+                let alpha = 1.0 - (-dt / self.lag_s.max(1e-6)).exp();
+                azimuth += (target - azimuth) * alpha;
+                azimuth += gaussian(rng, self.azimuth_jitter_rad) * dt.sqrt();
+                // Elevation wanders slowly around its mean.
+                let e_pull = (self.elevation_rad - elevation) * (dt / 1.0);
+                elevation += e_pull + gaussian(rng, self.elevation_jitter_rad) * dt.sqrt();
+            }
+            out.push(PenPose {
+                t: tp.t,
+                tip: tp.pos.with_z(0.0),
+                dipole: Self::dipole_from_angles(azimuth, elevation),
+                azimuth,
+                elevation,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_core::rng::rng_from_seed;
+
+    fn straight_path(dir: Vec2, n: usize) -> Vec<TimedPoint> {
+        (0..n)
+            .map(|i| TimedPoint { t: i as f64 * 0.01, pos: dir * (i as f64 * 0.001) })
+            .collect()
+    }
+
+    fn quiet_wrist() -> WristModel {
+        WristModel { azimuth_jitter_rad: 0.0, elevation_jitter_rad: 0.0, ..WristModel::default() }
+    }
+
+    #[test]
+    fn rightward_motion_rotates_clockwise() {
+        let w = quiet_wrist();
+        let mut rng = rng_from_seed(1);
+        let poses = w.animate(&straight_path(Vec2::new(1.0, 0.0), 200), &mut rng);
+        let last = poses.last().unwrap();
+        assert!(
+            last.azimuth < FRAC_PI_2 - 0.9 * w.gain_rad,
+            "azimuth should settle near π/2 − g, got {}",
+            last.azimuth
+        );
+    }
+
+    #[test]
+    fn leftward_motion_rotates_counterclockwise() {
+        let w = quiet_wrist();
+        let mut rng = rng_from_seed(1);
+        let poses = w.animate(&straight_path(Vec2::new(-1.0, 0.0), 200), &mut rng);
+        assert!(poses.last().unwrap().azimuth > FRAC_PI_2 + 0.9 * w.gain_rad);
+    }
+
+    #[test]
+    fn vertical_motion_leaves_azimuth_at_rest() {
+        let w = quiet_wrist();
+        let mut rng = rng_from_seed(1);
+        let poses = w.animate(&straight_path(Vec2::new(0.0, 1.0), 200), &mut rng);
+        assert!((poses.last().unwrap().azimuth - FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stiff_wrist_barely_rotates() {
+        let w = WristModel { gain_rad: 3f64.to_radians(), ..quiet_wrist() };
+        let mut rng = rng_from_seed(1);
+        let poses = w.animate(&straight_path(Vec2::new(1.0, 0.0), 200), &mut rng);
+        let span = poses
+            .iter()
+            .map(|p| p.azimuth)
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), a| (lo.min(a), hi.max(a)));
+        assert!(span.1 - span.0 < 4f64.to_radians());
+    }
+
+    #[test]
+    fn lag_makes_rotation_gradual() {
+        let w = quiet_wrist();
+        let mut rng = rng_from_seed(1);
+        let poses = w.animate(&straight_path(Vec2::new(1.0, 0.0), 200), &mut rng);
+        // After one time constant (0.12 s = 12 samples) we are ~63 % of
+        // the way; check we are neither instant nor frozen.
+        let early = poses[12].azimuth;
+        let settled = poses.last().unwrap().azimuth;
+        assert!(early > settled + 0.05, "rotation must not be instantaneous");
+        assert!(early < FRAC_PI_2 - 0.05, "rotation must have started");
+    }
+
+    #[test]
+    fn dipole_matches_angles() {
+        let d = WristModel::dipole_from_angles(FRAC_PI_2, 0.0);
+        assert!((d.y - 1.0).abs() < 1e-12 && d.x.abs() < 1e-12 && d.z.abs() < 1e-12);
+        let d = WristModel::dipole_from_angles(0.0, FRAC_PI_2);
+        assert!((d.z - 1.0).abs() < 1e-12);
+        // Always unit length.
+        for (a, e) in [(0.3, 0.5), (2.0, -0.4), (5.0, 1.2)] {
+            assert!((WristModel::dipole_from_angles(a, e).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn poses_carry_input_timestamps_and_positions() {
+        let w = WristModel::default();
+        let mut rng = rng_from_seed(9);
+        let path = straight_path(Vec2::new(0.5, 0.5), 10);
+        let poses = w.animate(&path, &mut rng);
+        assert_eq!(poses.len(), path.len());
+        for (pose, tp) in poses.iter().zip(&path) {
+            assert_eq!(pose.t, tp.t);
+            assert_eq!(pose.tip.xy(), tp.pos);
+            assert_eq!(pose.tip.z, 0.0);
+        }
+    }
+
+    #[test]
+    fn animation_is_deterministic_per_seed() {
+        let w = WristModel::default();
+        let path = straight_path(Vec2::new(1.0, 0.2), 50);
+        let a = w.animate(&path, &mut rng_from_seed(4));
+        let b = w.animate(&path, &mut rng_from_seed(4));
+        assert_eq!(a, b);
+    }
+}

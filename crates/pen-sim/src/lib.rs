@@ -1,0 +1,68 @@
+//! # pen-sim — handwriting workload generator
+//!
+//! The paper's evaluation is driven by volunteers writing letters and
+//! words on a whiteboard (or in the air) with an RFID-tagged pen. This
+//! crate is the synthetic volunteer:
+//!
+//! * [`glyph`] — stroke templates for the uppercase alphabet, defined on
+//!   a unit box.
+//! * [`path`] — turns glyphs/words into arc-length-parameterized,
+//!   constant-speed timed polylines, including the inter-stroke
+//!   transitions that a continuously-responding tag inevitably records
+//!   (the paper notes in §7 that PolarDraw cannot detect pen lifts).
+//! * [`kinematics`] — the §3.2 writing model: the wrist rotates the pen
+//!   clockwise when moving right and counter-clockwise when moving left,
+//!   with a first-order lag; elevation stays roughly constant. Produces
+//!   the full 3-D pen pose (tip position + dipole orientation) that the
+//!   RF substrate consumes.
+//! * [`profile`] — per-user writing styles (speed, size, wrist gain /
+//!   "stiffness", jitter): User 2 of Fig. 21 writes "stiff", i.e. with
+//!   almost no azimuthal rotation.
+//! * [`scene`] — whiteboard vs in-air sessions: in-air writing wobbles
+//!   out of the board plane, which is exactly why Fig. 15 shows an ~8 %
+//!   accuracy drop.
+//! * [`words`] — word layout and the dictionary word lists used by the
+//!   Fig. 18 groups.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod glyph;
+pub mod kinematics;
+pub mod path;
+pub mod profile;
+pub mod scene;
+pub mod words;
+
+pub use glyph::{glyph, Glyph};
+pub use kinematics::{PenPose, WristModel};
+pub use path::{timed_path, TimedPoint};
+pub use profile::WriterProfile;
+pub use scene::{Scene, Session};
+
+use rf_core::Vec2;
+
+/// A ground-truth trajectory: the pen tip's board-plane positions over
+/// time, in metres.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    /// Timestamps, seconds.
+    pub times: Vec<f64>,
+    /// Tip positions on the board, metres.
+    pub points: Vec<Vec2>,
+}
+
+impl GroundTruth {
+    /// Total duration, seconds (0 for empty).
+    pub fn duration(&self) -> f64 {
+        match (self.times.first(), self.times.last()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0.0,
+        }
+    }
+
+    /// Just the points.
+    pub fn path(&self) -> &[Vec2] {
+        &self.points
+    }
+}

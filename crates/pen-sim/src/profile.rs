@@ -1,0 +1,139 @@
+//! Writer style profiles.
+//!
+//! Fig. 21 evaluates four users with distinct styles; §5.3.3 singles out
+//! User 2, who was "instructed to write in an unnaturally 'stiff' style",
+//! i.e. with minimal azimuthal pen rotation — the worst case for a
+//! polarization-based direction estimator.
+
+use crate::kinematics::WristModel;
+use serde::{Deserialize, Serialize};
+
+/// A writer's style: kinematic parameters feeding the wrist model and
+/// path synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WriterProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Ink speed, m/s (normal handwriting on a board: 5–12 cm/s).
+    pub speed_mps: f64,
+    /// Letter height, metres (the paper's main experiments use 20 cm).
+    pub letter_size_m: f64,
+    /// Wrist articulation.
+    pub wrist: WristModel,
+}
+
+impl WriterProfile {
+    /// The default volunteer: natural wrist, 20 cm letters.
+    pub fn natural() -> WriterProfile {
+        WriterProfile {
+            name: "user1-natural",
+            speed_mps: 0.08,
+            letter_size_m: 0.20,
+            wrist: WristModel::default(),
+        }
+    }
+
+    /// Fig. 21's User 2: stiff grip, barely any azimuthal rotation.
+    pub fn stiff() -> WriterProfile {
+        WriterProfile {
+            name: "user2-stiff",
+            speed_mps: 0.07,
+            letter_size_m: 0.20,
+            wrist: WristModel {
+                gain_rad: 8f64.to_radians(),
+                lag_s: 0.2,
+                ..WristModel::default()
+            },
+        }
+    }
+
+    /// A quick writer with slightly exaggerated rotation.
+    pub fn quick() -> WriterProfile {
+        WriterProfile {
+            name: "user3-quick",
+            speed_mps: 0.11,
+            letter_size_m: 0.18,
+            wrist: WristModel {
+                gain_rad: 58f64.to_radians(),
+                lag_s: 0.09,
+                azimuth_jitter_rad: 2.0f64.to_radians(),
+                ..WristModel::default()
+            },
+        }
+    }
+
+    /// A careful writer: slow, small letters, steady hand.
+    pub fn careful() -> WriterProfile {
+        WriterProfile {
+            name: "user4-careful",
+            speed_mps: 0.05,
+            letter_size_m: 0.22,
+            wrist: WristModel {
+                gain_rad: 46f64.to_radians(),
+                azimuth_jitter_rad: 0.7f64.to_radians(),
+                elevation_jitter_rad: 1.0f64.to_radians(),
+                ..WristModel::default()
+            },
+        }
+    }
+
+    /// The four users of Fig. 21, in order.
+    pub fn panel() -> [WriterProfile; 4] {
+        [Self::natural(), Self::stiff(), Self::quick(), Self::careful()]
+    }
+
+    /// This profile with a different letter size (the microbenchmarks
+    /// sweep writing size).
+    pub fn with_letter_size(mut self, size_m: f64) -> WriterProfile {
+        self.letter_size_m = size_m;
+        self
+    }
+
+    /// This profile with a different elevation angle (Table 7 sweeps
+    /// α_e).
+    pub fn with_elevation(mut self, elevation_rad: f64) -> WriterProfile {
+        self.wrist.elevation_rad = elevation_rad;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_has_four_distinct_users() {
+        let panel = WriterProfile::panel();
+        assert_eq!(panel.len(), 4);
+        let names: Vec<&str> = panel.iter().map(|p| p.name).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+
+    #[test]
+    fn stiff_user_has_least_wrist_gain() {
+        let panel = WriterProfile::panel();
+        let stiff = WriterProfile::stiff();
+        for p in panel.iter().filter(|p| p.name != stiff.name) {
+            assert!(p.wrist.gain_rad > stiff.wrist.gain_rad);
+        }
+    }
+
+    #[test]
+    fn all_speeds_stay_under_papers_vmax() {
+        // §3.4 sets vmax = 0.2 m/s and argues normal writing is well
+        // below it; our profiles must respect that.
+        for p in WriterProfile::panel() {
+            assert!(p.speed_mps < 0.2, "{} too fast", p.name);
+            assert!(p.speed_mps > 0.0);
+        }
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let p = WriterProfile::natural().with_letter_size(0.1).with_elevation(0.5);
+        assert_eq!(p.letter_size_m, 0.1);
+        assert_eq!(p.wrist.elevation_rad, 0.5);
+    }
+}

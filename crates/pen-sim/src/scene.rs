@@ -1,0 +1,274 @@
+//! Writing scenes: whiteboard sessions, in-air sessions, and the §2
+//! feasibility rigs (turntable rotation, linear translation).
+
+use crate::kinematics::{PenPose, WristModel};
+use crate::path::{join_strokes, place_glyph, timed_path};
+use crate::profile::WriterProfile;
+use crate::{glyph, GroundTruth};
+use rand::Rng;
+use rf_core::rng::{gaussian, rng_from_seed};
+use rf_core::{Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Out-of-plane wobble model for in-air writing.
+///
+/// Without the physical board, the hand drifts out of the virtual
+/// writing plane; the tracker's planar distance inference then sees
+/// phantom displacement, which is the paper's explanation for the ~8 %
+/// accuracy drop in Fig. 15.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AirModel {
+    /// Peak wobble out of the plane, metres (a few cm).
+    pub wobble_amplitude_m: f64,
+    /// Wobble period, seconds.
+    pub wobble_period_s: f64,
+    /// Additional random walk step per √s, metres.
+    pub drift_sigma_m: f64,
+}
+
+impl Default for AirModel {
+    fn default() -> Self {
+        AirModel { wobble_amplitude_m: 0.03, wobble_period_s: 2.5, drift_sigma_m: 0.01 }
+    }
+}
+
+/// Where and how the writing happens.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    /// Top-left corner of the writing area on the board, metres.
+    /// The default antenna rig sits above y = 0, so y ≈ 0.6–0.9 m puts
+    /// the pen at the paper's typical tag-to-reader distances.
+    pub origin: Vec2,
+    /// `Some` for in-air writing.
+    pub air: Option<AirModel>,
+    /// Pose sampling period, seconds. The RF substrate interpolates
+    /// nothing: it evaluates the channel at every pose, so this must be
+    /// finer than the reader's read interval (~10 ms).
+    pub sample_dt: f64,
+    /// Horizontal gap between letters as a fraction of letter size.
+    pub letter_gap: f64,
+}
+
+impl Default for Scene {
+    fn default() -> Self {
+        Scene {
+            origin: Vec2::new(-0.2, 0.65),
+            air: None,
+            sample_dt: 0.002,
+            letter_gap: 0.25,
+        }
+    }
+}
+
+impl Scene {
+    /// A whiteboard scene centred at the given tag-to-reader distance
+    /// (approximately: the writing area is placed `distance` below the
+    /// antenna midpoint).
+    pub fn at_distance(distance_m: f64) -> Scene {
+        Scene { origin: Vec2::new(-0.2, distance_m), ..Scene::default() }
+    }
+
+    /// The in-air variant of this scene.
+    pub fn in_air(mut self) -> Scene {
+        self.air = Some(AirModel::default());
+        self
+    }
+}
+
+/// A complete writing session: the pen poses the RF substrate will
+/// observe, and the planar ground truth the evaluation compares against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Session {
+    /// Full pen poses (tip + dipole) over time.
+    pub poses: Vec<PenPose>,
+    /// Ground-truth tip trajectory on the (virtual) writing plane.
+    pub truth: GroundTruth,
+    /// The text that was written.
+    pub text: String,
+}
+
+/// Write `text` (A–Z, case-insensitive; other characters skipped) in the
+/// given scene with the given writer. Deterministic in `seed`.
+pub fn write_text(scene: &Scene, profile: &WriterProfile, text: &str, seed: u64) -> Session {
+    let mut rng = rng_from_seed(seed);
+    let size = profile.letter_size_m;
+    let advance = size * 0.7 + size * scene.letter_gap;
+
+    // Lay out every letter's strokes left to right, then join into one
+    // continuous polyline (the tag never stops responding).
+    let mut strokes: Vec<Vec<Vec2>> = Vec::new();
+    let mut cursor = scene.origin;
+    for ch in text.chars() {
+        if let Some(g) = glyph(ch) {
+            strokes.extend(place_glyph(&g, cursor, size));
+            cursor.x += advance;
+        }
+    }
+    let polyline = join_strokes(&strokes);
+    let path = timed_path(&polyline, profile.speed_mps, scene.sample_dt, 0.0);
+    let mut poses = profile.wrist.animate(&path, &mut rng);
+
+    // In-air wobble: displace the tip out of the plane and slightly
+    // within it.
+    if let Some(air) = &scene.air {
+        let phase0: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut drift = 0.0;
+        let mut prev_t = poses.first().map_or(0.0, |p| p.t);
+        for pose in &mut poses {
+            let dt = (pose.t - prev_t).max(0.0);
+            prev_t = pose.t;
+            drift += gaussian(&mut rng, air.drift_sigma_m) * dt.sqrt();
+            let wobble = air.wobble_amplitude_m
+                * (std::f64::consts::TAU * pose.t / air.wobble_period_s + phase0).sin();
+            pose.tip.z += wobble + drift;
+        }
+    }
+
+    let truth = GroundTruth {
+        times: path.iter().map(|p| p.t).collect(),
+        points: path.iter().map(|p| p.pos).collect(),
+    };
+    Session { poses, truth, text: text.to_string() }
+}
+
+/// The §2 feasibility rig, case 1: a tag on a turntable directly under
+/// the antenna, rotating in the board-parallel plane at constant angular
+/// velocity. The dipole sweeps through all polarization mismatch angles.
+pub fn turntable_session(
+    center: Vec3,
+    angular_velocity_rad_s: f64,
+    duration_s: f64,
+    dt: f64,
+) -> Vec<PenPose> {
+    let steps = (duration_s / dt).ceil() as usize;
+    (0..=steps)
+        .map(|i| {
+            let t = i as f64 * dt;
+            let a = angular_velocity_rad_s * t;
+            PenPose {
+                t,
+                tip: center,
+                dipole: WristModel::dipole_from_angles(a, 0.0),
+                azimuth: a,
+                elevation: 0.0,
+            }
+        })
+        .collect()
+}
+
+/// The §2 feasibility rig, case 2: a tag translated back and forth along
+/// X over `extent_m` (peak-to-peak) with fixed orientation at board-plane
+/// azimuth `azimuth_rad` (0 = aligned with an X-polarized antenna).
+pub fn translation_session(
+    center: Vec3,
+    azimuth_rad: f64,
+    extent_m: f64,
+    period_s: f64,
+    duration_s: f64,
+    dt: f64,
+) -> Vec<PenPose> {
+    let steps = (duration_s / dt).ceil() as usize;
+    let dipole = WristModel::dipole_from_angles(azimuth_rad, 0.0);
+    (0..=steps)
+        .map(|i| {
+            let t = i as f64 * dt;
+            let dx = 0.5 * extent_m * (std::f64::consts::TAU * t / period_s).sin();
+            PenPose {
+                t,
+                tip: center + Vec3::new(dx, 0.0, 0.0),
+                dipole,
+                azimuth: azimuth_rad,
+                elevation: 0.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writing_produces_poses_and_truth_of_equal_length() {
+        let s = write_text(&Scene::default(), &WriterProfile::natural(), "AB", 1);
+        assert_eq!(s.poses.len(), s.truth.points.len());
+        assert!(!s.poses.is_empty());
+        assert_eq!(s.text, "AB");
+    }
+
+    #[test]
+    fn writing_is_deterministic_in_seed() {
+        let a = write_text(&Scene::default(), &WriterProfile::natural(), "HI", 7);
+        let b = write_text(&Scene::default(), &WriterProfile::natural(), "HI", 7);
+        assert_eq!(a, b);
+        let c = write_text(&Scene::default(), &WriterProfile::natural(), "HI", 8);
+        assert_ne!(a.poses, c.poses, "different seed, different tremor");
+    }
+
+    #[test]
+    fn letters_advance_left_to_right() {
+        let s = write_text(&Scene::default(), &WriterProfile::natural(), "II", 1);
+        let first = s.truth.points.first().unwrap();
+        let last = s.truth.points.last().unwrap();
+        assert!(last.x > first.x + 0.05, "second I is to the right");
+    }
+
+    #[test]
+    fn whiteboard_writing_stays_in_plane() {
+        let s = write_text(&Scene::default(), &WriterProfile::natural(), "W", 3);
+        for p in &s.poses {
+            assert_eq!(p.tip.z, 0.0);
+        }
+    }
+
+    #[test]
+    fn air_writing_leaves_the_plane() {
+        let s = write_text(&Scene::default().in_air(), &WriterProfile::natural(), "W", 3);
+        let max_z = s.poses.iter().map(|p| p.tip.z.abs()).fold(0.0, f64::max);
+        assert!(max_z > 0.005, "air wobble must displace the tip, max {max_z}");
+    }
+
+    #[test]
+    fn unknown_characters_are_skipped() {
+        let with_junk = write_text(&Scene::default(), &WriterProfile::natural(), "A1!B", 1);
+        let without = write_text(&Scene::default(), &WriterProfile::natural(), "AB", 1);
+        assert_eq!(with_junk.truth.points.len(), without.truth.points.len());
+    }
+
+    #[test]
+    fn empty_text_is_empty_session() {
+        let s = write_text(&Scene::default(), &WriterProfile::natural(), "", 1);
+        assert!(s.poses.is_empty());
+        assert_eq!(s.truth.duration(), 0.0);
+    }
+
+    #[test]
+    fn turntable_sweeps_azimuth_uniformly() {
+        let poses = turntable_session(Vec3::new(0.0, 0.0, 0.0), 1.0, 6.0, 0.01);
+        assert!((poses.last().unwrap().azimuth - 6.0).abs() < 1e-9);
+        for p in &poses {
+            assert_eq!(p.tip, Vec3::ZERO);
+            assert!((p.dipole.norm() - 1.0).abs() < 1e-12);
+            assert_eq!(p.dipole.z, 0.0);
+        }
+    }
+
+    #[test]
+    fn translation_keeps_orientation_fixed() {
+        let poses = translation_session(Vec3::new(0.0, 0.5, 0.0), 0.3, 0.08, 4.0, 8.0, 0.01);
+        let d0 = poses[0].dipole;
+        let xs: Vec<f64> = poses.iter().map(|p| p.tip.x).collect();
+        let max_x = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_x = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((max_x - min_x - 0.08).abs() < 1e-3, "peak-to-peak = extent");
+        for p in &poses {
+            assert_eq!(p.dipole, d0);
+        }
+    }
+
+    #[test]
+    fn scene_at_distance_places_writing_area() {
+        let s = Scene::at_distance(1.2);
+        assert_eq!(s.origin.y, 1.2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Word lists for the Fig. 18 word-recognition experiment.
+//!
+//! The paper draws 10 random words per length group (2–5 letters) from
+//! the Oxford English Dictionary. We fix a deterministic sample of
+//! common English words per group so the experiment is reproducible.
+
+/// Ten two-letter words.
+pub const WORDS_2: [&str; 10] = ["AT", "BE", "DO", "GO", "IF", "IN", "IT", "ON", "TO", "UP"];
+
+/// Ten three-letter words.
+pub const WORDS_3: [&str; 10] =
+    ["AND", "CAT", "DOG", "FAR", "HOT", "MAP", "PEN", "RUN", "SKY", "WIN"];
+
+/// Ten four-letter words.
+pub const WORDS_4: [&str; 10] =
+    ["BLUE", "DARK", "FISH", "GOLD", "HAND", "LAMP", "MOON", "RAIN", "STAR", "WIND"];
+
+/// Ten five-letter words.
+pub const WORDS_5: [&str; 10] =
+    ["APPLE", "BREAD", "CLOUD", "DREAM", "EARTH", "GREEN", "HOUSE", "LIGHT", "RIVER", "STONE"];
+
+/// The word group for a given word length (2–5).
+pub fn words_of_length(len: usize) -> Option<&'static [&'static str]> {
+    match len {
+        2 => Some(&WORDS_2),
+        3 => Some(&WORDS_3),
+        4 => Some(&WORDS_4),
+        5 => Some(&WORDS_5),
+        _ => None,
+    }
+}
+
+/// All word groups with their lengths, in Fig. 18 order.
+pub fn all_groups() -> [(usize, &'static [&'static str]); 4] {
+    [(2, &WORDS_2), (3, &WORDS_3), (4, &WORDS_4), (5, &WORDS_5)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_have_ten_words_of_correct_length() {
+        for (len, words) in all_groups() {
+            assert_eq!(words.len(), 10);
+            for w in words {
+                assert_eq!(w.len(), len, "{w}");
+                assert!(w.chars().all(|c| c.is_ascii_uppercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn words_are_unique_within_group() {
+        for (_, words) in all_groups() {
+            let mut sorted: Vec<&str> = words.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), words.len());
+        }
+    }
+
+    #[test]
+    fn lookup_by_length() {
+        assert!(words_of_length(2).is_some());
+        assert!(words_of_length(5).is_some());
+        assert!(words_of_length(1).is_none());
+        assert!(words_of_length(6).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Confusion matrices (Fig. 14) and accuracy aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// A square confusion matrix over a fixed label set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Class labels, in row/column order.
+    pub labels: Vec<char>,
+    counts: Vec<u32>, // row-major: counts[actual * n + predicted]
+}
+
+impl ConfusionMatrix {
+    /// New empty matrix over the given labels.
+    pub fn new(labels: Vec<char>) -> ConfusionMatrix {
+        let n = labels.len();
+        ConfusionMatrix { labels, counts: vec![0; n * n] }
+    }
+
+    fn index_of(&self, label: char) -> Option<usize> {
+        self.labels.iter().position(|&l| l == label)
+    }
+
+    /// Record one classification outcome. Unknown labels are ignored.
+    pub fn record(&mut self, actual: char, predicted: char) {
+        if let (Some(a), Some(p)) = (self.index_of(actual), self.index_of(predicted)) {
+            self.counts[a * self.labels.len() + p] += 1;
+        }
+    }
+
+    /// Count at (actual, predicted).
+    pub fn count(&self, actual: char, predicted: char) -> u32 {
+        match (self.index_of(actual), self.index_of(predicted)) {
+            (Some(a), Some(p)) => self.counts[a * self.labels.len() + p],
+            _ => 0,
+        }
+    }
+
+    /// Total recorded outcomes.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; `None` when empty.
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let n = self.labels.len();
+        let correct: u32 = (0..n).map(|i| self.counts[i * n + i]).sum();
+        Some(f64::from(correct) / f64::from(total))
+    }
+
+    /// Per-class accuracy (recall), `None` for classes never seen.
+    pub fn class_accuracy(&self, label: char) -> Option<f64> {
+        let a = self.index_of(label)?;
+        let n = self.labels.len();
+        let row: u32 = self.counts[a * n..(a + 1) * n].iter().sum();
+        if row == 0 {
+            None
+        } else {
+            Some(f64::from(self.counts[a * n + a]) / f64::from(row))
+        }
+    }
+
+    /// Row of the matrix normalized to probabilities (for rendering the
+    /// Fig. 14 heat map). `None` for unknown labels or empty rows.
+    pub fn row_probabilities(&self, label: char) -> Option<Vec<f64>> {
+        let a = self.index_of(label)?;
+        let n = self.labels.len();
+        let row = &self.counts[a * n..(a + 1) * n];
+        let total: u32 = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(row.iter().map(|&c| f64::from(c) / f64::from(total)).collect())
+    }
+
+    /// The `k` most frequent off-diagonal confusions, as
+    /// `(actual, predicted, count)`, most frequent first.
+    pub fn top_confusions(&self, k: usize) -> Vec<(char, char, u32)> {
+        let n = self.labels.len();
+        let mut all: Vec<(char, char, u32)> = Vec::new();
+        for a in 0..n {
+            for p in 0..n {
+                if a != p && self.counts[a * n + p] > 0 {
+                    all.push((self.labels[a], self.labels[p], self.counts[a * n + p]));
+                }
+            }
+        }
+        all.sort_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        all.truncate(k);
+        all
+    }
+
+    /// Merge another matrix over the same labels into this one.
+    ///
+    /// # Panics
+    /// Panics if the label sets differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.labels, other.labels, "label sets must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> ConfusionMatrix {
+        ConfusionMatrix::new(vec!['A', 'B', 'C'])
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut m = abc();
+        m.record('A', 'A');
+        m.record('A', 'B');
+        m.record('B', 'B');
+        assert_eq!(m.count('A', 'A'), 1);
+        assert_eq!(m.count('A', 'B'), 1);
+        assert_eq!(m.count('B', 'B'), 1);
+        assert_eq!(m.count('C', 'C'), 0);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn accuracy_is_diagonal_fraction() {
+        let mut m = abc();
+        m.record('A', 'A');
+        m.record('B', 'B');
+        m.record('C', 'A');
+        m.record('C', 'C');
+        assert_eq!(m.accuracy(), Some(0.75));
+        assert_eq!(m.class_accuracy('C'), Some(0.5));
+        assert_eq!(m.class_accuracy('A'), Some(1.0));
+    }
+
+    #[test]
+    fn empty_matrix_has_no_accuracy() {
+        assert_eq!(abc().accuracy(), None);
+        assert_eq!(abc().class_accuracy('A'), None);
+        assert_eq!(abc().row_probabilities('A'), None);
+    }
+
+    #[test]
+    fn unknown_labels_are_ignored() {
+        let mut m = abc();
+        m.record('Z', 'A');
+        m.record('A', 'Z');
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.count('Z', 'A'), 0);
+    }
+
+    #[test]
+    fn row_probabilities_sum_to_one() {
+        let mut m = abc();
+        m.record('A', 'A');
+        m.record('A', 'B');
+        m.record('A', 'B');
+        m.record('A', 'C');
+        let row = m.row_probabilities('A').unwrap();
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(row[1], 0.5);
+    }
+
+    #[test]
+    fn top_confusions_ranks_off_diagonal() {
+        let mut m = abc();
+        for _ in 0..3 {
+            m.record('A', 'B');
+        }
+        m.record('B', 'C');
+        m.record('A', 'A');
+        let top = m.top_confusions(5);
+        assert_eq!(top[0], ('A', 'B', 3));
+        assert_eq!(top[1], ('B', 'C', 1));
+        assert_eq!(top.len(), 2, "diagonal must not appear");
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = abc();
+        a.record('A', 'A');
+        let mut b = abc();
+        b.record('A', 'A');
+        b.record('B', 'C');
+        a.merge(&b);
+        assert_eq!(a.count('A', 'A'), 2);
+        assert_eq!(a.count('B', 'C'), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label sets must match")]
+    fn merge_rejects_different_labels() {
+        let mut a = abc();
+        let b = ConfusionMatrix::new(vec!['X']);
+        a.merge(&b);
+    }
+}

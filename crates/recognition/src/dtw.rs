@@ -1,0 +1,105 @@
+//! Dynamic time warping over 2-D trajectories.
+//!
+//! Procrustes assumes a fixed point-to-point correspondence after
+//! resampling; DTW instead allows elastic time alignment, which is more
+//! forgiving of locally uneven writing speed. Used as a cross-check
+//! matcher and in the recognizer ablation benches.
+
+use rf_core::Vec2;
+
+/// DTW distance between two trajectories with a Sakoe–Chiba band of
+/// half-width `band` (`usize::MAX` for unconstrained).
+///
+/// Returns the path-normalized mean step cost; `None` for empty inputs.
+pub fn dtw_distance(a: &[Vec2], b: &[Vec2], band: usize) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let (n, m) = (a.len(), b.len());
+    let inf = f64::INFINITY;
+    // Rolling two-row DP over the (n+1)×(m+1) accumulated-cost matrix.
+    let mut prev = vec![inf; m + 1];
+    let mut cur = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur.fill(inf);
+        let lo = if band == usize::MAX { 1 } else { i.saturating_sub(band).max(1) };
+        let hi = if band == usize::MAX { m } else { (i + band).min(m) };
+        for j in lo..=hi {
+            let cost = a[i - 1].distance(b[j - 1]);
+            let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
+            if best < inf {
+                cur[j] = cost + best;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let total = prev[m];
+    if total.is_finite() {
+        Some(total / (n + m) as f64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, slope: f64) -> Vec<Vec2> {
+        (0..n).map(|i| Vec2::new(i as f64 * 0.01, i as f64 * 0.01 * slope)).collect()
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = ramp(20, 0.5);
+        assert_eq!(dtw_distance(&a, &a, usize::MAX), Some(0.0));
+    }
+
+    #[test]
+    fn time_warped_copies_match_closely() {
+        // Same path, one traversed with doubled samples: DTW absorbs
+        // the speed difference; naive lockstep would not.
+        let a = ramp(20, 0.5);
+        let mut b = Vec::new();
+        for p in &a {
+            b.push(*p);
+            b.push(*p);
+        }
+        let d = dtw_distance(&a, &b, usize::MAX).unwrap();
+        assert!(d < 1e-9, "d = {d}");
+    }
+
+    #[test]
+    fn different_shapes_have_positive_distance() {
+        let a = ramp(20, 0.5);
+        let b = ramp(20, -0.5);
+        let d = dtw_distance(&a, &b, usize::MAX).unwrap();
+        assert!(d > 0.01);
+    }
+
+    #[test]
+    fn band_constrains_warping() {
+        let a = ramp(30, 0.5);
+        let mut b = a.clone();
+        b.rotate_left(10); // grossly misaligned in time
+        let free = dtw_distance(&a, &b, usize::MAX).unwrap();
+        let banded = dtw_distance(&a, &b, 2).unwrap();
+        assert!(banded >= free, "banded {banded} free {free}");
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        assert_eq!(dtw_distance(&[], &ramp(5, 1.0), 3), None);
+        assert_eq!(dtw_distance(&ramp(5, 1.0), &[], 3), None);
+    }
+
+    #[test]
+    fn distance_is_symmetric_enough() {
+        let a = ramp(15, 0.3);
+        let b = ramp(18, 0.6);
+        let ab = dtw_distance(&a, &b, usize::MAX).unwrap();
+        let ba = dtw_distance(&b, &a, usize::MAX).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+}

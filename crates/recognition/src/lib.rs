@@ -1,0 +1,35 @@
+//! # recognition — trajectory similarity and handwriting recognition
+//!
+//! The paper measures PolarDraw three ways (§5.1): character/word
+//! *recognition accuracy* (via the LipiTk recognizer), trajectory
+//! *similarity* (Procrustes distance against ground truth), and the
+//! letter *confusion matrix*. LipiTk is a Java toolkit we cannot ship,
+//! so this crate provides a template recognizer with the same role:
+//!
+//! * [`resample`] — arc-length resampling and centroid/scale
+//!   normalization of trajectories.
+//! * [`procrustes`] — optimal similarity alignment (translation,
+//!   rotation, scale — reflection excluded) and the residual distance
+//!   the paper reports in Fig. 19.
+//! * [`dtw`] — dynamic time warping, an alternative matcher used for
+//!   cross-checks and ablations.
+//! * [`recognizer`] — letter and dictionary-word recognition by nearest
+//!   template under rotation-constrained Procrustes distance. Templates
+//!   are rendered through the same `pen-sim` glyph pipeline the
+//!   synthetic writer uses — mirroring how LipiTk's templates match the
+//!   alphabet the volunteers wrote.
+//! * [`confusion`] — confusion matrices (Fig. 14) and accuracy
+//!   aggregation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod dtw;
+pub mod procrustes;
+pub mod recognizer;
+pub mod resample;
+
+pub use confusion::ConfusionMatrix;
+pub use procrustes::{procrustes_distance, ProcrustesAlignment};
+pub use recognizer::{LetterRecognizer, WordRecognizer};

@@ -1,0 +1,191 @@
+//! Procrustes analysis: optimal similarity alignment of two point
+//! sequences and the residual distance metric of Fig. 19.
+//!
+//! Given equal-length sequences `X` (reference / ground truth) and `Y`
+//! (recovered), we find translation, rotation and uniform scale applied
+//! to `Y` minimizing the sum of squared errors against `X`. Treating
+//! points as complex numbers the optimum is closed-form:
+//! `a = Σ x·conj(y) / Σ|y|²` after centering, giving scale `|a|` and
+//! rotation `arg a`. Reflections are *excluded* (a mirrored letter is a
+//! different letter).
+
+use rf_core::{Complex, Vec2};
+
+/// The result of aligning `recovered` onto `reference`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcrustesAlignment {
+    /// Rotation applied, radians (counter-clockwise).
+    pub rotation_rad: f64,
+    /// Uniform scale applied.
+    pub scale: f64,
+    /// Translation applied after rotation/scale, metres.
+    pub translation: Vec2,
+    /// Root-mean-square residual after alignment, in the reference's
+    /// units (the paper's "Procrustes distance", reported in cm).
+    pub rms_residual: f64,
+    /// The transformed recovered points.
+    pub aligned: Vec<Vec2>,
+}
+
+fn as_complex(v: Vec2) -> Complex {
+    Complex::new(v.x, v.y)
+}
+
+/// Align `recovered` onto `reference` with the optimal similarity
+/// transform (no reflection). Sequences must have equal nonzero length.
+///
+/// `max_rotation_rad` clamps the rotation: pass `f64::INFINITY` for the
+/// unconstrained classic solution, or a bound (e.g. 30°) when matching
+/// letters — otherwise an `M` would align perfectly onto a `W`.
+pub fn align(
+    reference: &[Vec2],
+    recovered: &[Vec2],
+    max_rotation_rad: f64,
+) -> Option<ProcrustesAlignment> {
+    if reference.len() != recovered.len() || reference.is_empty() {
+        return None;
+    }
+    let n = reference.len() as f64;
+    let cx = crate::resample::centroid(reference);
+    let cy = crate::resample::centroid(recovered);
+
+    let mut num = Complex::ZERO;
+    let mut den = 0.0;
+    for (&x, &y) in reference.iter().zip(recovered) {
+        let xc = as_complex(x - cx);
+        let yc = as_complex(y - cy);
+        num += xc * yc.conj();
+        den += yc.norm_sq();
+    }
+    if den < 1e-18 {
+        return None;
+    }
+    let a = num / Complex::new(den, 0.0);
+    let mut rotation = a.arg();
+    let mut scale = a.abs();
+    if rotation.abs() > max_rotation_rad {
+        // Clamp the rotation, then re-solve the scale for the clamped
+        // rotation: s* = Re(Σ x·conj(y)·e^{jθ…}) — projection onto the
+        // fixed-rotation direction, floored at zero.
+        rotation = rotation.clamp(-max_rotation_rad, max_rotation_rad);
+        let rotated = num * Complex::cis(-rotation);
+        scale = (rotated.re / den).max(0.0);
+    }
+
+    let transform = Complex::from_polar(scale, rotation);
+    let mut sse = 0.0;
+    let mut aligned = Vec::with_capacity(recovered.len());
+    for (&x, &y) in reference.iter().zip(recovered) {
+        let yc = as_complex(y - cy);
+        let mapped = transform * yc;
+        let p = Vec2::new(mapped.re + cx.x, mapped.im + cx.y);
+        aligned.push(p);
+        sse += (p - x).norm_sq();
+    }
+    Some(ProcrustesAlignment {
+        rotation_rad: rotation,
+        scale,
+        translation: cx - cy,
+        rms_residual: (sse / n).sqrt(),
+        aligned,
+    })
+}
+
+/// The Fig. 19 metric: resample both trajectories to `n` points, align
+/// with unconstrained rotation, and return the RMS residual in the
+/// reference's physical units.
+pub fn procrustes_distance(reference: &[Vec2], recovered: &[Vec2], n: usize) -> Option<f64> {
+    let r = crate::resample::resample(reference, n)?;
+    let y = crate::resample::resample(recovered, n)?;
+    Some(align(&r, &y, f64::INFINITY)?.rms_residual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_core::Mat2;
+
+    fn sample_shape() -> Vec<Vec2> {
+        // An asymmetric zig so rotation/reflection matter.
+        vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.1, 0.02),
+            Vec2::new(0.15, 0.12),
+            Vec2::new(0.25, 0.05),
+            Vec2::new(0.3, 0.2),
+        ]
+    }
+
+    #[test]
+    fn identical_shapes_have_zero_distance() {
+        let s = sample_shape();
+        let d = procrustes_distance(&s, &s, 32).unwrap();
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn similarity_transforms_are_fully_removed() {
+        let s = sample_shape();
+        let rot = Mat2::rotation(0.4);
+        let moved: Vec<Vec2> =
+            s.iter().map(|&p| rot.apply(p) * 2.5 + Vec2::new(1.0, -3.0)).collect();
+        let d = procrustes_distance(&s, &moved, 32).unwrap();
+        assert!(d < 1e-9, "distance {d}");
+        let a = align(&s, &moved, f64::INFINITY).unwrap();
+        assert!((a.rotation_rad + 0.4).abs() < 1e-9, "undoes the rotation");
+        assert!((a.scale - 0.4).abs() < 1e-9, "undoes the 2.5× scale");
+    }
+
+    #[test]
+    fn reflection_is_not_removed() {
+        let s = sample_shape();
+        let mirrored: Vec<Vec2> = s.iter().map(|&p| Vec2::new(-p.x, p.y)).collect();
+        let d = procrustes_distance(&s, &mirrored, 32).unwrap();
+        assert!(d > 0.01, "a mirrored shape must not match, d = {d}");
+    }
+
+    #[test]
+    fn rotation_clamp_limits_alignment() {
+        let s = sample_shape();
+        let rot = Mat2::rotation(1.0);
+        let moved: Vec<Vec2> = s.iter().map(|&p| rot.apply(p)).collect();
+        let free = align(&s, &moved, f64::INFINITY).unwrap();
+        assert!(free.rms_residual < 1e-9);
+        let clamped = align(&s, &moved, 0.3).unwrap();
+        assert!((clamped.rotation_rad.abs() - 0.3).abs() < 1e-12);
+        assert!(clamped.rms_residual > free.rms_residual + 1e-6);
+    }
+
+    #[test]
+    fn residual_measures_actual_error() {
+        let s = sample_shape();
+        // Perturb one point by 5 cm: RMS over 5 points ≈ 5/√5 ≈ 2.2 cm.
+        let mut noisy = s.clone();
+        noisy[2] += Vec2::new(0.05, 0.0);
+        let a = align(&s, &noisy, f64::INFINITY).unwrap();
+        assert!(a.rms_residual > 0.005 && a.rms_residual < 0.03, "rms {}", a.rms_residual);
+    }
+
+    #[test]
+    fn mismatched_lengths_are_none() {
+        assert!(align(&sample_shape(), &sample_shape()[1..], 1.0).is_none());
+        assert!(align(&[], &[], 1.0).is_none());
+    }
+
+    #[test]
+    fn degenerate_recovered_is_none() {
+        let s = sample_shape();
+        let flat = vec![Vec2::new(0.5, 0.5); 5];
+        assert!(align(&s, &flat, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn aligned_points_are_returned() {
+        let s = sample_shape();
+        let moved: Vec<Vec2> = s.iter().map(|&p| p + Vec2::new(0.7, 0.7)).collect();
+        let a = align(&s, &moved, f64::INFINITY).unwrap();
+        for (orig, al) in s.iter().zip(&a.aligned) {
+            assert!(orig.distance(*al) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Template recognizers for letters and dictionary words.
+//!
+//! The LipiTk substitute: templates are rendered from the same glyph
+//! definitions `pen-sim` writes with (including the inter-stroke
+//! transition segments a continuously-read tag records), resampled and
+//! normalized, then matched by rotation-constrained Procrustes residual.
+//! Constraining rotation to ±30° is essential: free rotation would map
+//! `M` exactly onto `W` and `Z` nearly onto `N`.
+
+use crate::dtw::dtw_distance;
+use crate::procrustes::align;
+use crate::resample::prepare_whitened;
+use pen_sim::path::{join_strokes, place_glyph};
+use rf_core::Vec2;
+
+/// Points per prepared trajectory.
+pub const TEMPLATE_POINTS: usize = 64;
+/// Rotation clamp for letter matching, radians. Free rotation would map
+/// `M` onto `W`; a modest clamp absorbs residual tracker rotation
+/// without folding the alphabet onto itself.
+pub const MAX_MATCH_ROTATION: f64 = 20.0 * std::f64::consts::PI / 180.0;
+/// Weight of the DTW term in the ensemble match cost (0 disables).
+/// Procrustes alone won the recognizer sweep on tracked trajectories;
+/// the DTW term is kept for the ablation benches.
+pub const DTW_WEIGHT: f64 = 0.0;
+/// Sakoe–Chiba band half-width for the ensemble's DTW term.
+pub const DTW_BAND: usize = 12;
+
+fn match_cost(template: &[Vec2], prepared: &[Vec2]) -> Option<f64> {
+    let a = align(template, prepared, MAX_MATCH_ROTATION)?;
+    if DTW_WEIGHT == 0.0 {
+        return Some(a.rms_residual);
+    }
+    let dtw = dtw_distance(template, &a.aligned, DTW_BAND)?;
+    Some(a.rms_residual + DTW_WEIGHT * dtw)
+}
+
+/// A ranked recognition candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate<L> {
+    /// The candidate label.
+    pub label: L,
+    /// Match cost (normalized Procrustes RMS residual; lower = better).
+    pub cost: f64,
+}
+
+fn render_template(text: &str) -> Option<Vec<Vec2>> {
+    let size = 1.0;
+    let advance = size * 0.7 + size * 0.25;
+    let mut strokes = Vec::new();
+    let mut cursor = Vec2::ZERO;
+    for ch in text.chars() {
+        let g = pen_sim::glyph(ch)?;
+        strokes.extend(place_glyph(&g, cursor, size));
+        cursor.x += advance;
+    }
+    let polyline = join_strokes(&strokes);
+    prepare_whitened(&polyline, TEMPLATE_POINTS)
+}
+
+/// Nearest-template recognizer over the uppercase alphabet.
+#[derive(Debug, Clone)]
+pub struct LetterRecognizer {
+    templates: Vec<(char, Vec<Vec2>)>,
+}
+
+impl Default for LetterRecognizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LetterRecognizer {
+    /// Build the recognizer (renders all 26 templates once).
+    pub fn new() -> LetterRecognizer {
+        let templates = pen_sim::glyph::ALPHABET
+            .iter()
+            .filter_map(|&ch| Some((ch, render_template(&ch.to_string())?)))
+            .collect();
+        LetterRecognizer { templates }
+    }
+
+    /// Rank all letters for a recovered trajectory, best first.
+    /// Empty when the trajectory is degenerate.
+    pub fn rank(&self, trajectory: &[Vec2]) -> Vec<Candidate<char>> {
+        let prepared = match prepare_whitened(trajectory, TEMPLATE_POINTS) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        let mut out: Vec<Candidate<char>> = self
+            .templates
+            .iter()
+            .filter_map(|(ch, tpl)| {
+                match_cost(tpl, &prepared).map(|cost| Candidate { label: *ch, cost })
+            })
+            .collect();
+        out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        out
+    }
+
+    /// Best-match letter; `None` for degenerate input.
+    pub fn classify(&self, trajectory: &[Vec2]) -> Option<char> {
+        self.rank(trajectory).first().map(|c| c.label)
+    }
+}
+
+/// Dictionary-constrained word recognizer: whole-word templates, as the
+/// Fig. 18 experiment requires (candidates are the 10 words per group).
+#[derive(Debug, Clone)]
+pub struct WordRecognizer {
+    templates: Vec<(String, Vec<Vec2>)>,
+}
+
+impl WordRecognizer {
+    /// Build from a candidate dictionary.
+    pub fn new<S: AsRef<str>>(dictionary: &[S]) -> WordRecognizer {
+        let templates = dictionary
+            .iter()
+            .filter_map(|w| {
+                let w = w.as_ref().to_ascii_uppercase();
+                Some((w.clone(), render_template(&w)?))
+            })
+            .collect();
+        WordRecognizer { templates }
+    }
+
+    /// Rank the dictionary for a recovered trajectory, best first.
+    pub fn rank(&self, trajectory: &[Vec2]) -> Vec<Candidate<String>> {
+        let prepared = match prepare_whitened(trajectory, TEMPLATE_POINTS) {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        let mut out: Vec<Candidate<String>> = self
+            .templates
+            .iter()
+            .filter_map(|(w, tpl)| {
+                match_cost(tpl, &prepared).map(|cost| Candidate { label: w.clone(), cost })
+            })
+            .collect();
+        out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        out
+    }
+
+    /// Best-match word; `None` for degenerate input or empty dictionary.
+    pub fn classify(&self, trajectory: &[Vec2]) -> Option<String> {
+        self.rank(trajectory).first().map(|c| c.label.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pen_sim::scene::{write_text, Scene};
+    use pen_sim::WriterProfile;
+
+    fn clean_trajectory(text: &str, seed: u64) -> Vec<Vec2> {
+        write_text(&Scene::default(), &WriterProfile::natural(), text, seed).truth.points
+    }
+
+    #[test]
+    fn recognizes_clean_ground_truth_letters() {
+        let rec = LetterRecognizer::new();
+        // The ground-truth pen path is the glyph itself (plus constant
+        // speed sampling): every letter must classify correctly.
+        for ch in pen_sim::glyph::ALPHABET {
+            let traj = clean_trajectory(&ch.to_string(), 7);
+            assert_eq!(rec.classify(&traj), Some(ch), "letter {ch}");
+        }
+    }
+
+    #[test]
+    fn m_and_w_are_not_interchangeable() {
+        let rec = LetterRecognizer::new();
+        let w = clean_trajectory("W", 3);
+        // Flip vertically: a W becomes an M shape; the rotation clamp
+        // must prevent the W template from claiming it.
+        let flipped: Vec<Vec2> = w.iter().map(|p| Vec2::new(p.x, -p.y)).collect();
+        let got = rec.classify(&flipped);
+        assert_ne!(got, Some('W'), "vertically flipped W must not match W");
+    }
+
+    #[test]
+    fn noisy_trajectories_still_classify() {
+        let rec = LetterRecognizer::new();
+        let mut rng_state = 0x12345u64;
+        let mut noise = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f64 / 2f64.powi(31) - 1.0) * 0.008
+        };
+        let mut ok = 0;
+        let letters = ['C', 'L', 'O', 'S', 'V', 'Z'];
+        for ch in letters {
+            let traj: Vec<Vec2> = clean_trajectory(&ch.to_string(), 5)
+                .iter()
+                .map(|p| Vec2::new(p.x + noise(), p.y + noise()))
+                .collect();
+            if rec.classify(&traj) == Some(ch) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 5, "only {ok}/{} noisy letters recognized", letters.len());
+    }
+
+    #[test]
+    fn degenerate_input_returns_none() {
+        let rec = LetterRecognizer::new();
+        assert_eq!(rec.classify(&[]), None);
+        assert_eq!(rec.classify(&[Vec2::ZERO; 10]), None);
+        assert!(rec.rank(&[]).is_empty());
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let rec = LetterRecognizer::new();
+        let traj = clean_trajectory("Q", 2);
+        let ranked = rec.rank(&traj);
+        assert_eq!(ranked.len(), 26);
+        for w in ranked.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+        assert_eq!(ranked[0].label, 'Q');
+    }
+
+    #[test]
+    fn word_recognizer_separates_dictionary_words() {
+        let dict = ["CAT", "DOG", "PEN", "SKY"];
+        let rec = WordRecognizer::new(&dict);
+        for w in dict {
+            let traj = clean_trajectory(w, 9);
+            assert_eq!(rec.classify(&traj).as_deref(), Some(w), "word {w}");
+        }
+    }
+
+    #[test]
+    fn word_recognizer_handles_lowercase_dictionary() {
+        let rec = WordRecognizer::new(&["cat", "dog"]);
+        let traj = clean_trajectory("CAT", 1);
+        assert_eq!(rec.classify(&traj).as_deref(), Some("CAT"));
+    }
+
+    #[test]
+    fn empty_dictionary_never_classifies() {
+        let rec = WordRecognizer::new::<&str>(&[]);
+        let traj = clean_trajectory("CAT", 1);
+        assert_eq!(rec.classify(&traj), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! Arc-length resampling and normalization.
+//!
+//! Recovered trails and glyph templates have different point counts and
+//! physical scales; every matcher in this crate works on trajectories
+//! resampled to a fixed number of points equally spaced along the ink
+//! and normalized to zero centroid / unit RMS radius.
+
+use rf_core::Vec2;
+
+/// Resample a polyline to `n` points equally spaced by arc length.
+///
+/// Returns `None` for degenerate input (fewer than 2 points, or zero
+/// total length) — a "trajectory" that never moved cannot be matched.
+pub fn resample(points: &[Vec2], n: usize) -> Option<Vec<Vec2>> {
+    if points.len() < 2 || n < 2 {
+        return None;
+    }
+    let total: f64 = points.windows(2).map(|w| w[0].distance(w[1])).sum();
+    if total < 1e-12 {
+        return None;
+    }
+    let step = total / (n - 1) as f64;
+    let mut out = Vec::with_capacity(n);
+    out.push(points[0]);
+    let mut seg_idx = 0;
+    let mut seg_start_s = 0.0;
+    for i in 1..n {
+        let target = step * i as f64;
+        while seg_idx + 1 < points.len() - 1
+            && seg_start_s + points[seg_idx].distance(points[seg_idx + 1]) < target
+        {
+            seg_start_s += points[seg_idx].distance(points[seg_idx + 1]);
+            seg_idx += 1;
+        }
+        let seg_len = points[seg_idx].distance(points[seg_idx + 1]);
+        let frac = if seg_len > 1e-12 { ((target - seg_start_s) / seg_len).clamp(0.0, 1.0) } else { 0.0 };
+        out.push(points[seg_idx].lerp(points[seg_idx + 1], frac));
+    }
+    Some(out)
+}
+
+/// Centroid of a point set.
+pub fn centroid(points: &[Vec2]) -> Vec2 {
+    let mut c = Vec2::ZERO;
+    for &p in points {
+        c += p;
+    }
+    c / points.len().max(1) as f64
+}
+
+/// RMS radius about the centroid (the normalization scale).
+pub fn rms_radius(points: &[Vec2]) -> f64 {
+    let c = centroid(points);
+    (points.iter().map(|p| (*p - c).norm_sq()).sum::<f64>() / points.len().max(1) as f64).sqrt()
+}
+
+/// Translate to zero centroid and scale to unit RMS radius.
+///
+/// Returns `None` when the point set is degenerate (all points equal).
+pub fn normalize(points: &[Vec2]) -> Option<Vec<Vec2>> {
+    let c = centroid(points);
+    let r = rms_radius(points);
+    if r < 1e-12 {
+        return None;
+    }
+    Some(points.iter().map(|&p| (p - c) / r).collect())
+}
+
+/// The full preparation used by the matchers: resample then normalize.
+pub fn prepare(points: &[Vec2], n: usize) -> Option<Vec<Vec2>> {
+    normalize(&resample(points, n)?)
+}
+
+/// Resample then *whiten*: centre and scale each axis independently to
+/// unit standard deviation.
+///
+/// Two-antenna phase tracking observes vertical (range-changing) motion
+/// much more strongly than horizontal (tangential) motion, so recovered
+/// letters come back anisotropically compressed. Whitening removes that
+/// axis-dependent shrink from both template and trajectory before
+/// matching; plain similarity normalization cannot (uniform scale only).
+pub fn prepare_whitened(points: &[Vec2], n: usize) -> Option<Vec<Vec2>> {
+    let r = resample(points, n)?;
+    let c = centroid(&r);
+    let nf = r.len() as f64;
+    let sx = (r.iter().map(|p| (p.x - c.x).powi(2)).sum::<f64>() / nf).sqrt();
+    let sy = (r.iter().map(|p| (p.y - c.y).powi(2)).sum::<f64>() / nf).sqrt();
+    let m = sx.max(sy);
+    if m < 1e-9 {
+        return None;
+    }
+    // A nearly one-dimensional shape (the letter `I`) would blow up if
+    // its thin axis were stretched to unit deviation; floor each axis at
+    // a twentieth of the dominant one so thin letters stay thin.
+    let sx = sx.max(0.05 * m);
+    let sy = sy.max(0.05 * m);
+    Some(r.iter().map(|p| Vec2::new((p.x - c.x) / sx, (p.y - c.y) / sy)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_straight_line_is_uniform() {
+        let pts = vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0)];
+        let rs = resample(&pts, 5).unwrap();
+        assert_eq!(rs.len(), 5);
+        for (i, p) in rs.iter().enumerate() {
+            assert!((p.x - 0.25 * i as f64).abs() < 1e-9);
+            assert!(p.y.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.1, 0.5),
+            Vec2::new(-0.2, 0.9),
+            Vec2::new(0.4, 1.4),
+        ];
+        let rs = resample(&pts, 17).unwrap();
+        assert_eq!(rs[0], pts[0]);
+        assert!(rs.last().unwrap().distance(*pts.last().unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn resample_spacing_is_equal() {
+        let pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ];
+        let rs = resample(&pts, 33).unwrap();
+        let steps: Vec<f64> = rs.windows(2).map(|w| w[0].distance(w[1])).collect();
+        let expect = 4.0 / 32.0;
+        for s in steps {
+            assert!((s - expect).abs() < 1e-6, "step {s} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(resample(&[], 8).is_none());
+        assert!(resample(&[Vec2::ZERO], 8).is_none());
+        assert!(resample(&[Vec2::ZERO, Vec2::ZERO], 8).is_none());
+        assert!(resample(&[Vec2::ZERO, Vec2::new(1.0, 0.0)], 1).is_none());
+        assert!(normalize(&[Vec2::new(2.0, 2.0), Vec2::new(2.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn normalize_centers_and_scales() {
+        let pts = vec![Vec2::new(1.0, 1.0), Vec2::new(3.0, 1.0), Vec2::new(2.0, 3.0)];
+        let n = normalize(&pts).unwrap();
+        let c = centroid(&n);
+        assert!(c.norm() < 1e-12);
+        assert!((rms_radius(&n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_is_scale_invariant() {
+        let pts = vec![Vec2::new(0.0, 0.0), Vec2::new(0.1, 0.0), Vec2::new(0.1, 0.2)];
+        let scaled: Vec<Vec2> = pts.iter().map(|&p| p * 37.0 + Vec2::new(5.0, -2.0)).collect();
+        let a = normalize(&pts).unwrap();
+        let b = normalize(&scaled).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.distance(*y) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prepare_composes() {
+        let pts = vec![Vec2::new(0.0, 0.0), Vec2::new(0.3, 0.4)];
+        let p = prepare(&pts, 16).unwrap();
+        assert_eq!(p.len(), 16);
+        assert!((rms_radius(&p) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,248 @@
+//! Angle wrapping, conversion, and circular arithmetic.
+//!
+//! RFID phase readings live on the circle `[0, 2π)`: an ImpinJ-class
+//! reader reports `mod(4π·d/λ + offset, 2π)`. Comparing, differencing and
+//! unwrapping such values correctly is foundational to the whole tracking
+//! pipeline (Eqs. 5–7 of the paper), so every crate uses these helpers
+//! instead of ad-hoc `%` arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::{PI, TAU};
+
+/// Convert degrees to radians.
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Convert radians to degrees.
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+/// Wrap an angle into `[0, 2π)`.
+pub fn wrap_tau(a: f64) -> f64 {
+    let w = a.rem_euclid(TAU);
+    // `rem_euclid` may return exactly TAU for inputs like -1e-17.
+    if w >= TAU {
+        0.0
+    } else {
+        w
+    }
+}
+
+/// Wrap an angle into `(−π, π]`.
+pub fn wrap_pi(a: f64) -> f64 {
+    let w = wrap_tau(a);
+    if w > PI {
+        w - TAU
+    } else {
+        w
+    }
+}
+
+/// Signed circular difference `a − b`, wrapped into `(−π, π]`.
+///
+/// This is the correct way to subtract two phase readings: a tag moving
+/// smoothly produces small `phase_diff` values even when the raw readings
+/// straddle the 0/2π boundary.
+pub fn phase_diff(a: f64, b: f64) -> f64 {
+    wrap_pi(a - b)
+}
+
+/// Absolute circular distance between two angles, in `[0, π]`.
+pub fn phase_distance(a: f64, b: f64) -> f64 {
+    phase_diff(a, b).abs()
+}
+
+/// Unwrap a sequence of phase readings (each in `[0, 2π)`) into a
+/// continuous series by removing 2π jumps, like NumPy's `unwrap`.
+///
+/// Returns an empty vector for empty input.
+pub fn unwrap_phases(phases: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(phases.len());
+    let mut prev_raw = match phases.first() {
+        Some(&p) => p,
+        None => return out,
+    };
+    let mut offset = 0.0;
+    out.push(prev_raw);
+    for &p in &phases[1..] {
+        let d = p - prev_raw;
+        if d > PI {
+            offset -= TAU;
+        } else if d < -PI {
+            offset += TAU;
+        }
+        out.push(p + offset);
+        prev_raw = p;
+    }
+    out
+}
+
+/// Circular mean of a set of angles, in `[0, 2π)`; `None` if the mean
+/// resultant vector is (near-)zero (i.e. the angles are balanced around
+/// the circle and no mean is defined).
+pub fn circular_mean(angles: &[f64]) -> Option<f64> {
+    if angles.is_empty() {
+        return None;
+    }
+    let (mut s, mut c) = (0.0, 0.0);
+    for &a in angles {
+        s += a.sin();
+        c += a.cos();
+    }
+    if s.hypot(c) < 1e-9 {
+        None
+    } else {
+        Some(wrap_tau(s.atan2(c)))
+    }
+}
+
+/// An angle newtype used where degree/radian mix-ups would be costly
+/// (antenna mounting angles, pen elevation).
+///
+/// Stored internally in radians.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Angle(f64);
+
+impl Angle {
+    /// Zero angle.
+    pub const ZERO: Angle = Angle(0.0);
+
+    /// Construct from radians.
+    pub const fn from_rad(rad: f64) -> Angle {
+        Angle(rad)
+    }
+
+    /// Construct from degrees.
+    pub fn from_deg(deg: f64) -> Angle {
+        Angle(deg_to_rad(deg))
+    }
+
+    /// Value in radians.
+    pub const fn rad(self) -> f64 {
+        self.0
+    }
+
+    /// Value in degrees.
+    pub fn deg(self) -> f64 {
+        rad_to_deg(self.0)
+    }
+
+    /// Wrapped into `[0, 2π)`.
+    pub fn wrapped_tau(self) -> Angle {
+        Angle(wrap_tau(self.0))
+    }
+
+    /// Wrapped into `(−π, π]`.
+    pub fn wrapped_pi(self) -> Angle {
+        Angle(wrap_pi(self.0))
+    }
+
+    /// Sine.
+    pub fn sin(self) -> f64 {
+        self.0.sin()
+    }
+
+    /// Cosine.
+    pub fn cos(self) -> f64 {
+        self.0.cos()
+    }
+}
+
+impl std::ops::Add for Angle {
+    type Output = Angle;
+    fn add(self, rhs: Angle) -> Angle {
+        Angle(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Angle {
+    type Output = Angle;
+    fn sub(self, rhs: Angle) -> Angle {
+        Angle(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Neg for Angle {
+    type Output = Angle;
+    fn neg(self) -> Angle {
+        Angle(-self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_into_tau_range() {
+        assert!((wrap_tau(-0.1) - (TAU - 0.1)).abs() < 1e-12);
+        assert!((wrap_tau(TAU + 0.1) - 0.1).abs() < 1e-12);
+        assert_eq!(wrap_tau(0.0), 0.0);
+        assert_eq!(wrap_tau(-1e-18), 0.0, "tiny negatives must not map to TAU");
+    }
+
+    #[test]
+    fn wrapping_into_pi_range() {
+        assert!((wrap_pi(PI + 0.1) - (-PI + 0.1)).abs() < 1e-12);
+        assert!((wrap_pi(-PI - 0.1) - (PI - 0.1)).abs() < 1e-12);
+        assert_eq!(wrap_pi(PI), PI, "+π stays +π (half-open interval)");
+    }
+
+    #[test]
+    fn phase_diff_across_boundary() {
+        // 0.05 rad and 2π−0.05 rad are only 0.1 rad apart on the circle.
+        let d = phase_diff(0.05, TAU - 0.05);
+        assert!((d - 0.1).abs() < 1e-12);
+        let d = phase_diff(TAU - 0.05, 0.05);
+        assert!((d + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unwrap_recovers_linear_ramp() {
+        // A tag receding at constant speed makes phase a sawtooth; unwrap
+        // must recover the underlying ramp.
+        let true_phase: Vec<f64> = (0..100).map(|i| 0.3 * i as f64).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap_tau(p)).collect();
+        let unwrapped = unwrap_phases(&wrapped);
+        for (u, t) in unwrapped.iter().zip(&true_phase) {
+            assert!((u - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_handles_descending_ramp() {
+        let true_phase: Vec<f64> = (0..100).map(|i| 50.0 - 0.4 * i as f64).collect();
+        let wrapped: Vec<f64> = true_phase.iter().map(|&p| wrap_tau(p)).collect();
+        let unwrapped = unwrap_phases(&wrapped);
+        for w in unwrapped.windows(2) {
+            assert!((w[1] - w[0] + 0.4).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_empty_and_single() {
+        assert!(unwrap_phases(&[]).is_empty());
+        assert_eq!(unwrap_phases(&[1.5]), vec![1.5]);
+    }
+
+    #[test]
+    fn circular_mean_near_boundary() {
+        let m = circular_mean(&[0.1, TAU - 0.1]).unwrap();
+        assert!(m < 1e-9 || (TAU - m) < 1e-9, "mean of ±0.1 is 0, got {m}");
+    }
+
+    #[test]
+    fn circular_mean_balanced_is_none() {
+        assert!(circular_mean(&[0.0, PI]).is_none());
+        assert!(circular_mean(&[]).is_none());
+    }
+
+    #[test]
+    fn angle_degree_round_trip() {
+        let a = Angle::from_deg(30.0);
+        assert!((a.rad() - PI / 6.0).abs() < 1e-12);
+        assert!((a.deg() - 30.0).abs() < 1e-12);
+    }
+}

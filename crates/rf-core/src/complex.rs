@@ -1,0 +1,173 @@
+//! Minimal complex arithmetic for baseband channel gains.
+//!
+//! The multipath channel seen by each reader antenna is a sum of complex
+//! path gains; the reader measures its magnitude (→ RSS) and argument
+//! (→ phase report). We implement only the operations the simulation
+//! needs rather than pulling in a numerics crate.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from rectangular components.
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Construct from polar form: `magnitude · e^{i·phase}`.
+    pub fn from_polar(magnitude: f64, phase: f64) -> Complex {
+        let (s, c) = phase.sin_cos();
+        Complex::new(magnitude * c, magnitude * s)
+    }
+
+    /// `e^{i·phase}` — a pure phasor.
+    pub fn cis(phase: f64) -> Complex {
+        Complex::from_polar(1.0, phase)
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude (power, for unit-impedance conventions).
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument in `(−π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sq();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, s: f64) -> Complex {
+        self.scale(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.5, 1.2);
+        assert!((z.abs() - 2.5).abs() < 1e-12);
+        assert!((z.arg() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplication_adds_phases() {
+        let a = Complex::cis(0.7);
+        let b = Complex::cis(1.1);
+        let p = a * b;
+        assert!((p.arg() - 1.8).abs() < 1e-12);
+        assert!((p.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let m = Complex::I * Complex::I;
+        assert!((m.re + 1.0).abs() < 1e-12 && m.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(3.0, -2.0);
+        let b = Complex::new(-1.5, 0.5);
+        let q = (a * b) / b;
+        assert!((q.re - a.re).abs() < 1e-12 && (q.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_negates_argument() {
+        let z = Complex::from_polar(1.0, FRAC_PI_2);
+        assert!((z.conj().arg() + FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn destructive_interference_sums_to_zero() {
+        // Two equal-magnitude paths π out of phase cancel — the mechanism
+        // behind deep multipath fades.
+        let sum = Complex::cis(0.3) + Complex::cis(0.3 + PI);
+        assert!(sum.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Decibel / linear power conversions.
+//!
+//! RFID readers report RSS in dBm (the paper's Figure 3(b) peaks at
+//! −24 dBm); link-budget arithmetic is additive in dB but the underlying
+//! channel is multiplicative in linear power. These helpers keep the two
+//! domains straight.
+
+/// Convert a power in dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Convert a power in milliwatts to dBm.
+///
+/// Returns `f64::NEG_INFINITY` for non-positive powers (a zero-power
+/// signal is infinitely far down).
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    if mw <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * mw.log10()
+    }
+}
+
+/// Convert a dB gain/loss to a linear power ratio.
+pub fn db_to_ratio(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Convert a linear power ratio to dB.
+///
+/// Returns `f64::NEG_INFINITY` for non-positive ratios.
+pub fn ratio_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * ratio.log10()
+    }
+}
+
+/// Convert a linear *amplitude* ratio to dB (20·log10).
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * ratio.log10()
+    }
+}
+
+/// Sum two powers expressed in dBm (incoherent combination).
+pub fn dbm_add(a_dbm: f64, b_dbm: f64) -> f64 {
+    mw_to_dbm(dbm_to_mw(a_dbm) + dbm_to_mw(b_dbm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_round_trip() {
+        for dbm in [-90.0, -24.0, 0.0, 30.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reference_points() {
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12, "0 dBm = 1 mW");
+        assert!((dbm_to_mw(30.0) - 1000.0).abs() < 1e-9, "30 dBm = 1 W");
+        assert!((db_to_ratio(3.0) - 1.9953).abs() < 1e-3, "3 dB ≈ ×2");
+        assert!((db_to_ratio(10.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_power_is_negative_infinity() {
+        assert_eq!(mw_to_dbm(0.0), f64::NEG_INFINITY);
+        assert_eq!(ratio_to_db(-1.0), f64::NEG_INFINITY);
+        assert_eq!(amplitude_to_db(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn amplitude_db_is_twice_power_db() {
+        assert!((amplitude_to_db(10.0) - 20.0).abs() < 1e-9);
+        // cos β amplitude factor → 20·log10 in dB; round-trip backscatter
+        // (two legs) → 40·log10, as used in the link budget.
+        let beta: f64 = 60f64.to_radians();
+        let one_leg = amplitude_to_db(beta.cos());
+        assert!((one_leg - (-6.02)).abs() < 0.01);
+    }
+
+    #[test]
+    fn incoherent_sum_of_equal_powers_is_plus_3db() {
+        assert!((dbm_add(-30.0, -30.0) - (-26.9897)).abs() < 1e-3);
+    }
+}

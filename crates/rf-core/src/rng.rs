@@ -1,0 +1,93 @@
+//! Deterministic randomness plumbing.
+//!
+//! Every experiment in the workspace is reproducible from a single `u64`
+//! seed. Sub-systems (channel noise, Gen2 slot selection, pen jitter,
+//! per-trial variation) each derive an independent stream from the master
+//! seed with [`derive_seed`], so adding a consumer in one module never
+//! perturbs the stream seen by another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derive a child seed from a parent seed and a domain label.
+///
+/// Uses the SplitMix64 finalizer over the parent seed mixed with an FNV-1a
+/// hash of the label — cheap, stable across platforms/releases, and good
+/// enough to decorrelate streams (this is not cryptography).
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(parent ^ h)
+}
+
+/// Derive a child seed from a parent seed and an index (per-trial streams).
+pub fn derive_seed_indexed(parent: u64, label: &str, index: u64) -> u64 {
+    splitmix64(derive_seed(parent, label).wrapping_add(splitmix64(index)))
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Construct the workspace-standard RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draw from a zero-mean Gaussian via Box–Muller (two uniforms).
+///
+/// We carry our own implementation instead of `rand_distr` to keep the
+/// dependency set to the approved list.
+pub fn gaussian<R: Rng>(rng: &mut R, std_dev: f64) -> f64 {
+    // Box–Muller; guard u1 away from 0 so ln() is finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * std_dev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_are_stable() {
+        // Regression pin: changing these would silently change every
+        // experiment in the workspace.
+        assert_eq!(derive_seed(42, "channel"), derive_seed(42, "channel"));
+        assert_ne!(derive_seed(42, "channel"), derive_seed(42, "pen"));
+        assert_ne!(derive_seed(42, "channel"), derive_seed(43, "channel"));
+    }
+
+    #[test]
+    fn indexed_seeds_differ_per_index() {
+        let a = derive_seed_indexed(7, "trial", 0);
+        let b = derive_seed_indexed(7, "trial", 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_seed_indexed(7, "trial", 0));
+    }
+
+    #[test]
+    fn gaussian_has_plausible_moments() {
+        let mut rng = rng_from_seed(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible() {
+        let mut a = rng_from_seed(99);
+        let mut b = rng_from_seed(99);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

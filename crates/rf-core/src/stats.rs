@@ -1,0 +1,172 @@
+//! Descriptive statistics for the evaluation harness.
+//!
+//! The paper reports medians, 90th-percentile errors, CDFs (Fig. 19) and
+//! accuracies; these helpers compute them deterministically (no interior
+//! mutability, stable sorting of NaN-free data).
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Unbiased sample variance; `None` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation; `None` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Percentile by linear interpolation between closest ranks,
+/// `p` in `[0, 100]`. `None` for empty input or out-of-range `p`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Empirical CDF evaluated at each sorted sample: returns
+/// `(value, P[X ≤ value])` pairs suitable for plotting (Fig. 19).
+pub fn empirical_cdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Fraction of booleans that are `true` (recognition accuracy).
+pub fn accuracy(outcomes: &[bool]) -> Option<f64> {
+    if outcomes.is_empty() {
+        None
+    } else {
+        Some(outcomes.iter().filter(|&&b| b).count() as f64 / outcomes.len() as f64)
+    }
+}
+
+/// Root-mean-square of a slice; `None` for empty input.
+pub fn rms(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some((xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt())
+    }
+}
+
+/// Simple moving average with the given window length (≥ 1); the first
+/// `window − 1` outputs average over the available prefix. Returns the
+/// input unchanged for `window ≤ 1`.
+pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
+    if window <= 1 {
+        return xs.to_vec();
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for i in 0..xs.len() {
+        sum += xs[i];
+        if i >= window {
+            sum -= xs[i - window];
+        }
+        let n = (i + 1).min(window);
+        out.push(sum / n as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert!((variance(&xs).unwrap() - 4.571428).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(accuracy(&[]), None);
+        assert_eq!(rms(&[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert_eq!(median(&xs), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range() {
+        assert_eq!(percentile(&[1.0], -1.0), None);
+        assert_eq!(percentile(&[1.0], 100.1), None);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let xs = [3.0, 1.0, 2.0, 2.0];
+        let cdf = empirical_cdf(&xs);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_true_fraction() {
+        assert_eq!(accuracy(&[true, true, false, true]), Some(0.75));
+    }
+
+    #[test]
+    fn moving_average_smooths_constant_to_itself() {
+        let xs = [2.0; 10];
+        assert_eq!(moving_average(&xs, 4), xs.to_vec());
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let xs = [1.0, 5.0, -2.0];
+        assert_eq!(moving_average(&xs, 1), xs.to_vec());
+        assert_eq!(moving_average(&xs, 0), xs.to_vec());
+    }
+
+    #[test]
+    fn moving_average_prefix_uses_partial_window() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ma = moving_average(&xs, 2);
+        assert_eq!(ma, vec![1.0, 1.5, 2.5, 3.5]);
+    }
+}

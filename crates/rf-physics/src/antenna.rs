@@ -1,0 +1,172 @@
+//! Reader antenna models.
+//!
+//! PolarDraw replaces the reader's standard circularly-polarized antennas
+//! with *linearly*-polarized ones (§1). We model both so the ablation
+//! "what if we had kept circular polarization?" is expressible: a
+//! circularly-polarized antenna couples to any dipole orientation with a
+//! constant −3 dB factor, destroying the orientation information the
+//! paper exploits.
+
+use crate::polarization;
+use rf_core::{db_to_ratio, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Antenna polarization type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Polarization {
+    /// Linear polarization along the given (unit) axis.
+    Linear(Vec3),
+    /// Circular polarization: orientation-independent −3 dB coupling to a
+    /// linear dipole, no usable mismatch-angle information.
+    Circular,
+}
+
+/// A reader antenna: position, boresight, polarization, and a patch-like
+/// gain pattern `G(θ) = G₀·cosⁿθ` clipped to the front hemisphere.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Antenna {
+    /// Phase-centre position, metres.
+    pub position: Vec3,
+    /// Boresight (main-beam) unit direction.
+    pub boresight: Vec3,
+    /// Polarization.
+    pub polarization: Polarization,
+    /// Boresight gain, dBi. The Laird antennas used by the paper are
+    /// ~6 dBi panels.
+    pub gain_dbi: f64,
+    /// Pattern exponent `n` in `cosⁿθ`; larger = more directional.
+    pub pattern_exponent: f64,
+}
+
+impl Antenna {
+    /// A linearly-polarized panel antenna typical of the paper's setup.
+    pub fn linear(position: Vec3, boresight: Vec3, pol_axis: Vec3) -> Antenna {
+        Antenna {
+            position,
+            boresight,
+            polarization: Polarization::Linear(pol_axis),
+            gain_dbi: 6.0,
+            pattern_exponent: 2.0,
+        }
+    }
+
+    /// A circularly-polarized panel antenna (stock RFID deployment).
+    pub fn circular(position: Vec3, boresight: Vec3) -> Antenna {
+        Antenna {
+            position,
+            boresight,
+            polarization: Polarization::Circular,
+            gain_dbi: 6.0,
+            pattern_exponent: 2.0,
+        }
+    }
+
+    /// Linear *amplitude* gain toward `target` (√ of the power gain),
+    /// including the pattern roll-off. Zero behind the antenna.
+    pub fn amplitude_gain_towards(&self, target: Vec3) -> f64 {
+        let dir = match (target - self.position).normalized() {
+            Some(d) => d,
+            None => return 0.0,
+        };
+        let cos_theta = self.boresight.dot(dir);
+        if cos_theta <= 0.0 {
+            return 0.0; // back hemisphere of a panel antenna
+        }
+        let pattern = cos_theta.powf(self.pattern_exponent);
+        (db_to_ratio(self.gain_dbi) * pattern).sqrt()
+    }
+
+    /// Polarization coupling factor toward a dipole tag (signed, in
+    /// `[−1, 1]`): `ê·u` for linear polarization, `1/√2` (−3 dB in
+    /// power) independent of orientation for circular.
+    pub fn polarization_coupling(&self, tag_pos: Vec3, dipole: Vec3) -> f64 {
+        match self.polarization {
+            Polarization::Linear(axis) => {
+                polarization::coupling(self.position, axis, tag_pos, dipole)
+            }
+            Polarization::Circular => std::f64::consts::FRAC_1_SQRT_2,
+        }
+    }
+
+    /// Polarization mismatch angle β toward a dipole (radians, `[0, π/2]`).
+    /// For circular polarization there is no mismatch concept; returns 0.
+    pub fn mismatch_angle(&self, tag_pos: Vec3, dipole: Vec3) -> f64 {
+        match self.polarization {
+            Polarization::Linear(axis) => {
+                polarization::mismatch_angle(self.position, axis, tag_pos, dipole)
+            }
+            Polarization::Circular => 0.0,
+        }
+    }
+
+    /// The polarization axis for linear antennas; `None` for circular.
+    pub fn linear_axis(&self) -> Option<Vec3> {
+        match self.polarization {
+            Polarization::Linear(a) => Some(a),
+            Polarization::Circular => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn downward_panel() -> Antenna {
+        Antenna::linear(Vec3::new(0.0, 0.0, 2.0), -Vec3::Z, Vec3::X)
+    }
+
+    #[test]
+    fn boresight_gain_matches_spec() {
+        let a = downward_panel();
+        let g = a.amplitude_gain_towards(Vec3::ZERO);
+        // 6 dBi → power ratio ~3.98 → amplitude ~1.995.
+        assert!((g * g - 3.981).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gain_rolls_off_away_from_boresight() {
+        let a = downward_panel();
+        let on_axis = a.amplitude_gain_towards(Vec3::ZERO);
+        let off_axis = a.amplitude_gain_towards(Vec3::new(1.5, 0.0, 0.0));
+        assert!(off_axis < on_axis);
+        assert!(off_axis > 0.0);
+    }
+
+    #[test]
+    fn back_hemisphere_is_dark() {
+        let a = downward_panel();
+        assert_eq!(a.amplitude_gain_towards(Vec3::new(0.0, 0.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn target_at_antenna_position_gains_zero() {
+        let a = downward_panel();
+        assert_eq!(a.amplitude_gain_towards(a.position), 0.0);
+    }
+
+    #[test]
+    fn linear_coupling_depends_on_orientation_circular_does_not() {
+        let lin = downward_panel();
+        let circ = Antenna::circular(Vec3::new(0.0, 0.0, 2.0), -Vec3::Z);
+        let aligned = lin.polarization_coupling(Vec3::ZERO, Vec3::X).abs();
+        let crossed = lin.polarization_coupling(Vec3::ZERO, Vec3::Y).abs();
+        assert!(aligned > 0.99 && crossed < 1e-9);
+        let c1 = circ.polarization_coupling(Vec3::ZERO, Vec3::X);
+        let c2 = circ.polarization_coupling(Vec3::ZERO, Vec3::Y);
+        assert!((c1 - c2).abs() < 1e-12, "circular is orientation-blind");
+        assert!((c1 * c1 - 0.5).abs() < 1e-12, "−3 dB coupling");
+    }
+
+    #[test]
+    fn mismatch_angle_zero_for_circular() {
+        let circ = Antenna::circular(Vec3::new(0.0, 0.0, 2.0), -Vec3::Z);
+        assert_eq!(circ.mismatch_angle(Vec3::ZERO, Vec3::Y), 0.0);
+    }
+
+    #[test]
+    fn linear_axis_accessor() {
+        assert_eq!(downward_panel().linear_axis(), Some(Vec3::X));
+        assert_eq!(Antenna::circular(Vec3::ZERO, Vec3::Z).linear_axis(), None);
+    }
+}

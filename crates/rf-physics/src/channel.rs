@@ -1,0 +1,458 @@
+//! The composite monostatic backscatter channel.
+//!
+//! For each (reader antenna, tag pose, time) triple we compute the
+//! one-way complex field coupling onto the tag dipole,
+//!
+//! ```text
+//! F = Σ_paths g_ant(path) · g_tag · A(L_path) · (ê_path · u) · e^{−j 2π L_path / λ}
+//! ```
+//!
+//! summed over the line-of-sight path, image-method wall reflections and
+//! the optional bystander scatter. By antenna reciprocity the monostatic
+//! round trip is `h = m · F²` with `m` the tag's backscatter modulation
+//! factor, so:
+//!
+//! * received backscatter power `P_rx = P_tx · |h|²` — the reader's RSS;
+//! * measured phase `θ = arg h + φ_cable` — note `arg h = 2·arg F`,
+//!   which is why phase advances by `4π/λ` per metre of tag motion
+//!   (Eq. 5 of the paper);
+//! * forward power at the tag `P_tag = P_tx · |F|²` — gated against the
+//!   chip sensitivity to decide whether the tag responds at all. This is
+//!   what makes reads vanish near β = 90° in Figure 3(b).
+
+use crate::antenna::Antenna;
+use crate::multipath::{Bystander, Reflector};
+use crate::noise::NoiseModel;
+use crate::polarization::{rotate_about_axis, transverse_field};
+use crate::propagation::log_distance_amplitude;
+use crate::spectrum::ChannelPlan;
+use rf_core::{db_to_ratio, wrap_tau, Complex, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Everything the reader can know about one interrogation attempt,
+/// before receiver measurement noise and quantization (those live in
+/// `rfid-sim`, which owns the reader).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkObservation {
+    /// Power delivered to the tag chip, dBm (one-way).
+    pub forward_power_dbm: f64,
+    /// Backscatter power at the reader port, dBm (round trip).
+    pub rx_power_dbm: f64,
+    /// Noise-free carrier phase at the reader, radians in `[0, 2π)`.
+    pub phase_rad: f64,
+    /// Whether the tag chip received enough power to respond.
+    pub tag_powered: bool,
+    /// The raw round-trip complex gain (amplitude relative to `P_tx`).
+    pub round_trip: Complex,
+    /// Line-of-sight polarization mismatch angle β, radians (diagnostic).
+    pub mismatch_rad: f64,
+}
+
+/// The full RF environment: antennas, clutter, regulatory plan, budgets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// Reader antennas (PolarDraw uses two; baselines up to four).
+    pub antennas: Vec<Antenna>,
+    /// Static planar reflectors (office clutter).
+    pub reflectors: Vec<Reflector>,
+    /// Optional bystander scatterer (Fig. 16 experiments).
+    pub bystander: Option<Bystander>,
+    /// Carrier schedule.
+    pub plan: ChannelPlan,
+    /// Receiver noise model (consumed by `rfid-sim`).
+    pub noise: NoiseModel,
+    /// Reader conducted transmit power, dBm (FCC limit: 30 dBm).
+    pub tx_power_dbm: f64,
+    /// Tag antenna gain, dBi (AD-227m5-class inlays ≈ 2 dBi).
+    pub tag_gain_dbi: f64,
+    /// Backscatter modulation loss, dB (power lost to the modulation
+    /// depth of the chip; ≈ 5 dB for common chips).
+    pub backscatter_loss_db: f64,
+    /// Tag chip forward-power sensitivity, dBm (Monza-class ≈ −18 dBm).
+    pub tag_sensitivity_dbm: f64,
+    /// Per-antenna cable/connector phase offsets, radians.
+    pub cable_phase_rad: Vec<f64>,
+    /// Path-loss exponent (2.0 = free space; slightly above in clutter).
+    pub path_loss_exponent: f64,
+}
+
+impl ChannelModel {
+    /// An empty free-space channel with the given antennas.
+    pub fn free_space(antennas: Vec<Antenna>) -> ChannelModel {
+        let n = antennas.len();
+        ChannelModel {
+            antennas,
+            reflectors: Vec::new(),
+            bystander: None,
+            plan: ChannelPlan::fixed_mid_band(),
+            noise: NoiseModel::default(),
+            tx_power_dbm: 30.0,
+            tag_gain_dbi: 2.0,
+            backscatter_loss_db: 5.0,
+            tag_sensitivity_dbm: -18.0,
+            cable_phase_rad: vec![0.0; n],
+            path_loss_exponent: 2.0,
+        }
+    }
+
+    /// The paper's deployment (Figs. 4/17): two linearly-polarized
+    /// antennas mounted `spacing` apart above the writing block, facing
+    /// it from `standoff` metres in front (the "tag-to-reader distance"
+    /// of Table 5). Polarization axes lie in the board plane at ±γ from
+    /// board-vertical; with the line of sight roughly perpendicular to
+    /// the board, the transverse plane ≈ the board plane and the Fig. 8
+    /// sector construction applies directly (the residual obliquity
+    /// warps the *effective* γ slightly — a real deployment calibrates
+    /// it, and `experiments::setup::effective_gamma` computes it).
+    ///
+    /// Board frame: X rightward, Y downward (write area around
+    /// y ≈ 0.55–0.9 m), Z out of the board toward the antennas.
+    pub fn two_antenna_whiteboard(gamma_rad: f64, spacing_m: f64, standoff_m: f64) -> ChannelModel {
+        let pol1 = pol_axis_at(std::f64::consts::FRAC_PI_2 + gamma_rad);
+        let pol2 = pol_axis_at(std::f64::consts::FRAC_PI_2 - gamma_rad);
+        let write_center = Vec3::new(0.0, 0.72, 0.0);
+        let mount = |x: f64| Vec3::new(x, 0.15, standoff_m.max(0.05));
+        let a1_pos = mount(-spacing_m / 2.0);
+        let a2_pos = mount(spacing_m / 2.0);
+        let a1 = Antenna::linear(
+            a1_pos,
+            (write_center - a1_pos).normalized().unwrap(),
+            pol1,
+        );
+        let a2 = Antenna::linear(
+            a2_pos,
+            (write_center - a2_pos).normalized().unwrap(),
+            pol2,
+        );
+        let mut ch = ChannelModel::free_space(vec![a1, a2]);
+        ch.reflectors = office_clutter();
+        ch.cable_phase_rad = vec![0.9, 2.1];
+        ch
+    }
+
+    /// Number of antenna ports.
+    pub fn antenna_count(&self) -> usize {
+        self.antennas.len()
+    }
+
+    /// Evaluate the link for `antenna_idx` with the tag at `tag_pos`
+    /// (metres) and dipole orientation `dipole` (need not be unit) at
+    /// time `t` seconds.
+    ///
+    /// # Panics
+    /// Panics if `antenna_idx` is out of range.
+    pub fn evaluate(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        let ant = &self.antennas[antenna_idx];
+        let lambda = self.plan.wavelength_at(t);
+        let g_tag = db_to_ratio(self.tag_gain_dbi).sqrt();
+        let u = dipole.normalized().unwrap_or(Vec3::Z);
+
+        let mut f = Complex::ZERO;
+
+        // Line of sight.
+        let d_los = ant.position.distance(tag_pos);
+        let los_amp = ant.amplitude_gain_towards(tag_pos)
+            * g_tag
+            * log_distance_amplitude(d_los, lambda, self.path_loss_exponent);
+        let los_coupling = ant.polarization_coupling(tag_pos, u);
+        f += Complex::from_polar(
+            los_amp * los_coupling,
+            -std::f64::consts::TAU * d_los / lambda,
+        );
+
+        // Wall reflections (image method, one bounce).
+        for refl in &self.reflectors {
+            if let Some(term) = reflector_term(ant, refl, tag_pos, u, lambda, g_tag, self.path_loss_exponent) {
+                f += term;
+            }
+        }
+
+        // Bystander scatter.
+        if let Some(by) = &self.bystander {
+            if let Some(term) = bystander_term(ant, by, tag_pos, u, lambda, g_tag, t, self.path_loss_exponent) {
+                f += term;
+            }
+        }
+
+        let forward_power_dbm = self.tx_power_dbm + amp_to_db(f.abs());
+        let tag_powered = forward_power_dbm >= self.tag_sensitivity_dbm;
+
+        let m = db_to_ratio(-self.backscatter_loss_db).sqrt();
+        let h = (f * f).scale(m);
+        let rx_power_dbm = self.tx_power_dbm + amp_to_db(h.abs());
+        let cable = self.cable_phase_rad.get(antenna_idx).copied().unwrap_or(0.0);
+        // Readers report phase in the Eq.-6 convention of the paper:
+        // θ = 4π·l/λ (mod 2π), i.e. *increasing* with distance — the
+        // negation of the physical e^{−jkd} propagation argument.
+        let phase_rad = wrap_tau(-h.arg() + cable);
+        let mismatch_rad = ant.mismatch_angle(tag_pos, u);
+
+        LinkObservation {
+            forward_power_dbm,
+            rx_power_dbm,
+            phase_rad,
+            tag_powered,
+            round_trip: h,
+            mismatch_rad,
+        }
+    }
+}
+
+/// Unit polarization axis in the board plane at `angle` radians from +X.
+pub fn pol_axis_at(angle: f64) -> Vec3 {
+    Vec3::new(angle.cos(), angle.sin(), 0.0)
+}
+
+/// The standard "cluttered office" reflector set used by the default
+/// scenes: a wall behind the writer, the ceiling, and a side wall, each
+/// with moderate reflectivity and some depolarization.
+pub fn office_clutter() -> Vec<Reflector> {
+    vec![
+        // Wall 2 m behind the whiteboard plane (z = +2 m side is the
+        // writer's side; the wall faces back toward the board).
+        Reflector {
+            point: Vec3::new(0.0, 0.0, 2.0),
+            normal: -Vec3::Z,
+            reflectivity: 0.35,
+            depolarization: 0.7,
+        },
+        // Ceiling 1.5 m above the antennas (y = −1.5 in board frame).
+        Reflector {
+            point: Vec3::new(0.0, -1.5, 0.0),
+            normal: Vec3::Y,
+            reflectivity: 0.3,
+            depolarization: 1.1,
+        },
+        // Side wall 2.5 m to the right.
+        Reflector {
+            point: Vec3::new(2.5, 0.0, 0.0),
+            normal: -Vec3::X,
+            reflectivity: 0.25,
+            depolarization: 0.5,
+        },
+    ]
+}
+
+fn amp_to_db(a: f64) -> f64 {
+    if a <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * a.log10()
+    }
+}
+
+fn reflector_term(
+    ant: &Antenna,
+    refl: &Reflector,
+    tag_pos: Vec3,
+    u: Vec3,
+    lambda: f64,
+    g_tag: f64,
+    ple: f64,
+) -> Option<Complex> {
+    let (len, arrive_dir) = refl.path(ant.position, tag_pos);
+    // Radiated field toward the mirror image of the tag.
+    let image = refl.mirror(tag_pos);
+    let emit_dir = (image - ant.position).normalized()?;
+    let e0 = match ant.linear_axis() {
+        Some(axis) => transverse_field(axis, emit_dir)?,
+        // Circular antennas: use an arbitrary transverse reference at
+        // −3 dB; orientation information is destroyed anyway.
+        None => transverse_field(Vec3::X, emit_dir)? * std::f64::consts::FRAC_1_SQRT_2,
+    };
+    let e1 = refl.reflect_polarization(e0, arrive_dir);
+    let coupling = e1.dot(u);
+    let amp = ant.amplitude_gain_towards(image) * g_tag * log_distance_amplitude(len, lambda, ple);
+    Some(Complex::from_polar(
+        amp * coupling,
+        -std::f64::consts::TAU * len / lambda,
+    ))
+}
+
+fn bystander_term(
+    ant: &Antenna,
+    by: &Bystander,
+    tag_pos: Vec3,
+    u: Vec3,
+    lambda: f64,
+    g_tag: f64,
+    t: f64,
+    ple: f64,
+) -> Option<Complex> {
+    let body = by.position_at(t);
+    let (l1, l2, arrive_dir) = by.path(ant.position, tag_pos, t);
+    let emit_dir = (body - ant.position).normalized()?;
+    let e0 = match ant.linear_axis() {
+        Some(axis) => transverse_field(axis, emit_dir)?,
+        None => transverse_field(Vec3::X, emit_dir)? * std::f64::consts::FRAC_1_SQRT_2,
+    };
+    // Scattered field: depolarized rotation of the incident field,
+    // attenuated by the body's scattering coefficient. The two legs are
+    // combined as a single detour path (specular-point approximation).
+    let e1 = rotate_about_axis(e0, arrive_dir, by.depolarization) * by.scattering;
+    let coupling = e1.dot(u);
+    let total = l1 + l2;
+    let amp = ant.amplitude_gain_towards(body) * g_tag * log_distance_amplitude(total, lambda, ple);
+    Some(Complex::from_polar(
+        amp * coupling,
+        -std::f64::consts::TAU * total / lambda,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipath::BystanderMotion;
+    use rf_core::deg_to_rad;
+    use std::f64::consts::FRAC_PI_2;
+
+    /// Single downward-looking antenna 1 m above the origin, X-polarized,
+    /// free space: the cleanest testbed.
+    fn bench_channel() -> ChannelModel {
+        let ant = Antenna::linear(Vec3::new(0.0, 0.0, 1.0), -Vec3::Z, Vec3::X);
+        ChannelModel::free_space(vec![ant])
+    }
+
+    #[test]
+    fn aligned_tag_at_one_metre_hits_expected_budget() {
+        let ch = bench_channel();
+        let obs = ch.evaluate(0, Vec3::ZERO, Vec3::X, 0.0);
+        // Analytic: F = g_ant · g_tag · λ/(4πd)
+        //             = 1.995 · 1.259 · 0.02608 ≈ 0.0655
+        // → P_tag = 30 + 20·log10 F ≈ +6.3 dBm;
+        //   P_rx  = 30 + 20·log10(m·F²) ≈ −22.3 dBm (m = −5 dB).
+        assert!(obs.tag_powered);
+        assert!((obs.forward_power_dbm - 6.33).abs() < 0.1, "fwd {}", obs.forward_power_dbm);
+        assert!((obs.rx_power_dbm - (-22.35)).abs() < 0.2, "rx {}", obs.rx_power_dbm);
+    }
+
+    #[test]
+    fn rss_follows_cos4_law_under_rotation() {
+        // Figure 3(b): rotating the tag sweeps RSS as 40·log10 cos β.
+        let ch = bench_channel();
+        let rss0 = ch.evaluate(0, Vec3::ZERO, Vec3::X, 0.0).rx_power_dbm;
+        for deg in [15.0, 30.0, 45.0, 60.0] {
+            let b = deg_to_rad(deg);
+            let dipole = Vec3::new(b.cos(), b.sin(), 0.0);
+            let rss = ch.evaluate(0, Vec3::ZERO, dipole, 0.0).rx_power_dbm;
+            let expect_drop = -40.0 * b.cos().log10();
+            assert!(
+                ((rss0 - rss) - expect_drop).abs() < 0.05,
+                "β = {deg}°: drop {} vs cos⁴ law {expect_drop}",
+                rss0 - rss
+            );
+        }
+    }
+
+    #[test]
+    fn cross_polarized_tag_loses_power_in_free_space() {
+        let ch = bench_channel();
+        let obs = ch.evaluate(0, Vec3::ZERO, Vec3::Y, 0.0);
+        assert!(!obs.tag_powered, "no NLoS energy in free space at β = 90°");
+        assert_eq!(obs.forward_power_dbm, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn cross_polarized_tag_may_survive_via_reflections() {
+        let mut ch = bench_channel();
+        // Side wall in the antenna's front hemisphere (a wall behind the
+        // antenna would be in the panel's back null and contribute
+        // nothing — tested by `back_hemisphere_is_dark`).
+        ch.reflectors = vec![Reflector {
+            point: Vec3::new(2.0, 0.0, 0.0),
+            normal: -Vec3::X,
+            reflectivity: 0.8,
+            depolarization: 1.2,
+        }];
+        let obs = ch.evaluate(0, Vec3::ZERO, Vec3::Y, 0.0);
+        // The depolarized reflection couples into the crossed dipole.
+        assert!(obs.forward_power_dbm > f64::NEG_INFINITY);
+        // And its phase is set by the *reflected* path — the "spurious
+        // reading" mechanism of §2.
+        let aligned = ch.evaluate(0, Vec3::ZERO, Vec3::X, 0.0);
+        let spurious_gap = rf_core::angle::phase_distance(obs.phase_rad, aligned.phase_rad);
+        assert!(spurious_gap > 0.2, "reflected path must shift phase, gap {spurious_gap}");
+    }
+
+    #[test]
+    fn phase_advances_at_4pi_per_wavelength() {
+        // Eq. 5: Δθ = 4π·Δd/λ — the round trip doubles the slope, and
+        // the reported phase *increases* as the tag recedes (Eq. 6).
+        let ch = bench_channel();
+        let lambda = ch.plan.wavelength_at(0.0);
+        let p1 = ch.evaluate(0, Vec3::ZERO, Vec3::X, 0.0).phase_rad;
+        let dz = -0.01; // 1 cm farther from the antenna
+        let p2 = ch.evaluate(0, Vec3::new(0.0, 0.0, dz), Vec3::X, 0.0).phase_rad;
+        let measured = rf_core::angle::phase_diff(p2, p1);
+        let expect = 2.0 * std::f64::consts::TAU * 0.01 / lambda;
+        assert!(
+            (measured - rf_core::wrap_pi(expect)).abs() < 1e-6,
+            "measured {measured} expected {expect}"
+        );
+    }
+
+    #[test]
+    fn rss_insensitive_to_small_translation() {
+        // Figure 3(c): 8 cm of motion moves RSS by well under a dB.
+        let ch = bench_channel();
+        let r1 = ch.evaluate(0, Vec3::new(0.0, 0.0, 0.0), Vec3::X, 0.0).rx_power_dbm;
+        let r2 = ch.evaluate(0, Vec3::new(0.04, 0.0, 0.0), Vec3::X, 0.0).rx_power_dbm;
+        assert!((r1 - r2).abs() < 1.0, "Δ = {}", (r1 - r2).abs());
+    }
+
+    #[test]
+    fn whiteboard_preset_geometry() {
+        let ch = ChannelModel::two_antenna_whiteboard(deg_to_rad(15.0), 0.56, 0.3);
+        assert_eq!(ch.antenna_count(), 2);
+        let p1 = ch.antennas[0].linear_axis().unwrap();
+        let p2 = ch.antennas[1].linear_axis().unwrap();
+        // Axes straddle board-vertical symmetrically.
+        let a1 = p1.y.atan2(p1.x);
+        let a2 = p2.y.atan2(p2.x);
+        assert!((a1 - (FRAC_PI_2 + deg_to_rad(15.0))).abs() < 1e-9);
+        assert!((a2 - (FRAC_PI_2 - deg_to_rad(15.0))).abs() < 1e-9);
+        // A pen-like tag mid-board is readable by both antennas.
+        let dipole = pol_axis_at(FRAC_PI_2);
+        for idx in 0..2 {
+            let obs = ch.evaluate(idx, Vec3::new(0.0, 0.7, 0.0), dipole, 0.0);
+            assert!(obs.tag_powered, "antenna {idx} cannot power the tag");
+        }
+    }
+
+    #[test]
+    fn walking_bystander_makes_channel_time_varying() {
+        let mut ch = bench_channel();
+        ch.bystander = Some(Bystander {
+            position: Vec3::new(0.4, 0.0, 0.5),
+            motion: BystanderMotion::Walking { amplitude_m: 0.5, frequency_hz: 0.5 },
+            scattering: 0.25,
+            depolarization: 0.9,
+        });
+        let p0 = ch.evaluate(0, Vec3::ZERO, Vec3::X, 0.0).phase_rad;
+        let p1 = ch.evaluate(0, Vec3::ZERO, Vec3::X, 0.7).phase_rad;
+        assert!(
+            rf_core::angle::phase_distance(p0, p1) > 1e-4,
+            "moving scatterer must modulate the composite phase"
+        );
+    }
+
+    #[test]
+    fn static_scene_is_time_invariant() {
+        let mut ch = bench_channel();
+        ch.reflectors = office_clutter();
+        let a = ch.evaluate(0, Vec3::new(0.1, 0.2, 0.0), Vec3::X, 0.0);
+        let b = ch.evaluate(0, Vec3::new(0.1, 0.2, 0.0), Vec3::X, 5.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cable_phase_shifts_reported_phase_only() {
+        let mut ch = bench_channel();
+        let base = ch.evaluate(0, Vec3::ZERO, Vec3::X, 0.0);
+        ch.cable_phase_rad = vec![1.0];
+        let shifted = ch.evaluate(0, Vec3::ZERO, Vec3::X, 0.0);
+        assert_eq!(base.rx_power_dbm, shifted.rx_power_dbm);
+        let d = rf_core::angle::phase_diff(shifted.phase_rad, base.phase_rad);
+        assert!((d - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! # rf-physics — electromagnetic substrate for the PolarDraw reproduction
+//!
+//! The paper's measurements come from real UHF RFID hardware in a
+//! cluttered office. This crate replaces that hardware with a
+//! physics-grade simulation of the monostatic backscatter link:
+//!
+//! * [`polarization`] — the heart of the paper: coupling between a
+//!   linearly-polarized reader antenna and the tag's dipole, computed by
+//!   full 3-D projection onto the plane transverse to the line of sight.
+//!   Reproduces the cos β law of Figure 1/3(b).
+//! * [`antenna`] — linearly/circularly polarized antenna models with
+//!   patch-like gain patterns.
+//! * [`propagation`] — free-space and log-distance path loss.
+//! * [`multipath`] — image-method planar reflectors (walls, the
+//!   whiteboard's surroundings) and a bystander scatterer (static or
+//!   walking), both of which rotate polarization on reflection. These
+//!   produce the "spurious" phase readings of §2 that PolarDraw's
+//!   pre-processing must reject, and the interference regimes of Fig. 16.
+//! * [`channel`] — composes everything into a time-varying complex
+//!   channel: one-way field sum `F = Σ_p f_p`, round-trip backscatter
+//!   `h = m·F²`, forward tag power for the sensitivity gate.
+//! * [`noise`] — thermal floor, RSS and phase measurement noise.
+//! * [`spectrum`] — the FCC 902–928 MHz channel plan with an optional
+//!   frequency-hopping sequence (the paper implicitly uses per-channel
+//!   processing; fixed-channel is the default).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod antenna;
+pub mod channel;
+pub mod multipath;
+pub mod noise;
+pub mod polarization;
+pub mod propagation;
+pub mod spectrum;
+
+pub use antenna::{Antenna, Polarization};
+pub use channel::{ChannelModel, LinkObservation};
+pub use multipath::{Bystander, BystanderMotion, Reflector};
+pub use noise::NoiseModel;
+pub use spectrum::ChannelPlan;

@@ -1,0 +1,240 @@
+//! Multipath: image-method planar reflectors and a bystander scatterer.
+//!
+//! Two empirical facts from the paper's feasibility study (§2) drive this
+//! module's requirements:
+//!
+//! 1. When the tag is cross-polarized to the reader (β ≈ 90°) it still
+//!    occasionally responds "along non-line-of-sight signal propagation
+//!    paths, where the signal bounces off nearby objects, changing the
+//!    measured phase angle" — the *spurious phase* readings PolarDraw's
+//!    pre-processor rejects. Reflections must therefore rotate
+//!    polarization, so that some energy survives the LoS null.
+//! 2. A bystander standing (static multipath) or walking (dynamic
+//!    multipath) near the whiteboard perturbs accuracy only mildly beyond
+//!    30 cm (Fig. 16). The bystander is modelled as a discrete scatterer
+//!    whose path gain falls with both legs of the detour.
+
+use crate::polarization::rotate_about_axis;
+use rf_core::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An infinite planar reflector (wall, ceiling, desk surface).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reflector {
+    /// Any point on the plane.
+    pub point: Vec3,
+    /// Unit normal.
+    pub normal: Vec3,
+    /// Amplitude reflection coefficient in `[0, 1]` (drywall ≈ 0.3–0.5,
+    /// metal ≈ 0.9).
+    pub reflectivity: f64,
+    /// Extra polarization rotation applied on reflection, radians.
+    /// Real oblique reflections mix s- and p-components; a fixed
+    /// per-reflector rotation captures the resulting cross-polarized
+    /// leakage without a full Fresnel treatment.
+    pub depolarization: f64,
+}
+
+impl Reflector {
+    /// A wall `offset` metres behind the whiteboard plane (z = −offset).
+    pub fn wall_behind(offset: f64, reflectivity: f64, depolarization: f64) -> Reflector {
+        Reflector {
+            point: Vec3::new(0.0, 0.0, -offset),
+            normal: Vec3::Z,
+            reflectivity,
+            depolarization,
+        }
+    }
+
+    /// Mirror a point across the reflector plane.
+    pub fn mirror(&self, p: Vec3) -> Vec3 {
+        let d = (p - self.point).dot(self.normal);
+        p - self.normal * (2.0 * d)
+    }
+
+    /// Mirror a *direction* (free vector) across the plane.
+    pub fn mirror_dir(&self, v: Vec3) -> Vec3 {
+        v - self.normal * (2.0 * v.dot(self.normal))
+    }
+
+    /// Geometry of the single-bounce path from `src` to `dst`:
+    /// `(path_length, arrival_direction_at_dst)`.
+    ///
+    /// By the image method the reflected path has the length of the
+    /// straight line from the mirrored source to the destination, and
+    /// arrives from the mirrored source's direction.
+    pub fn path(&self, src: Vec3, dst: Vec3) -> (f64, Vec3) {
+        let image = self.mirror(src);
+        let delta = dst - image;
+        let len = delta.norm();
+        let dir = delta.normalized().unwrap_or(Vec3::Z);
+        (len, dir)
+    }
+
+    /// Transform a field polarization vector through the reflection:
+    /// mirror it, then apply the depolarization rotation about the
+    /// outgoing propagation axis `k_out`.
+    pub fn reflect_polarization(&self, e: Vec3, k_out: Vec3) -> Vec3 {
+        let mirrored = self.mirror_dir(e);
+        rotate_about_axis(mirrored, k_out, self.depolarization) * self.reflectivity
+    }
+}
+
+/// How the bystander moves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BystanderMotion {
+    /// Standing still: static multipath.
+    Static,
+    /// Pacing sinusoidally along X with the given peak-to-peak amplitude
+    /// (m) and cadence (Hz). Walking ≈ 0.5 m at 0.5–1 Hz.
+    Walking {
+        /// Peak-to-peak excursion, metres.
+        amplitude_m: f64,
+        /// Pacing frequency, hertz.
+        frequency_hz: f64,
+    },
+}
+
+/// A human bystander near the whiteboard, modelled as a point scatterer
+/// with a fixed (random, per-scene) scattered polarization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bystander {
+    /// Torso centre at t = 0.
+    pub position: Vec3,
+    /// Motion model.
+    pub motion: BystanderMotion,
+    /// Amplitude scattering coefficient (dimensionless, relative to an
+    /// isotropic re-radiator); human torso at UHF ≈ 0.1–0.3.
+    pub scattering: f64,
+    /// Orientation of the scattered field's polarization, radians, about
+    /// the outgoing propagation axis. Human tissue scatters with largely
+    /// randomized polarization.
+    pub depolarization: f64,
+}
+
+impl Bystander {
+    /// Position at time `t` seconds.
+    pub fn position_at(&self, t: f64) -> Vec3 {
+        match self.motion {
+            BystanderMotion::Static => self.position,
+            BystanderMotion::Walking { amplitude_m, frequency_hz } => {
+                let dx = 0.5
+                    * amplitude_m
+                    * (std::f64::consts::TAU * frequency_hz * t).sin();
+                self.position + Vec3::new(dx, 0.0, 0.0)
+            }
+        }
+    }
+
+    /// Geometry of the scattered path `src → body(t) → dst`:
+    /// `(leg1_length, leg2_length, arrival_direction_at_dst)`.
+    pub fn path(&self, src: Vec3, dst: Vec3, t: f64) -> (f64, f64, Vec3) {
+        let body = self.position_at(t);
+        let l1 = (body - src).norm();
+        let delta = dst - body;
+        let l2 = delta.norm();
+        (l1, l2, delta.normalized().unwrap_or(Vec3::Z))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_across_back_wall() {
+        let wall = Reflector::wall_behind(1.0, 0.4, 0.3);
+        let m = wall.mirror(Vec3::new(0.5, 0.2, 2.0));
+        assert_eq!(m, Vec3::new(0.5, 0.2, -4.0));
+        // Mirroring twice is the identity.
+        assert_eq!(wall.mirror(m), Vec3::new(0.5, 0.2, 2.0));
+    }
+
+    #[test]
+    fn mirror_dir_flips_normal_component_only() {
+        let wall = Reflector::wall_behind(1.0, 0.4, 0.0);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(wall.mirror_dir(v), Vec3::new(1.0, 2.0, -3.0));
+    }
+
+    #[test]
+    fn reflected_path_is_longer_than_direct() {
+        let wall = Reflector::wall_behind(1.5, 0.4, 0.0);
+        let src = Vec3::new(0.0, 0.0, 2.0);
+        let dst = Vec3::new(0.3, 0.1, 0.0);
+        let (len, _) = wall.path(src, dst);
+        assert!(len > src.distance(dst));
+    }
+
+    #[test]
+    fn reflected_path_obeys_image_geometry() {
+        // Source and destination equidistant from the wall: the bounce
+        // path length equals the direct distance between the mirrored
+        // endpoints (classic image construction).
+        let wall = Reflector { point: Vec3::ZERO, normal: Vec3::Z, reflectivity: 1.0, depolarization: 0.0 };
+        let src = Vec3::new(-1.0, 0.0, 1.0);
+        let dst = Vec3::new(1.0, 0.0, 1.0);
+        let (len, dir) = wall.path(src, dst);
+        assert!((len - 2.0 * 2f64.sqrt()).abs() < 1e-12);
+        // Arrives travelling up and to the right at 45°.
+        assert!((dir.x - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((dir.z - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflection_attenuates_field() {
+        let wall = Reflector::wall_behind(1.0, 0.4, 0.0);
+        let e = Vec3::X;
+        let r = wall.reflect_polarization(e, Vec3::Z);
+        assert!((r.norm() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarization_injects_cross_component() {
+        // An X-polarized field reflecting with nonzero depolarization
+        // acquires a Y component — the energy that survives the LoS
+        // cross-polarization null and causes spurious phases.
+        let wall = Reflector::wall_behind(1.0, 1.0, 0.5);
+        let r = wall.reflect_polarization(Vec3::X, Vec3::Z);
+        assert!(r.y.abs() > 0.4);
+    }
+
+    #[test]
+    fn static_bystander_does_not_move() {
+        let b = Bystander {
+            position: Vec3::new(0.5, 0.0, 0.6),
+            motion: BystanderMotion::Static,
+            scattering: 0.2,
+            depolarization: 0.7,
+        };
+        assert_eq!(b.position_at(0.0), b.position_at(10.0));
+    }
+
+    #[test]
+    fn walking_bystander_oscillates() {
+        let b = Bystander {
+            position: Vec3::new(0.5, 0.0, 0.6),
+            motion: BystanderMotion::Walking { amplitude_m: 0.5, frequency_hz: 0.5 },
+            scattering: 0.2,
+            depolarization: 0.7,
+        };
+        let quarter = b.position_at(0.5); // quarter period: peak excursion
+        assert!((quarter.x - 0.75).abs() < 1e-9);
+        let full = b.position_at(2.0); // full period: back to start
+        assert!((full.x - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bystander_path_lengths_are_positive_detours() {
+        let b = Bystander {
+            position: Vec3::new(0.3, 0.2, 0.5),
+            motion: BystanderMotion::Static,
+            scattering: 0.2,
+            depolarization: 0.0,
+        };
+        let src = Vec3::new(0.0, -0.1, 1.5);
+        let dst = Vec3::new(0.4, 0.3, 0.0);
+        let (l1, l2, _) = b.path(src, dst, 0.0);
+        assert!(l1 + l2 > src.distance(dst));
+    }
+}

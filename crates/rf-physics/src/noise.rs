@@ -1,0 +1,113 @@
+//! Measurement noise models.
+//!
+//! Separates *channel* randomness (handled in `channel`) from *receiver*
+//! measurement noise: the RSSI jitter and phase jitter a real reader
+//! reports even for a perfectly static tag. ImpinJ-class readers show
+//! roughly ±0.5 dB RSSI granularity and ~0.1 rad phase spread at good
+//! SNR, degrading as the backscatter approaches the sensitivity floor.
+
+use rand::Rng;
+use rf_core::rng::gaussian;
+use serde::{Deserialize, Serialize};
+
+/// Receiver noise configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Reader noise floor, dBm (thermal + NF over the backscatter BW).
+    pub noise_floor_dbm: f64,
+    /// RSSI measurement std-dev at high SNR, dB.
+    pub rssi_sigma_db: f64,
+    /// Phase measurement std-dev at high SNR, radians.
+    pub phase_sigma_rad: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            noise_floor_dbm: -85.0,
+            rssi_sigma_db: 0.4,
+            phase_sigma_rad: 0.10,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// Signal-to-noise ratio in dB for a backscatter at `rx_dbm`.
+    pub fn snr_db(&self, rx_dbm: f64) -> f64 {
+        rx_dbm - self.noise_floor_dbm
+    }
+
+    /// Effective phase std-dev at the given receive power: the high-SNR
+    /// floor inflated by `1/√SNR` (the CRLB scaling for phase estimation).
+    pub fn phase_sigma_at(&self, rx_dbm: f64) -> f64 {
+        let snr = rf_core::db_to_ratio(self.snr_db(rx_dbm)).max(1e-6);
+        // At 30 dB SNR the CRLB term is ~0.022 rad; the quadrature sum
+        // with the floor keeps high-SNR behaviour at `phase_sigma_rad`.
+        let crlb = (1.0 / (2.0 * snr)).sqrt();
+        (self.phase_sigma_rad.powi(2) + crlb.powi(2)).sqrt()
+    }
+
+    /// Effective RSSI std-dev at the given receive power.
+    pub fn rssi_sigma_at(&self, rx_dbm: f64) -> f64 {
+        let snr = rf_core::db_to_ratio(self.snr_db(rx_dbm)).max(1e-6);
+        let crlb = 4.34 / snr.sqrt(); // ≈ 10/ln10 · 1/√SNR dB
+        (self.rssi_sigma_db.powi(2) + crlb.powi(2)).sqrt()
+    }
+
+    /// Sample an RSSI perturbation, dB.
+    pub fn sample_rssi_noise<R: Rng>(&self, rng: &mut R, rx_dbm: f64) -> f64 {
+        gaussian(rng, self.rssi_sigma_at(rx_dbm))
+    }
+
+    /// Sample a phase perturbation, radians.
+    pub fn sample_phase_noise<R: Rng>(&self, rng: &mut R, rx_dbm: f64) -> f64 {
+        gaussian(rng, self.phase_sigma_at(rx_dbm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_core::rng::rng_from_seed;
+
+    #[test]
+    fn snr_is_power_above_floor() {
+        let n = NoiseModel::default();
+        assert_eq!(n.snr_db(-25.0), 60.0);
+    }
+
+    #[test]
+    fn high_snr_sigmas_approach_floors() {
+        let n = NoiseModel::default();
+        assert!((n.phase_sigma_at(-20.0) - n.phase_sigma_rad).abs() < 0.01);
+        assert!((n.rssi_sigma_at(-20.0) - n.rssi_sigma_db).abs() < 0.05);
+    }
+
+    #[test]
+    fn sigmas_grow_near_the_floor() {
+        let n = NoiseModel::default();
+        assert!(n.phase_sigma_at(-80.0) > 3.0 * n.phase_sigma_rad);
+        assert!(n.rssi_sigma_at(-80.0) > 3.0 * n.rssi_sigma_db);
+    }
+
+    #[test]
+    fn sigma_is_monotone_in_power() {
+        let n = NoiseModel::default();
+        let mut prev = f64::INFINITY;
+        for dbm in [-84.0, -70.0, -55.0, -40.0, -25.0] {
+            let s = n.phase_sigma_at(dbm);
+            assert!(s < prev, "phase sigma must shrink with power");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn samples_have_requested_spread() {
+        let n = NoiseModel::default();
+        let mut rng = rng_from_seed(5);
+        let xs: Vec<f64> = (0..10_000).map(|_| n.sample_phase_noise(&mut rng, -30.0)).collect();
+        let var = xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64;
+        let target = n.phase_sigma_at(-30.0).powi(2);
+        assert!((var / target - 1.0).abs() < 0.1, "var {var} target {target}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Polarization coupling between a linearly-polarized antenna and a
+//! dipole tag.
+//!
+//! A linearly-polarized wave propagating along unit vector `k` carries an
+//! electric field confined to the plane transverse to `k` (Figure 1 of
+//! the paper). The voltage induced on a dipole of unit orientation `u` is
+//! proportional to `ê · u`, where `ê` is the unit field polarization in
+//! that transverse plane. When antenna and tag are coplanar and broadside
+//! (the whiteboard geometry), this reduces to `cos β` with `β` the
+//! polarization mismatch angle — the quantity PolarDraw's rotational
+//! estimator inverts.
+
+use rf_core::Vec3;
+
+/// Field polarization of a linearly-polarized antenna as radiated toward
+/// direction `k` (unit vector from antenna to observation point): the
+/// antenna's polarization axis projected onto the transverse plane and
+/// renormalized.
+///
+/// Returns `None` when `k` is (anti)parallel to the polarization axis —
+/// the antenna radiates no co-polarized field in that direction.
+pub fn transverse_field(pol_axis: Vec3, k: Vec3) -> Option<Vec3> {
+    pol_axis.reject_from(k).normalized()
+}
+
+/// Complex-free coupling factor between a linearly-polarized antenna
+/// (axis `pol_axis`, at `antenna_pos`) and a dipole tag (axis `dipole`,
+/// at `tag_pos`): `ê · u`, in `[−1, 1]`.
+///
+/// The magnitude is the `cos β` of the paper; the sign flips when the
+/// dipole crosses the polarization plane (irrelevant to power, which is
+/// `cos² β` per link leg, but kept for field superposition).
+///
+/// The dot is taken against the *full 3-D unit dipole* rather than its
+/// normalized transverse projection, so the dipole's own pattern null
+/// (no response along its axis) is captured for free.
+pub fn coupling(antenna_pos: Vec3, pol_axis: Vec3, tag_pos: Vec3, dipole: Vec3) -> f64 {
+    let k = match (tag_pos - antenna_pos).normalized() {
+        Some(k) => k,
+        None => return 0.0, // co-located: undefined geometry, no coupling
+    };
+    let e = match transverse_field(pol_axis, k) {
+        Some(e) => e,
+        None => return 0.0,
+    };
+    let u = match dipole.normalized() {
+        Some(u) => u,
+        None => return 0.0,
+    };
+    e.dot(u)
+}
+
+/// Polarization mismatch angle β in `[0, π/2]` between antenna and tag,
+/// as would be measured by the RSS drop: `β = arccos |ê · u⊥̂|`, where
+/// `u⊥̂` is the *normalized* transverse dipole component.
+///
+/// This isolates pure polarization mismatch from the dipole pattern
+/// roll-off; use [`coupling`] for link-budget work.
+pub fn mismatch_angle(antenna_pos: Vec3, pol_axis: Vec3, tag_pos: Vec3, dipole: Vec3) -> f64 {
+    let k = match (tag_pos - antenna_pos).normalized() {
+        Some(k) => k,
+        None => return std::f64::consts::FRAC_PI_2,
+    };
+    let e = match transverse_field(pol_axis, k) {
+        Some(e) => e,
+        None => return std::f64::consts::FRAC_PI_2,
+    };
+    let u_t = match dipole.reject_from(k).normalized() {
+        Some(u) => u,
+        None => return std::f64::consts::FRAC_PI_2,
+    };
+    e.dot(u_t).abs().clamp(0.0, 1.0).acos()
+}
+
+/// Rotate a field vector `e` by `angle` radians about the propagation
+/// axis `k` (Rodrigues' formula restricted to the transverse plane).
+///
+/// Reflections off walls and furniture partially rotate polarization;
+/// this is how the multipath module injects cross-polarized energy that
+/// survives when the line-of-sight coupling nulls out at β = 90°.
+pub fn rotate_about_axis(e: Vec3, k: Vec3, angle: f64) -> Vec3 {
+    let (s, c) = angle.sin_cos();
+    e * c + k.cross(e) * s + k * (k.dot(e) * (1.0 - c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_core::deg_to_rad;
+    use std::f64::consts::FRAC_PI_2;
+
+    /// Broadside geometry used throughout: antenna above the origin on
+    /// the +Z axis looking down, tag at the origin in the X–Y plane.
+    fn broadside() -> (Vec3, Vec3) {
+        (Vec3::new(0.0, 0.0, 2.5), Vec3::ZERO)
+    }
+
+    #[test]
+    fn aligned_coupling_is_unity() {
+        let (ant, tag) = broadside();
+        let c = coupling(ant, Vec3::X, tag, Vec3::X);
+        assert!((c.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_coupling_is_zero() {
+        let (ant, tag) = broadside();
+        let c = coupling(ant, Vec3::X, tag, Vec3::Y);
+        assert!(c.abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupling_follows_cos_beta_in_broadside() {
+        // Rotating the tag in the transverse plane must trace cos β —
+        // the law behind Figure 3(b).
+        let (ant, tag) = broadside();
+        for deg in [0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 89.0] {
+            let b = deg_to_rad(deg);
+            let dipole = Vec3::new(b.cos(), b.sin(), 0.0);
+            let c = coupling(ant, Vec3::X, tag, dipole);
+            assert!(
+                (c - b.cos()).abs() < 1e-12,
+                "β = {deg}°: coupling {c} vs cos β {}",
+                b.cos()
+            );
+        }
+    }
+
+    #[test]
+    fn mismatch_angle_matches_rotation_in_broadside() {
+        let (ant, tag) = broadside();
+        for deg in [0.0, 10.0, 45.0, 80.0, 90.0] {
+            let b = deg_to_rad(deg);
+            let dipole = Vec3::new(b.cos(), b.sin(), 0.0);
+            let m = mismatch_angle(ant, Vec3::X, tag, dipole);
+            assert!((m - b.min(FRAC_PI_2)).abs() < 1e-9, "deg {deg} → {m}");
+        }
+    }
+
+    #[test]
+    fn dipole_along_los_has_no_coupling() {
+        // A dipole pointing straight at the antenna is in its own pattern
+        // null: no transverse component.
+        let (ant, tag) = broadside();
+        let c = coupling(ant, Vec3::X, tag, Vec3::Z);
+        assert!(c.abs() < 1e-12);
+    }
+
+    #[test]
+    fn tilted_dipole_couples_through_projection() {
+        // Dipole tilted 45° out of the transverse plane, transverse
+        // component along X: coupling is cos 45°, not 1.
+        let (ant, tag) = broadside();
+        let dipole = Vec3::new(1.0, 0.0, 1.0);
+        let c = coupling(ant, Vec3::X, tag, dipole);
+        assert!((c - FRAC_PI_2.sin() * 0.0f64.cos() / 2f64.sqrt() * 2.0 / 2f64.sqrt()).abs() < 0.3);
+        assert!((c - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_angle_ignores_elevation_tilt() {
+        // Same tilted dipole: *mismatch angle* normalizes the transverse
+        // component, so β = 0 even though coupling < 1.
+        let (ant, tag) = broadside();
+        let dipole = Vec3::new(1.0, 0.0, 1.0);
+        let m = mismatch_angle(ant, Vec3::X, tag, dipole);
+        assert!(m < 1e-9);
+    }
+
+    #[test]
+    fn polarization_axis_parallel_to_los_is_null() {
+        let ant = Vec3::new(0.0, 0.0, 2.5);
+        // Antenna "polarized" along Z but the tag is straight below: no
+        // transverse field at all.
+        assert_eq!(transverse_field(Vec3::Z, -Vec3::Z), None);
+        let c = coupling(ant, Vec3::Z, Vec3::ZERO, Vec3::X);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn rotate_about_axis_quarter_turn() {
+        let e = Vec3::X;
+        let r = rotate_about_axis(e, Vec3::Z, FRAC_PI_2);
+        assert!((r.x).abs() < 1e-12 && (r.y - 1.0).abs() < 1e-12 && r.z.abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_transversality() {
+        let k = Vec3::new(0.0, 0.0, 1.0);
+        let e = Vec3::new(0.6, 0.8, 0.0);
+        let r = rotate_about_axis(e, k, 1.234);
+        assert!((r.norm() - 1.0).abs() < 1e-12);
+        assert!(r.dot(k).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_broadside_geometry_still_bounded() {
+        // Oblique geometry: coupling must stay in [−1, 1].
+        let ant = Vec3::new(0.3, -0.2, 1.0);
+        for i in 0..50 {
+            let a = i as f64 * 0.13;
+            let dipole = Vec3::new(a.cos(), a.sin(), 0.3).normalized().unwrap();
+            let c = coupling(ant, Vec3::new(0.2, 0.98, 0.0), Vec3::new(0.5, 0.3, 0.0), dipole);
+            assert!((-1.0..=1.0).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Regulatory channel plan for the US UHF RFID band.
+//!
+//! FCC Part 15 readers hop pseudo-randomly across 50 channels of 500 kHz
+//! between 902.75 and 927.25 MHz. Each hop shifts the carrier and
+//! therefore the phase-vs-distance slope — a real complication for
+//! phase-based trackers. The paper processes per-channel (fixed-channel
+//! behaviour); we default to a fixed channel but expose the hopping
+//! sequence so the ablation "what does hopping cost?" can be run.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of FCC channels.
+pub const FCC_CHANNEL_COUNT: usize = 50;
+/// First channel's centre frequency, Hz.
+pub const FCC_FIRST_CENTER_HZ: f64 = 902.75e6;
+/// Channel spacing, Hz.
+pub const FCC_SPACING_HZ: f64 = 0.5e6;
+/// FCC maximum dwell per channel within any 20 s window, seconds.
+pub const FCC_MAX_DWELL_S: f64 = 0.4;
+
+/// Carrier-frequency schedule for the reader.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChannelPlan {
+    /// Stay on one channel index (0-based). The paper's effective mode.
+    Fixed(usize),
+    /// Hop through a permutation of all 50 channels, dwelling
+    /// `dwell_s` on each (≤ 0.4 s per FCC).
+    Hopping {
+        /// Permutation of channel indices.
+        sequence: Vec<usize>,
+        /// Dwell time per channel, seconds.
+        dwell_s: f64,
+    },
+}
+
+impl ChannelPlan {
+    /// The workspace default: fixed mid-band channel (~915 MHz).
+    pub fn fixed_mid_band() -> ChannelPlan {
+        ChannelPlan::Fixed(24)
+    }
+
+    /// A deterministic hopping plan derived from a seed (linear
+    /// congruential shuffle — stable across releases).
+    pub fn hopping_from_seed(seed: u64, dwell_s: f64) -> ChannelPlan {
+        let mut seq: Vec<usize> = (0..FCC_CHANNEL_COUNT).collect();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..seq.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            seq.swap(i, j);
+        }
+        ChannelPlan::Hopping { sequence: seq, dwell_s: dwell_s.min(FCC_MAX_DWELL_S) }
+    }
+
+    /// Channel index active at time `t` seconds.
+    pub fn channel_at(&self, t: f64) -> usize {
+        match self {
+            ChannelPlan::Fixed(idx) => *idx,
+            ChannelPlan::Hopping { sequence, dwell_s } => {
+                let slot = (t / dwell_s).floor() as usize % sequence.len();
+                sequence[slot]
+            }
+        }
+    }
+
+    /// Carrier frequency in Hz at time `t`.
+    pub fn frequency_at(&self, t: f64) -> f64 {
+        channel_frequency(self.channel_at(t))
+    }
+
+    /// Wavelength in metres at time `t`.
+    pub fn wavelength_at(&self, t: f64) -> f64 {
+        rf_core::wavelength(self.frequency_at(t))
+    }
+}
+
+/// Centre frequency of channel `idx` (clamped to the plan).
+pub fn channel_frequency(idx: usize) -> f64 {
+    let idx = idx.min(FCC_CHANNEL_COUNT - 1);
+    FCC_FIRST_CENTER_HZ + idx as f64 * FCC_SPACING_HZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_edges() {
+        assert_eq!(channel_frequency(0), 902.75e6);
+        assert_eq!(channel_frequency(49), 927.25e6);
+        // Out-of-range indices clamp instead of leaving the band.
+        assert_eq!(channel_frequency(1000), 927.25e6);
+    }
+
+    #[test]
+    fn fixed_plan_never_moves() {
+        let p = ChannelPlan::fixed_mid_band();
+        assert_eq!(p.channel_at(0.0), p.channel_at(123.4));
+        let f = p.frequency_at(0.0);
+        assert!((914.0e6..916.0e6).contains(&f), "mid-band ≈ 915 MHz, got {f}");
+    }
+
+    #[test]
+    fn hopping_visits_all_channels() {
+        let p = ChannelPlan::hopping_from_seed(7, 0.2);
+        if let ChannelPlan::Hopping { sequence, .. } = &p {
+            let mut seen = [false; FCC_CHANNEL_COUNT];
+            for &c in sequence {
+                seen[c] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "a hop plan is a permutation");
+        } else {
+            panic!("expected hopping plan");
+        }
+    }
+
+    #[test]
+    fn hopping_changes_channel_between_dwells() {
+        let p = ChannelPlan::hopping_from_seed(7, 0.2);
+        let a = p.channel_at(0.0);
+        let b = p.channel_at(0.25);
+        assert_ne!(a, b, "dwell is 0.2 s; 0.25 s later we must have hopped");
+        assert_eq!(p.channel_at(0.0), p.channel_at(0.19));
+    }
+
+    #[test]
+    fn dwell_is_clamped_to_fcc_limit() {
+        let p = ChannelPlan::hopping_from_seed(1, 5.0);
+        if let ChannelPlan::Hopping { dwell_s, .. } = p {
+            assert!(dwell_s <= FCC_MAX_DWELL_S);
+        } else {
+            panic!("expected hopping plan");
+        }
+    }
+
+    #[test]
+    fn hop_sequence_is_deterministic_per_seed() {
+        assert_eq!(
+            ChannelPlan::hopping_from_seed(3, 0.2),
+            ChannelPlan::hopping_from_seed(3, 0.2)
+        );
+        assert_ne!(
+            ChannelPlan::hopping_from_seed(3, 0.2),
+            ChannelPlan::hopping_from_seed(4, 0.2)
+        );
+    }
+
+    #[test]
+    fn wavelength_tracks_channel() {
+        let p = ChannelPlan::Fixed(0);
+        assert!((p.wavelength_at(0.0) - rf_core::wavelength(902.75e6)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,222 @@
+//! EPC Gen2 inventory-round machinery.
+//!
+//! A reader inventories tags in rounds: it broadcasts `Query` (which
+//! carries the slot-count parameter Q), tags draw a random slot in
+//! `[0, 2^Q)`, and the reader steps through slots with `QueryRep`. A tag
+//! whose counter hits zero backscatters an RN16; the reader ACKs and the
+//! tag sends its EPC (plus CRC). Phase/RSSI measurements ride on the EPC
+//! backscatter.
+//!
+//! PolarDraw tracks a *single* tag, so the interesting outputs are the
+//! per-read latency (it sets the ~100 Hz report rate the paper quotes)
+//! and the Q-algorithm dynamics that keep the round short.
+
+use crate::modulation::ModulationScheme;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Reader-to-tag (downlink) data rate, bits/s, for typical Tari = 12.5 µs
+/// PIE encoding (average symbol ≈ 1.5 Tari).
+pub const DOWNLINK_BPS: f64 = 53_333.0;
+
+/// Message sizes, bits.
+pub mod frame {
+    /// `Query` command length.
+    pub const QUERY_BITS: u32 = 22;
+    /// `QueryRep` command length.
+    pub const QUERY_REP_BITS: u32 = 4;
+    /// `ACK` command length.
+    pub const ACK_BITS: u32 = 18;
+    /// RN16 reply (16 bits + preamble ≈ 6).
+    pub const RN16_BITS: u32 = 22;
+    /// EPC reply: PC (16) + EPC-96 + CRC16 + preamble ≈ 134.
+    pub const EPC_BITS: u32 = 134;
+}
+
+/// Link turnaround times, seconds (T1/T2 of the Gen2 spec, order 50 µs).
+pub const T1_S: f64 = 60e-6;
+/// Reader-to-tag turnaround after a tag reply.
+pub const T2_S: f64 = 50e-6;
+
+/// Timing and state of the Gen2 MAC for a single-reader session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gen2Config {
+    /// Uplink modulation.
+    pub scheme: ModulationScheme,
+    /// Initial/maximum Q exponent. With one tag, Q quickly anneals to 0.
+    pub q_init: u32,
+    /// Extra per-round overhead (reader processing, CW settle), seconds.
+    pub round_overhead_s: f64,
+}
+
+impl Default for Gen2Config {
+    fn default() -> Self {
+        Gen2Config {
+            scheme: ModulationScheme::Miller4,
+            q_init: 0,
+            round_overhead_s: 4.0e-3,
+        }
+    }
+}
+
+impl Gen2Config {
+    /// Duration of one successful single-tag inventory round, seconds:
+    /// Query → RN16 → ACK → EPC plus turnarounds and overhead.
+    pub fn successful_round_duration(&self) -> f64 {
+        let down = f64::from(frame::QUERY_BITS + frame::ACK_BITS) / DOWNLINK_BPS;
+        let up = self.scheme.uplink_duration(frame::RN16_BITS)
+            + self.scheme.uplink_duration(frame::EPC_BITS);
+        down + up + 2.0 * T1_S + 2.0 * T2_S + self.round_overhead_s
+    }
+
+    /// Duration of a round in which the tag failed to respond (no RN16:
+    /// the reader times out after T1 plus a short wait).
+    pub fn empty_round_duration(&self) -> f64 {
+        let down = f64::from(frame::QUERY_BITS) / DOWNLINK_BPS;
+        down + T1_S + 3.0 * T2_S + self.round_overhead_s
+    }
+
+    /// Steady-state read rate for one always-responding tag, Hz.
+    pub fn read_rate_hz(&self) -> f64 {
+        1.0 / self.successful_round_duration()
+    }
+}
+
+/// The Q-algorithm slot-count controller (Gen2 Annex D).
+///
+/// Tracked here for protocol completeness: with a single tag the
+/// controller converges to Q = 0 and stays there, which is why the
+/// single-tag read rate equals the round rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QAlgorithm {
+    qfp: f64,
+    /// Weight C in `[0.1, 0.5]`.
+    pub c: f64,
+}
+
+impl QAlgorithm {
+    /// Start at the configured initial Q.
+    pub fn new(q_init: u32) -> QAlgorithm {
+        QAlgorithm { qfp: f64::from(q_init), c: 0.3 }
+    }
+
+    /// Current integer Q.
+    pub fn q(&self) -> u32 {
+        self.qfp.round() as u32
+    }
+
+    /// Update after a slot outcome.
+    pub fn update(&mut self, outcome: SlotOutcome) {
+        match outcome {
+            SlotOutcome::Empty => self.qfp = (self.qfp - self.c).max(0.0),
+            SlotOutcome::Single => {}
+            SlotOutcome::Collision => self.qfp = (self.qfp + self.c).min(15.0),
+        }
+    }
+}
+
+/// What happened in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// No tag replied.
+    Empty,
+    /// Exactly one tag replied (successful read).
+    Single,
+    /// Multiple tags collided.
+    Collision,
+}
+
+/// Simulate the slot outcome for `n_tags` tags drawing uniformly from
+/// `2^q` slots and count how many picked slot 0.
+pub fn slot_outcome<R: Rng>(rng: &mut R, n_tags: usize, q: u32) -> SlotOutcome {
+    let slots = 1u32 << q.min(15);
+    let hits = (0..n_tags).filter(|_| rng.gen_range(0..slots) == 0).count();
+    match hits {
+        0 => SlotOutcome::Empty,
+        1 => SlotOutcome::Single,
+        _ => SlotOutcome::Collision,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_core::rng::rng_from_seed;
+
+    #[test]
+    fn single_tag_read_rate_is_around_100hz() {
+        // The paper: "measure the phase and amplitude of an RFID tag at
+        // a rate of ca. 100 Hz". Default config must land in that regime.
+        let rate = Gen2Config::default().read_rate_hz();
+        assert!((80.0..220.0).contains(&rate), "rate = {rate} Hz");
+    }
+
+    #[test]
+    fn fm0_reads_faster_than_miller8() {
+        let fm0 = Gen2Config { scheme: ModulationScheme::Fm0, ..Gen2Config::default() };
+        let m8 = Gen2Config { scheme: ModulationScheme::Miller8, ..Gen2Config::default() };
+        assert!(fm0.read_rate_hz() > m8.read_rate_hz());
+    }
+
+    #[test]
+    fn empty_rounds_are_shorter_than_successful_ones() {
+        let c = Gen2Config::default();
+        assert!(c.empty_round_duration() < c.successful_round_duration());
+    }
+
+    #[test]
+    fn q_algorithm_anneals_to_zero_for_one_tag() {
+        let mut q = QAlgorithm::new(4);
+        let mut rng = rng_from_seed(2);
+        for _ in 0..200 {
+            let outcome = slot_outcome(&mut rng, 1, q.q());
+            q.update(outcome);
+        }
+        assert_eq!(q.q(), 0, "single tag: Q must anneal to 0");
+    }
+
+    #[test]
+    fn q_algorithm_rises_under_collisions() {
+        let mut q = QAlgorithm::new(0);
+        for _ in 0..10 {
+            q.update(SlotOutcome::Collision);
+        }
+        assert!(q.q() >= 2);
+    }
+
+    #[test]
+    fn q_algorithm_saturates() {
+        let mut q = QAlgorithm::new(15);
+        for _ in 0..100 {
+            q.update(SlotOutcome::Collision);
+        }
+        assert!(q.q() <= 15);
+        let mut q = QAlgorithm::new(0);
+        for _ in 0..100 {
+            q.update(SlotOutcome::Empty);
+        }
+        assert_eq!(q.q(), 0);
+    }
+
+    #[test]
+    fn slot_outcome_with_zero_tags_is_empty() {
+        let mut rng = rng_from_seed(3);
+        assert_eq!(slot_outcome(&mut rng, 0, 0), SlotOutcome::Empty);
+    }
+
+    #[test]
+    fn slot_outcome_one_tag_q0_always_single() {
+        let mut rng = rng_from_seed(3);
+        for _ in 0..50 {
+            assert_eq!(slot_outcome(&mut rng, 1, 0), SlotOutcome::Single);
+        }
+    }
+
+    #[test]
+    fn many_tags_q0_always_collide() {
+        let mut rng = rng_from_seed(3);
+        for _ in 0..50 {
+            assert_eq!(slot_outcome(&mut rng, 5, 0), SlotOutcome::Collision);
+        }
+    }
+}

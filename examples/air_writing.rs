@@ -1,0 +1,64 @@
+//! In-air writing (the paper's "whiteboard in the air", §5.2.3):
+//! the same letters written on the board and in free space, showing the
+//! accuracy cost of leaving the writing plane.
+//!
+//! ```text
+//! cargo run --release --example air_writing
+//! ```
+
+use experiments::runner::{letter_accuracy, run_letter_trials};
+use experiments::setup::TrialSetup;
+use pen_sim::Scene;
+use recognition::LetterRecognizer;
+use rfid_sim::TrajectoryTracker;
+
+fn main() {
+    let letters = ['C', 'L', 'O', 'S', 'W'];
+    let trials = 4;
+
+    for (label, air) in [("whiteboard", false), ("in the air", true)] {
+        let conditions: Vec<(char, TrialSetup)> = letters
+            .iter()
+            .map(|&ch| {
+                let mut s = TrialSetup::letter(ch);
+                if air {
+                    s.scene = Scene::default().in_air();
+                }
+                (ch, s)
+            })
+            .collect();
+        let results = run_letter_trials(&conditions, trials, 7, 0);
+        println!(
+            "{label:>11}: {:>3.0} % over {} trials",
+            100.0 * letter_accuracy(&results),
+            results.len()
+        );
+    }
+
+    // Show one in-air session in detail.
+    let scene = Scene::default().in_air();
+    let profile = pen_sim::WriterProfile::natural();
+    let session = pen_sim::scene::write_text(&scene, &profile, "W", 3);
+    let max_wobble =
+        session.poses.iter().map(|p| p.tip.z.abs()).fold(0.0, f64::max);
+    println!("\nin-air session detail: peak out-of-plane wobble {:.1} cm", max_wobble * 100.0);
+
+    let channel =
+        rf_physics::ChannelModel::two_antenna_whiteboard(15f64.to_radians(), 0.56, 0.65);
+    let reader = rfid_sim::Reader::new(channel);
+    let poses: Vec<rfid_sim::reader::TagPose> = session
+        .poses
+        .iter()
+        .map(|p| rfid_sim::reader::TagPose { t: p.t, position: p.tip, dipole: p.dipole })
+        .collect();
+    let reports = reader.inventory(&poses, 3);
+    let tracker = polardraw_core::PolarDraw::new(polardraw_core::PolarDrawConfig::default());
+    let trail = tracker.track(&reports);
+    let rec = LetterRecognizer::new();
+    println!(
+        "tracked {} reports into {} trail points; recognized as {:?}",
+        reports.len(),
+        trail.len(),
+        rec.classify(&trail.points)
+    );
+}

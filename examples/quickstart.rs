@@ -1,0 +1,56 @@
+//! Quickstart: write one letter, track it with PolarDraw, recognize it.
+//!
+//! ```text
+//! cargo run --release --example quickstart [LETTER]
+//! ```
+
+use recognition::{procrustes_distance, LetterRecognizer};
+
+fn main() {
+    let letter = std::env::args()
+        .nth(1)
+        .and_then(|s| s.chars().next())
+        .unwrap_or('W')
+        .to_ascii_uppercase();
+
+    println!("writing '{letter}' on the simulated whiteboard…");
+    let (truth, recovered) = polardraw_suite::quick_track(&letter.to_string(), 42);
+    println!("ground truth: {} points; recovered: {} points", truth.len(), recovered.len());
+
+    let recognizer = LetterRecognizer::new();
+    match recognizer.classify(&recovered) {
+        Some(ch) => println!("recognized as: '{ch}'"),
+        None => println!("trajectory too degenerate to classify"),
+    }
+    if let Some(d) = procrustes_distance(&truth, &recovered, 64) {
+        println!("Procrustes distance to ground truth: {:.1} cm", d * 100.0);
+    }
+
+    // A crude terminal rendering of truth vs recovery.
+    for (label, pts) in [("truth", &truth), ("recovered", &recovered)] {
+        println!("\n{label}:");
+        for line in render(pts, 36, 12) {
+            println!("  {line}");
+        }
+    }
+}
+
+fn render(points: &[rf_core::Vec2], w: usize, h: usize) -> Vec<String> {
+    if points.is_empty() {
+        return vec!["(empty)".to_string()];
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for p in points {
+        x0 = x0.min(p.x);
+        x1 = x1.max(p.x);
+        y0 = y0.min(p.y);
+        y1 = y1.max(p.y);
+    }
+    let mut grid = vec![vec![' '; w]; h];
+    for p in points {
+        let cx = (((p.x - x0) / (x1 - x0 + 1e-9)) * (w - 1) as f64) as usize;
+        let cy = (((p.y - y0) / (y1 - y0 + 1e-9)) * (h - 1) as f64) as usize;
+        grid[cy][cx] = '#';
+    }
+    grid.into_iter().map(|row| row.into_iter().collect()).collect()
+}

@@ -1,0 +1,59 @@
+//! # polardraw-suite — umbrella crate
+//!
+//! Re-exports the whole PolarDraw reproduction workspace behind one
+//! dependency, and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! Layering, bottom to top:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`rf_core`] | geometry, angles, complex arithmetic, dB, statistics |
+//! | [`rf_physics`] | polarization, antennas, propagation, multipath, channel |
+//! | [`rfid_sim`] | EPC Gen2 reader/tag protocol, LLRP reports, tracker trait |
+//! | [`pen_sim`] | glyphs, handwriting kinematics, writer styles, scenes |
+//! | [`polardraw_core`] | the paper's tracking algorithm (§3) |
+//! | [`baselines`] | Tagoram and RF-IDraw re-implementations |
+//! | [`recognition`] | Procrustes/DTW template recognition, confusion matrices |
+//! | [`experiments`] | end-to-end harness for every paper table and figure |
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use experiments;
+pub use pen_sim;
+pub use polardraw_core;
+pub use recognition;
+pub use rf_core;
+pub use rf_physics;
+pub use rfid_sim;
+
+/// Convenience: run a complete simulate-and-track round trip for a piece
+/// of text with default settings. Returns `(ground_truth, recovered)`.
+///
+/// This is the five-line quickstart the README shows; the examples and
+/// the `experiments` crate expose every knob this hides.
+pub fn quick_track(text: &str, seed: u64) -> (Vec<rf_core::Vec2>, Vec<rf_core::Vec2>) {
+    use rfid_sim::TrajectoryTracker;
+
+    let scene = pen_sim::Scene::default();
+    let profile = pen_sim::WriterProfile::natural();
+    let session = pen_sim::scene::write_text(&scene, &profile, text, seed);
+
+    let channel = rf_physics::ChannelModel::two_antenna_whiteboard(
+        15f64.to_radians(),
+        0.56,
+        0.30,
+    );
+    let reader = rfid_sim::Reader::new(channel);
+    let poses: Vec<rfid_sim::reader::TagPose> = session
+        .poses
+        .iter()
+        .map(|p| rfid_sim::reader::TagPose { t: p.t, position: p.tip, dipole: p.dipole })
+        .collect();
+    let reports = reader.inventory(&poses, seed);
+
+    let tracker = polardraw_core::PolarDraw::new(polardraw_core::PolarDrawConfig::default());
+    let trail = tracker.track(&reports);
+    (session.truth.points, trail.points)
+}

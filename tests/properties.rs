@@ -1,0 +1,244 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+use recognition::procrustes::align;
+use recognition::resample::{prepare, resample};
+use rf_core::angle::{phase_diff, unwrap_phases, wrap_pi, wrap_tau};
+use rf_core::{Mat2, Vec2, Vec3};
+use rfid_sim::llrp;
+use rfid_sim::TagReport;
+
+proptest! {
+    #[test]
+    fn wrap_tau_lands_in_range(a in -1e6f64..1e6) {
+        let w = wrap_tau(a);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&w));
+        // Same point on the circle.
+        prop_assert!((w.sin() - a.sin()).abs() < 1e-6);
+        prop_assert!((w.cos() - a.cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrap_pi_lands_in_range(a in -1e6f64..1e6) {
+        let w = wrap_pi(a);
+        prop_assert!((-std::f64::consts::PI..=std::f64::consts::PI).contains(&w));
+    }
+
+    #[test]
+    fn phase_diff_is_antisymmetric_on_the_circle(a in 0.0f64..6.28, b in 0.0f64..6.28) {
+        let d1 = phase_diff(a, b);
+        let d2 = phase_diff(b, a);
+        // Antisymmetric except at the ±π branch point.
+        if d1.abs() < std::f64::consts::PI - 1e-9 {
+            prop_assert!((d1 + d2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_preserves_circle_positions(phases in prop::collection::vec(0.0f64..6.28, 1..80)) {
+        let unwrapped = unwrap_phases(&phases);
+        prop_assert_eq!(unwrapped.len(), phases.len());
+        for (u, p) in unwrapped.iter().zip(&phases) {
+            prop_assert!((wrap_tau(*u) - wrap_tau(*p)).abs() < 1e-9);
+        }
+        // Adjacent steps never exceed π in magnitude.
+        for w in unwrapped.windows(2) {
+            prop_assert!((w[1] - w[0]).abs() <= std::f64::consts::PI + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rotation_matrices_preserve_length(angle in -10.0f64..10.0, x in -5.0f64..5.0, y in -5.0f64..5.0) {
+        let v = Vec2::new(x, y);
+        let r = Mat2::rotation(angle).apply(v);
+        prop_assert!((r.norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vec3_rejection_is_orthogonal(
+        vx in -3.0f64..3.0, vy in -3.0f64..3.0, vz in -3.0f64..3.0,
+        ax in -1.0f64..1.0, ay in -1.0f64..1.0, az in -1.0f64..1.0,
+    ) {
+        let v = Vec3::new(vx, vy, vz);
+        if let Some(axis) = Vec3::new(ax, ay, az).normalized() {
+            let r = v.reject_from(axis);
+            prop_assert!(r.dot(axis).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_count(
+        pts in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 2..30),
+        n in 2usize..100,
+    ) {
+        let pts: Vec<Vec2> = pts.into_iter().map(|(x, y)| Vec2::new(x, y)).collect();
+        let length: f64 = pts.windows(2).map(|w| w[0].distance(w[1])).sum();
+        prop_assume!(length > 1e-6);
+        let rs = resample(&pts, n).expect("non-degenerate polyline");
+        prop_assert_eq!(rs.len(), n);
+        prop_assert!(rs[0].distance(pts[0]) < 1e-9);
+        prop_assert!(rs[n - 1].distance(*pts.last().unwrap()) < 1e-6);
+    }
+
+    #[test]
+    fn procrustes_removes_any_similarity_transform(
+        pts in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 4..20),
+        angle in -3.0f64..3.0,
+        scale in 0.2f64..4.0,
+        tx in -2.0f64..2.0,
+        ty in -2.0f64..2.0,
+    ) {
+        let pts: Vec<Vec2> = pts.into_iter().map(|(x, y)| Vec2::new(x, y)).collect();
+        // Need genuine 2-D extent for a well-posed alignment.
+        prop_assume!(prepare(&pts, 16).is_some());
+        let rot = Mat2::rotation(angle);
+        let moved: Vec<Vec2> =
+            pts.iter().map(|&p| rot.apply(p) * scale + Vec2::new(tx, ty)).collect();
+        let a = align(&pts, &moved, f64::INFINITY).expect("alignable");
+        prop_assert!(a.rms_residual < 1e-6, "residual {}", a.rms_residual);
+    }
+
+    #[test]
+    fn llrp_round_trips_arbitrary_reports(
+        entries in prop::collection::vec(
+            (0.0f64..1000.0, 0usize..4, -90.0f64..0.0, 0.0f64..6.283, 0usize..50u64 as usize, 0u64..u64::MAX),
+            0..40,
+        )
+    ) {
+        let reports: Vec<TagReport> = entries
+            .into_iter()
+            .map(|(t, antenna, rssi, phase, channel, epc)| TagReport {
+                t, antenna, rssi_dbm: rssi, phase_rad: phase, channel, epc,
+            })
+            .collect();
+        let frame = llrp::encode_report(&reports, 9);
+        let (id, decoded) = llrp::decode_report(&frame).expect("self-encoded frame");
+        prop_assert_eq!(id, 9);
+        prop_assert_eq!(decoded.len(), reports.len());
+        for (a, b) in reports.iter().zip(&decoded) {
+            prop_assert_eq!(a.antenna, b.antenna);
+            prop_assert_eq!(a.channel, b.channel);
+            prop_assert_eq!(a.epc, b.epc);
+            prop_assert!((a.t - b.t).abs() < 1e-5);
+            prop_assert!((a.rssi_dbm - b.rssi_dbm).abs() <= 0.005 + 1e-9);
+            prop_assert!(
+                rf_core::angle::phase_distance(a.phase_rad, b.phase_rad)
+                    <= std::f64::consts::TAU / 65536.0 + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn polarization_coupling_is_bounded(
+        px in -1.0f64..1.0, py in -1.0f64..1.0, pz in 0.1f64..2.0,
+        dx in -1.0f64..1.0, dy in -1.0f64..1.0, dz in -1.0f64..1.0,
+        pol in 0.0f64..6.283,
+    ) {
+        let axis = Vec3::new(pol.cos(), pol.sin(), 0.0);
+        let c = rf_physics::polarization::coupling(
+            Vec3::new(px, py, pz),
+            axis,
+            Vec3::ZERO,
+            Vec3::new(dx, dy, dz),
+        );
+        prop_assert!((-1.0..=1.0).contains(&c), "coupling {c}");
+    }
+
+    #[test]
+    fn free_space_phase_slope_is_4pi_per_metre(
+        x in -0.3f64..0.3, y in 0.4f64..0.9, step_mm in 0.5f64..3.0,
+    ) {
+        // Anywhere in the writing area, moving the tag radially away
+        // from the antenna advances the reported phase at 4π/λ per
+        // metre (Eq. 5's slope), in a clean free-space channel.
+        use rf_physics::antenna::Antenna;
+        let ant = Antenna::linear(Vec3::new(0.0, 0.15, 0.65), -Vec3::Z, Vec3::X);
+        let ant_pos = ant.position;
+        let ch = rf_physics::ChannelModel::free_space(vec![ant]);
+        let lambda = ch.plan.wavelength_at(0.0);
+        let p1 = Vec3::new(x, y, 0.0);
+        let dir = (p1 - ant_pos).normalized().unwrap();
+        let p2 = p1 + dir * (step_mm / 1000.0);
+        let o1 = ch.evaluate(0, p1, Vec3::X, 0.0);
+        let o2 = ch.evaluate(0, p2, Vec3::X, 0.0);
+        prop_assume!(o1.tag_powered && o2.tag_powered);
+        let d_true = p2.distance(ant_pos) - p1.distance(ant_pos);
+        let expect = 4.0 * std::f64::consts::PI * d_true / lambda;
+        let measured = phase_diff(o2.phase_rad, o1.phase_rad);
+        prop_assert!((measured - expect).abs() < 1e-6,
+            "measured {measured} expected {expect}");
+    }
+
+    #[test]
+    fn free_space_rss_is_monotone_in_mismatch(
+        b1 in 0.0f64..1.45, b2 in 0.0f64..1.45,
+    ) {
+        // Broadside free space: larger polarization mismatch, lower RSS.
+        use rf_physics::antenna::Antenna;
+        let ant = Antenna::linear(Vec3::new(0.0, 0.0, 1.0), -Vec3::Z, Vec3::X);
+        let ch = rf_physics::ChannelModel::free_space(vec![ant]);
+        let rss = |b: f64| {
+            ch.evaluate(0, Vec3::ZERO, Vec3::new(b.cos(), b.sin(), 0.0), 0.0).rx_power_dbm
+        };
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assume!(hi - lo > 1e-3);
+        prop_assert!(rss(lo) >= rss(hi) - 1e-9, "β {lo} vs {hi}");
+    }
+
+    #[test]
+    fn reader_quantization_is_idempotent(rssi in -90.0f64..-10.0, phase in 0.0f64..6.283) {
+        use rfid_sim::reader::{quantize_phase, quantize_rssi};
+        let r1 = quantize_rssi(rssi, 0.5);
+        prop_assert_eq!(quantize_rssi(r1, 0.5), r1);
+        let p1 = quantize_phase(phase, 12);
+        prop_assert!((quantize_phase(p1, 12) - p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kalman_smoother_preserves_length_and_stability(
+        pts in prop::collection::vec((-0.3f64..0.3, 0.4f64..0.9), 3..60),
+    ) {
+        use polardraw_core::smoother::{smooth, SmootherConfig};
+        let points: Vec<Vec2> = pts.into_iter().map(|(x, y)| Vec2::new(x, y)).collect();
+        let times: Vec<f64> = (0..points.len()).map(|i| i as f64 * 0.05).collect();
+        let out = smooth(&times, &points, &SmootherConfig::default());
+        prop_assert_eq!(out.len(), points.len());
+        // Smoothed points stay within the measurement cloud's bounding
+        // box padded by a few sigmas — no runaway filter states.
+        let (mut x0, mut x1, mut y0, mut y1) =
+            (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for p in &points {
+            x0 = x0.min(p.x); x1 = x1.max(p.x);
+            y0 = y0.min(p.y); y1 = y1.max(p.y);
+        }
+        for p in &out {
+            prop_assert!(p.x >= x0 - 0.05 && p.x <= x1 + 0.05);
+            prop_assert!(p.y >= y0 - 0.05 && p.y <= y1 + 0.05);
+            prop_assert!(p.x.is_finite() && p.y.is_finite());
+        }
+    }
+
+    #[test]
+    fn glyph_rendering_is_total_over_ascii_words(word in "[A-Z]{1,6}") {
+        // Any uppercase word renders to a non-empty, finite session.
+        let s = pen_sim::scene::write_text(
+            &pen_sim::Scene::default(),
+            &pen_sim::WriterProfile::natural(),
+            &word,
+            3,
+        );
+        prop_assert!(!s.poses.is_empty());
+        for p in &s.poses {
+            prop_assert!(p.tip.x.is_finite() && p.tip.y.is_finite());
+            prop_assert!((p.dipole.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn feasible_region_is_monotone_in_phase(d1 in 0.0f64..3.0, d2 in 0.0f64..3.0) {
+        let cfg = polardraw_core::distance::DistanceConfig::default();
+        let small = polardraw_core::distance::feasible_region([Some(d1.min(d2)), None], 0.05, &cfg);
+        let large = polardraw_core::distance::feasible_region([Some(d1.max(d2)), None], 0.05, &cfg);
+        prop_assert!(small.min_dist <= large.min_dist + 1e-12);
+    }
+}
