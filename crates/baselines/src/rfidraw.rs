@@ -21,10 +21,9 @@ use crate::common::{window_reports, GridBeam};
 use rf_core::{wrap_pi, Vec2, Vec3};
 use rfid_sim::tracking::{Trail, TrajectoryTracker};
 use rfid_sim::TagReport;
-use serde::{Deserialize, Serialize};
 
 /// RF-IDraw configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RfIdrawConfig {
     /// Antenna positions, metres (board frame, writing plane z = 0).
     pub antennas: Vec<Vec3>,

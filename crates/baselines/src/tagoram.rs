@@ -22,10 +22,9 @@ use rf_core::angle::phase_diff;
 use rf_core::{Vec2, Vec3};
 use rfid_sim::tracking::{Trail, TrajectoryTracker};
 use rfid_sim::TagReport;
-use serde::{Deserialize, Serialize};
 
 /// Tagoram configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TagoramConfig {
     /// Antenna positions, metres (board frame, writing plane z = 0).
     pub antennas: Vec<Vec3>,

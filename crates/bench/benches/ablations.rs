@@ -4,76 +4,49 @@
 //! each trade-off; the accuracy half comes from the `repro` harness
 //! with the corresponding config overrides.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use polardraw_bench::harness::Bench;
 use polardraw_bench::letter_reports;
 use polardraw_core::hmm::DEFAULT_BEAM_WIDTH;
 use polardraw_core::preprocess::{preprocess, PreprocessConfig};
 use polardraw_core::{PolarDraw, PolarDrawConfig};
 use rfid_sim::TrajectoryTracker;
-use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_cell_size(c: &mut Criterion) {
-    let reports = letter_reports('S', 21);
-    let mut group = c.benchmark_group("ablation/cell_size");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(15));
+fn main() {
+    let mut bench = Bench::from_args("ablations");
+
+    let cell_reports = letter_reports('S', 21);
     for cell_mm in [2.5f64, 5.0, 10.0] {
         let mut cfg = PolarDrawConfig::default();
         cfg.hmm.cell_m = cell_mm / 1000.0;
         let pd = PolarDraw::new(cfg);
-        group.bench_function(format!("{cell_mm}mm"), |b| {
-            b.iter(|| black_box(pd.track(black_box(&reports))))
-        });
+        bench.bench(&format!("ablation/cell_size/{cell_mm}mm"), || pd.track(&cell_reports));
     }
-    group.finish();
-}
 
-fn bench_window_length(c: &mut Criterion) {
-    let reports = letter_reports('S', 22);
-    let mut group = c.benchmark_group("ablation/window_length");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(8));
+    let window_reports = letter_reports('S', 22);
     for window_ms in [25u64, 50, 100] {
         let cfg = PreprocessConfig {
             window_s: window_ms as f64 / 1000.0,
             ..PreprocessConfig::default()
         };
-        group.bench_function(format!("{window_ms}ms"), |b| {
-            b.iter(|| black_box(preprocess(black_box(&reports), &cfg)))
+        bench.bench(&format!("ablation/window_length/{window_ms}ms"), || {
+            preprocess(&window_reports, &cfg)
         });
     }
-    group.finish();
-}
 
-fn bench_smoother_cost(c: &mut Criterion) {
-    let reports = letter_reports('S', 23);
-    let mut group = c.benchmark_group("ablation/output_smoother");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(15));
+    let smoother_reports = letter_reports('S', 23);
     for (label, on) in [("off", false), ("kalman_rts", true)] {
         let mut cfg = PolarDrawConfig::default();
         cfg.smooth_output = on;
         let pd = PolarDraw::new(cfg);
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(pd.track(black_box(&reports))))
+        bench.bench(&format!("ablation/output_smoother/{label}"), || {
+            pd.track(&smoother_reports)
         });
     }
-    group.finish();
-}
 
-fn bench_beam_width_note(_c: &mut Criterion) {
     // Beam width is exercised through `viterbi_beam` in the components
     // bench; assert here (cheaply, once) that the default stays within
     // the range the accuracy sweeps were tuned for.
-    assert!(DEFAULT_BEAM_WIDTH >= 500 && DEFAULT_BEAM_WIDTH <= 10_000);
-}
+    assert!((500..=10_000).contains(&DEFAULT_BEAM_WIDTH));
 
-criterion_group!(
-    benches,
-    bench_cell_size,
-    bench_window_length,
-    bench_smoother_cost,
-    bench_beam_width_note
-);
-criterion_main!(benches);
+    bench.finish();
+}

@@ -2,43 +2,31 @@
 //! the PolarDraw pipeline. Backs the §3.5 real-time claim: one 50 ms
 //! window must be processable in far less than 50 ms.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use polardraw_bench::harness::Bench;
 use polardraw_bench::letter_reports;
 use polardraw_core::hmm::{viterbi, Grid, HmmConfig, StepObservation};
 use polardraw_core::preprocess::{preprocess, PreprocessConfig};
 use rf_core::{Vec2, Vec3};
 use rf_physics::ChannelModel;
-use std::hint::black_box;
 
-fn bench_channel_evaluate(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args("components");
+
     let ch = ChannelModel::two_antenna_whiteboard(15f64.to_radians(), 0.56, 0.30);
     let dipole = Vec3::new(0.1, 0.95, 0.3).normalized().unwrap();
-    c.bench_function("channel/evaluate_one_link", |b| {
-        b.iter(|| {
-            black_box(ch.evaluate(0, black_box(Vec3::new(0.0, 0.7, 0.0)), dipole, 0.1));
-        })
+    bench.bench("channel/evaluate_one_link", || {
+        ch.evaluate(0, Vec3::new(0.0, 0.7, 0.0), dipole, 0.1)
     });
-}
 
-fn bench_gen2_round(c: &mut Criterion) {
     let cfg = rfid_sim::gen2::Gen2Config::default();
-    c.bench_function("gen2/round_timing", |b| {
-        b.iter(|| black_box(cfg.successful_round_duration() + cfg.empty_round_duration()))
+    bench.bench("gen2/round_timing", || {
+        cfg.successful_round_duration() + cfg.empty_round_duration()
     });
-}
 
-fn bench_preprocess(c: &mut Criterion) {
     let reports = letter_reports('W', 7);
-    let cfg = PreprocessConfig::default();
-    c.bench_function("polardraw/preprocess_letter_stream", |b| {
-        b.iter(|| black_box(preprocess(black_box(&reports), &cfg)))
-    });
-}
+    let pre_cfg = PreprocessConfig::default();
+    bench.bench("polardraw/preprocess_letter_stream", || preprocess(&reports, &pre_cfg));
 
-fn bench_viterbi(c: &mut Criterion) {
-    let mut c = c.benchmark_group("viterbi");
-    c.sample_size(10);
-    c.measurement_time(std::time::Duration::from_secs(10));
     let grid = Grid::covering(Vec2::new(-0.3, 0.5), Vec2::new(0.3, 0.9), 0.0025);
     let rig = [Vec3::new(-0.28, 0.15, 0.65), Vec3::new(0.28, 0.15, 0.65)];
     let steps: Vec<StepObservation> = (0..100)
@@ -52,36 +40,11 @@ fn bench_viterbi(c: &mut Criterion) {
             target_dist: 0.004,
         })
         .collect();
-    c.bench_function("polardraw/viterbi_100_steps", |b| {
-        b.iter(|| {
-            black_box(viterbi(
-                &grid,
-                rig,
-                Vec2::new(0.0, 0.7),
-                black_box(&steps),
-                &HmmConfig::default(),
-            ))
-        })
+    bench.bench("polardraw/viterbi_100_steps", || {
+        viterbi(&grid, rig, Vec2::new(0.0, 0.7), &steps, &HmmConfig::default())
     });
-    c.finish();
-}
 
-fn bench_full_inventory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rfid");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(10));
-    g.bench_function("inventory_one_letter_session", |b| {
-        b.iter(|| black_box(letter_reports('I', 9)))
-    });
-    g.finish();
-}
+    bench.bench("rfid/inventory_one_letter_session", || letter_reports('I', 9));
 
-criterion_group!(
-    benches,
-    bench_channel_evaluate,
-    bench_gen2_round,
-    bench_preprocess,
-    bench_viterbi,
-    bench_full_inventory
-);
-criterion_main!(benches);
+    bench.finish();
+}

@@ -2,13 +2,12 @@
 //! alphabet classification — plus the ablation comparing the whitened
 //! Procrustes matcher against plain similarity normalization.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pen_sim::{Scene, WriterProfile};
+use polardraw_bench::harness::Bench;
 use recognition::dtw::dtw_distance;
 use recognition::procrustes::align;
 use recognition::resample::{prepare, prepare_whitened};
 use recognition::LetterRecognizer;
-use std::hint::black_box;
 
 fn trajectory(ch: char) -> Vec<rf_core::Vec2> {
     pen_sim::scene::write_text(&Scene::default(), &WriterProfile::natural(), &ch.to_string(), 3)
@@ -16,41 +15,24 @@ fn trajectory(ch: char) -> Vec<rf_core::Vec2> {
         .points
 }
 
-fn bench_procrustes(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args("recognition");
+
     let a = prepare(&trajectory('W'), 64).unwrap();
     let b = prepare(&trajectory('M'), 64).unwrap();
-    c.bench_function("recognition/procrustes_align_64pt", |bch| {
-        bch.iter(|| black_box(align(black_box(&a), black_box(&b), 0.35)))
-    });
-}
+    bench.bench("recognition/procrustes_align_64pt", || align(&a, &b, 0.35));
 
-fn bench_dtw(c: &mut Criterion) {
-    let a = prepare(&trajectory('S'), 64).unwrap();
-    let b = prepare(&trajectory('Z'), 64).unwrap();
-    c.bench_function("recognition/dtw_64pt_band12", |bch| {
-        bch.iter(|| black_box(dtw_distance(black_box(&a), black_box(&b), 12)))
-    });
-}
+    let s = prepare(&trajectory('S'), 64).unwrap();
+    let z = prepare(&trajectory('Z'), 64).unwrap();
+    bench.bench("recognition/dtw_64pt_band12", || dtw_distance(&s, &z, 12));
 
-fn bench_preparation_ablation(c: &mut Criterion) {
     let raw = trajectory('Q');
-    let mut group = c.benchmark_group("recognition/preparation");
-    group.bench_function("similarity_normalized", |b| {
-        b.iter(|| black_box(prepare(black_box(&raw), 64)))
-    });
-    group.bench_function("whitened", |b| {
-        b.iter(|| black_box(prepare_whitened(black_box(&raw), 64)))
-    });
-    group.finish();
-}
+    bench.bench("recognition/preparation/similarity_normalized", || prepare(&raw, 64));
+    bench.bench("recognition/preparation/whitened", || prepare_whitened(&raw, 64));
 
-fn bench_classify(c: &mut Criterion) {
     let rec = LetterRecognizer::new();
     let traj = trajectory('G');
-    c.bench_function("recognition/classify_against_26_templates", |b| {
-        b.iter(|| black_box(rec.classify(black_box(&traj))))
-    });
-}
+    bench.bench("recognition/classify_against_26_templates", || rec.classify(&traj));
 
-criterion_group!(benches, bench_procrustes, bench_dtw, bench_preparation_ablation, bench_classify);
-criterion_main!(benches);
+    bench.finish();
+}

@@ -3,59 +3,37 @@
 //! comparison (accuracy is the `repro` harness's job).
 
 use baselines::{RfIdraw, RfIdrawConfig, Tagoram, TagoramConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use polardraw_bench::harness::Bench;
 use polardraw_bench::letter_reports;
 use polardraw_core::{PolarDraw, PolarDrawConfig};
 use rfid_sim::TrajectoryTracker;
-use std::hint::black_box;
 
-fn bench_trackers(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args("trackers");
+
     let reports = letter_reports('W', 11);
-    let mut group = c.benchmark_group("trackers/letter_W");
-    // A full-letter decode takes ~1 s; keep the suite in CI-scale time.
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(12));
 
     let pd = PolarDraw::new(PolarDrawConfig::default());
-    group.bench_function("polardraw_2ant", |b| {
-        b.iter(|| black_box(pd.track(black_box(&reports))))
-    });
+    bench.bench("trackers/letter_W/polardraw_2ant", || pd.track(&reports));
 
     let mut nopol_cfg = PolarDrawConfig::default();
     nopol_cfg.use_polarization = false;
     let nopol = PolarDraw::new(nopol_cfg);
-    group.bench_function("polardraw_no_polarization", |b| {
-        b.iter(|| black_box(nopol.track(black_box(&reports))))
-    });
+    bench.bench("trackers/letter_W/polardraw_no_polarization", || nopol.track(&reports));
 
     let tagoram = Tagoram::new(TagoramConfig::two_antenna());
-    group.bench_function("tagoram_2ant", |b| {
-        b.iter(|| black_box(tagoram.track(black_box(&reports))))
-    });
+    bench.bench("trackers/letter_W/tagoram_2ant", || tagoram.track(&reports));
 
     let rfidraw = RfIdraw::new(RfIdrawConfig::four_antenna());
-    group.bench_function("rfidraw_4ant", |b| {
-        b.iter(|| black_box(rfidraw.track(black_box(&reports))))
-    });
+    bench.bench("trackers/letter_W/rfidraw_4ant", || rfidraw.track(&reports));
 
-    group.finish();
-}
-
-fn bench_realtime_budget(c: &mut Criterion) {
     // §3.5: Viterbi decoding "can be computed in real-time even with an
     // embedded mini PC". One 50 ms window of a ~9 s letter session must
-    // decode in ≪ 50 ms: we measure the whole track and Criterion
-    // reports per-iteration time; divide by ~180 windows to compare.
-    let reports = letter_reports('O', 13);
-    let pd = PolarDraw::new(PolarDrawConfig::default());
-    let mut group = c.benchmark_group("trackers/realtime");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(12));
-    group.bench_function("full_letter_decode_budget", |b| {
-        b.iter(|| black_box(pd.track(black_box(&reports))))
-    });
-    group.finish();
-}
+    // decode in ≪ 50 ms: we measure the whole track and report
+    // per-iteration time; divide by ~180 windows to compare.
+    let rt_reports = letter_reports('O', 13);
+    let rt = PolarDraw::new(PolarDrawConfig::default());
+    bench.bench("trackers/realtime/full_letter_decode_budget", || rt.track(&rt_reports));
 
-criterion_group!(benches, bench_trackers, bench_realtime_budget);
-criterion_main!(benches);
+    bench.finish();
+}

@@ -1,7 +1,7 @@
 //! The reproduction harness: regenerate every table and figure.
 //!
 //! ```text
-//! repro [ids…] [--trials N] [--seed S] [--threads T] [--out DIR]
+//! repro [ids…] [--trials N] [--seed S] [--threads T] [--cell-scale X] [--out DIR]
 //! ```
 //!
 //! With no ids, runs the whole suite in paper order. Each report is
@@ -42,10 +42,17 @@ fn parse_args() -> Result<Args, String> {
                 args.opts.threads =
                     next_val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
             }
+            "--cell-scale" => {
+                args.opts.cell_scale = next_val("--cell-scale")?
+                    .parse()
+                    .map_err(|e| format!("--cell-scale: {e}"))?;
+            }
             "--out" => args.out_dir = next_val("--out")?.into(),
             "--help" | "-h" => {
-                return Err("usage: repro [ids…] [--trials N] [--seed S] [--threads T] [--out DIR]"
-                    .to_string())
+                return Err(
+                    "usage: repro [ids…] [--trials N] [--seed S] [--threads T] [--cell-scale X] [--out DIR]"
+                        .to_string(),
+                )
             }
             id if !id.starts_with('-') => args.ids.push(id.to_string()),
             other => return Err(format!("unknown flag {other}")),
@@ -54,10 +61,13 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn write_csv(dir: &std::path::Path, report: &Report) -> std::io::Result<()> {
+fn write_outputs(dir: &std::path::Path, report: &Report) -> std::io::Result<()> {
+    use rf_core::json::ToJson as _;
     std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{}.csv", report.id));
-    std::fs::File::create(path)?.write_all(report.to_csv().as_bytes())
+    let csv = dir.join(format!("{}.csv", report.id));
+    std::fs::File::create(csv)?.write_all(report.to_csv().as_bytes())?;
+    let json = dir.join(format!("{}.json", report.id));
+    std::fs::File::create(json)?.write_all(report.to_json().to_json_string().as_bytes())
 }
 
 fn dump_fig02_trajectories(dir: &std::path::Path, opts: &RunOpts) -> std::io::Result<()> {
@@ -127,8 +137,12 @@ fn main() {
         let reports = (def.run)(&args.opts);
         for report in &reports {
             println!("\n{report}");
-            if let Err(e) = write_csv(&args.out_dir, report) {
-                eprintln!("warning: could not write {}/{}.csv: {e}", args.out_dir.display(), report.id);
+            if let Err(e) = write_outputs(&args.out_dir, report) {
+                eprintln!(
+                    "warning: could not write {}/{}.{{csv,json}}: {e}",
+                    args.out_dir.display(),
+                    report.id
+                );
             }
         }
         if def.id == "fig02" {

@@ -6,16 +6,19 @@
 //!   regenerate every table and figure of the paper (or a subset by
 //!   id), printing the measured rows next to the paper's claims and
 //!   writing CSVs under `results/`.
-//! * `cargo bench -p polardraw-bench` — Criterion micro/meso benchmarks:
-//!   channel evaluation, Gen2 inventory, pre-processing, Viterbi
-//!   decoding, the three trackers end-to-end, and the recognizer —
-//!   backing the paper's §3.5 claim that decoding is real-time.
+//! * `cargo bench -p polardraw-bench` — std-only micro/meso benchmarks
+//!   (see [`harness`]): channel evaluation, Gen2 inventory,
+//!   pre-processing, Viterbi decoding, the three trackers end-to-end,
+//!   and the recognizer — backing the paper's §3.5 claim that decoding
+//!   is real-time.
 //!
 //! Shared workload builders live here so the benches and the harness
 //! stay in sync.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use pen_sim::{Scene, WriterProfile};
 use rfid_sim::reader::TagPose;

@@ -9,10 +9,9 @@
 //! `Δθ^{2,1}` up to the 2kπ ambiguity.
 
 use rf_core::{wrap_pi, Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Tuning for distance estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistanceConfig {
     /// Carrier wavelength λ, metres.
     pub wavelength_m: f64,

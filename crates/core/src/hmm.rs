@@ -18,10 +18,9 @@
 
 use crate::distance::{expected_dtheta21, FeasibleRegion};
 use rf_core::{wrap_pi, Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A uniform cell grid over the board region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Grid {
     /// Minimum corner of the board region, metres.
     pub min: Vec2,
@@ -115,7 +114,7 @@ pub struct StepObservation {
 }
 
 /// Decoder tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HmmConfig {
     /// Cell edge, metres (accuracy/runtime trade-off).
     pub cell_m: f64,

@@ -23,11 +23,10 @@
 //! each sector, producing the signature RSS trends of Table 3 that break
 //! both the rotation-direction and azimuthal-angle ambiguities.
 
-use serde::{Deserialize, Serialize};
 use std::f64::consts::{FRAC_PI_2, PI};
 
 /// Which sector (Fig. 8(c)) the pen azimuth lies in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sector {
     /// `[π/2 + γ, π − γ]` — pen leaning left past antenna 1's axis.
     One,
@@ -77,7 +76,7 @@ impl Sector {
 /// Clockwise (azimuth decreasing, in our y-down frame leaning the pen
 /// toward the right) accompanies rightward strokes; counter-clockwise
 /// accompanies leftward strokes (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rotation {
     /// Azimuth decreasing — pen moving right.
     Clockwise,
@@ -154,7 +153,7 @@ pub fn direction_from_azimuth(alpha_a: f64, rotation: Rotation) -> rf_core::Vec2
 }
 
 /// The four coarse directions of Table 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Cardinal {
     /// Toward the antennas (−Y).
     Up,

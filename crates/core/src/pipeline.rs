@@ -15,11 +15,10 @@ use rf_core::angle::phase_diff;
 use rf_core::{wrap_pi, Vec2, Vec3};
 use rfid_sim::tracking::{Trail, TrajectoryTracker};
 use rfid_sim::TagReport;
-use serde::{Deserialize, Serialize};
 
 /// Complete tracker configuration. Defaults reproduce the paper's
 /// published parameter choices (§3, §5.4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolarDrawConfig {
     /// Pre-processing (50 ms windows, spurious rejection).
     pub preprocess: PreprocessConfig,

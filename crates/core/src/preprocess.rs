@@ -10,7 +10,6 @@
 
 use rf_core::angle::{circular_mean, phase_distance};
 use rfid_sim::TagReport;
-use serde::{Deserialize, Serialize};
 
 /// One aligned pre-processing window across both antennas.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -27,7 +26,7 @@ pub struct Windowed {
 }
 
 /// Pre-processing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PreprocessConfig {
     /// Window length, seconds (paper: 50 ms).
     pub window_s: f64,

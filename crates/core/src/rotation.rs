@@ -15,10 +15,9 @@
 //!    Eq. 10 final rotation.
 
 use crate::model::{classify_rss_trend, initial_azimuth, Rotation, Sector};
-use serde::{Deserialize, Serialize};
 
 /// Tuning for the azimuth tracker.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RotationConfig {
     /// Antenna mounting angle γ, radians (paper: 15° in the end-to-end
     /// experiments).

@@ -12,10 +12,9 @@
 //! scalar-pair filters for clarity and speed.
 
 use rf_core::Vec2;
-use serde::{Deserialize, Serialize};
 
 /// Kalman smoother configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmootherConfig {
     /// Process noise: white acceleration spectral density, (m/s²)²·s.
     /// Writing is smooth; 0.5–2 works well.

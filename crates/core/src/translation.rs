@@ -14,10 +14,9 @@
 use crate::distance::range_gradient;
 use crate::model::{classify_phase_trend, Cardinal};
 use rf_core::{wrap_pi, Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Tuning for the translational estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TranslationConfig {
     /// Carrier wavelength λ, metres.
     pub wavelength_m: f64,

@@ -17,7 +17,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
     )
     .headers(vec!["Item", "Truth points", "Trail points", "Procrustes (cm)"]);
     for (i, item) in ITEMS.iter().enumerate() {
-        let setup = TrialSetup::word(item);
+        let setup = TrialSetup::word(item).with_cell_scale(opts.cell_scale);
         let run = run_trial(&setup, opts.seed.wrapping_add(i as u64));
         let d = procrustes_distance(&run.truth, &run.trail.points, 64);
         report.push_row(vec![
@@ -38,7 +38,8 @@ pub fn trajectories(opts: &RunOpts) -> Vec<(String, Vec<rf_core::Vec2>, Vec<rf_c
         .iter()
         .enumerate()
         .map(|(i, item)| {
-            let run = run_trial(&TrialSetup::word(item), opts.seed.wrapping_add(i as u64));
+            let setup = TrialSetup::word(item).with_cell_scale(opts.cell_scale);
+            let run = run_trial(&setup, opts.seed.wrapping_add(i as u64));
             (item.to_string(), run.truth, run.trail.points)
         })
         .collect()

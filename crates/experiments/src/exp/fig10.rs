@@ -27,6 +27,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
         })
         .collect();
 
+    let cell_scale = opts.cell_scale;
     let outcomes = parallel_map(jobs, opts.threads, |(word, seed)| {
         let setup = TrialSetup::word(word);
         let session = pen_sim::scene::write_text(
@@ -41,6 +42,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
 
         let track = |correct: bool| {
             let mut cfg = PolarDrawConfig::default();
+            cfg.hmm.cell_m *= cell_scale.max(0.01);
             cfg.apply_rotation_correction = correct;
             let out = PolarDraw::new(cfg).track_with_diagnostics(&reports);
             (

@@ -13,7 +13,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
         .iter()
         .map(|&ch| (ch, TrialSetup::letter(ch)))
         .collect();
-    let trials = run_letter_trials(&conditions, opts.trials, opts.seed, opts.threads);
+    let trials = run_letter_trials(&conditions, opts.trials, opts.seed, opts);
 
     let mut fig13 = Report::new(
         "fig13",
@@ -63,7 +63,8 @@ mod tests {
             ('I', TrialSetup::letter('I')),
             ('L', TrialSetup::letter('L')),
         ];
-        let trials = run_letter_trials(&conditions, 1, 7, 2);
+        let opts = RunOpts { trials: 1, seed: 7, cell_scale: 4.0, ..RunOpts::default() };
+        let trials = run_letter_trials(&conditions, 1, 7, &opts);
         assert_eq!(trials.len(), 2);
         let m = confusion_of(&trials);
         assert!(m.total() <= 2);

@@ -45,7 +45,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
                 &conditions,
                 trials_per,
                 opts.seed.wrapping_add(200 + gi as u64),
-                opts.threads,
+                opts,
             );
             accs[acc_slot] = 100.0 * letter_accuracy(&trials);
         }

@@ -53,7 +53,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
                 &conditions,
                 trials_per,
                 opts.seed.wrapping_add(300 + si as u64),
-                opts.threads,
+                opts,
             );
             accs[slot] = 100.0 * letter_accuracy(&trials);
         }

@@ -38,7 +38,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
                 &base,
                 trials_per,
                 opts.seed.wrapping_add(400 + len as u64),
-                opts.threads,
+                opts,
             );
             row.push(format!("{:.0}", 100.0 * acc));
         }

@@ -39,7 +39,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
             .iter()
             .map(|&ch| (ch, TrialSetup::letter(ch).with_tracker(kind)))
             .collect();
-        let trials = run_letter_trials(&conditions, opts.trials, opts.seed, opts.threads);
+        let trials = run_letter_trials(&conditions, opts.trials, opts.seed, opts);
         let dists: Vec<f64> = trials.iter().filter_map(|t| t.procrustes_m).collect();
         fig19.push_row(vec![
             kind.label().to_string(),

@@ -44,7 +44,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
                 &conditions,
                 trials_per,
                 opts.seed.wrapping_add(500 + ui as u64),
-                opts.threads,
+                opts,
             );
             row.push(format!("{:.0}", 100.0 * letter_accuracy(&trials)));
         }

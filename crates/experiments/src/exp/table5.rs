@@ -42,7 +42,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
             &conditions,
             opts.trials.div_ceil(2).max(1),
             opts.seed.wrapping_add(di as u64),
-            opts.threads,
+            opts,
         );
         let acc = 100.0 * letter_accuracy(&trials);
         table5.push_row(vec![

@@ -26,7 +26,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
             .iter()
             .map(|&ch| (ch, TrialSetup::letter(ch).with_tracker(kind)))
             .collect();
-        let trials = run_letter_trials(&conditions, opts.trials, opts.seed, opts.threads);
+        let trials = run_letter_trials(&conditions, opts.trials, opts.seed, opts);
         report.push_row(vec![
             label.to_string(),
             format!("{:.0}", 100.0 * letter_accuracy(&trials)),

@@ -34,7 +34,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
             &conditions,
             opts.trials.div_ceil(2).max(1),
             opts.seed.wrapping_add(i as u64),
-            opts.threads,
+            opts,
         );
         report.push_row(vec![
             format!("{ae:.0}"),

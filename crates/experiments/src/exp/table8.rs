@@ -37,7 +37,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
             &conditions,
             opts.trials.div_ceil(2).max(1),
             opts.seed.wrapping_add(100 + i as u64),
-            opts.threads,
+            opts,
         );
         report.push_row(vec![
             format!("{g:.0}"),

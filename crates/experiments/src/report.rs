@@ -1,10 +1,11 @@
-//! Experiment result reporting: aligned text tables plus CSV export.
+//! Experiment result reporting: aligned text tables plus CSV and JSON
+//! export.
 
-use serde::{Deserialize, Serialize};
+use rf_core::json::{FromJson, Json, JsonError, ToJson};
 
 /// The outcome of one experiment: an identified, titled table with the
-/// paper's claim alongside, ready to print or dump as CSV.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// paper's claim alongside, ready to print or dump as CSV or JSON.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Experiment id ("fig13", "table5", ...).
     pub id: String,
@@ -73,6 +74,63 @@ impl Report {
     }
 }
 
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        let strings = |v: &[String]| Json::Arr(v.iter().map(|s| Json::str(s.clone())).collect());
+        Json::obj([
+            ("id", Json::str(self.id.clone())),
+            ("title", Json::str(self.title.clone())),
+            ("paper_claim", Json::str(self.paper_claim.clone())),
+            ("headers", strings(&self.headers)),
+            ("rows", Json::Arr(self.rows.iter().map(|r| strings(r)).collect())),
+            ("notes", strings(&self.notes)),
+        ])
+    }
+}
+
+impl FromJson for Report {
+    fn from_json(v: &Json) -> Result<Report, JsonError> {
+        let field = |key: &str| {
+            v.get(key).ok_or_else(|| JsonError {
+                message: format!("Report: missing `{key}`"),
+                offset: 0,
+            })
+        };
+        let text = |j: &Json| {
+            j.as_str().map(str::to_string).ok_or_else(|| JsonError {
+                message: "Report: expected string".to_string(),
+                offset: 0,
+            })
+        };
+        let strings = |j: &Json| -> Result<Vec<String>, JsonError> {
+            j.as_arr()
+                .ok_or_else(|| JsonError {
+                    message: "Report: expected array".to_string(),
+                    offset: 0,
+                })?
+                .iter()
+                .map(text)
+                .collect()
+        };
+        Ok(Report {
+            id: text(field("id")?)?,
+            title: text(field("title")?)?,
+            paper_claim: text(field("paper_claim")?)?,
+            headers: strings(field("headers")?)?,
+            rows: field("rows")?
+                .as_arr()
+                .ok_or_else(|| JsonError {
+                    message: "Report: `rows` must be an array".to_string(),
+                    offset: 0,
+                })?
+                .iter()
+                .map(&strings)
+                .collect::<Result<_, _>>()?,
+            notes: strings(field("notes")?)?,
+        })
+    }
+}
+
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "== {} — {} ==", self.id, self.title)?;
@@ -136,6 +194,13 @@ mod tests {
         assert!(csv.starts_with("k,v\n"));
         assert!(csv.contains("\"2,3\""));
         assert!(csv.contains("# a note"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let parsed = Json::parse(&r.to_json().to_json_string()).unwrap();
+        assert_eq!(Report::from_json(&parsed).unwrap(), r);
     }
 
     #[test]

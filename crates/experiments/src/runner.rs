@@ -15,6 +15,10 @@ pub struct RunOpts {
     pub trials: usize,
     /// Worker threads for trial fan-out.
     pub threads: usize,
+    /// Grid coarsening factor forwarded to every tracker (1.0 = paper
+    /// fidelity; >1 trades accuracy for speed — the registry smoke test
+    /// and `repro --cell-scale` use this).
+    pub cell_scale: f64,
 }
 
 impl Default for RunOpts {
@@ -23,6 +27,7 @@ impl Default for RunOpts {
             seed: 42,
             trials: 10,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            cell_scale: 1.0,
         }
     }
 }
@@ -67,21 +72,24 @@ pub struct LetterTrial {
 }
 
 /// Run `trials` repetitions of each `(letter, setup)` condition and
-/// score them with a shared recognizer.
+/// score them with a shared recognizer. `trials` and `seed` are passed
+/// explicitly (experiments split and offset them per condition group);
+/// `opts` supplies the thread fan-out and grid fidelity.
 pub fn run_letter_trials(
     conditions: &[(char, TrialSetup)],
     trials: usize,
     seed: u64,
-    threads: usize,
+    opts: &RunOpts,
 ) -> Vec<LetterTrial> {
     let recognizer = LetterRecognizer::new();
     let mut jobs = Vec::new();
     for (ci, (ch, setup)) in conditions.iter().enumerate() {
+        let setup = setup.clone().with_cell_scale(setup.cell_scale * opts.cell_scale);
         for t in 0..trials {
             jobs.push((*ch, setup.clone(), derive_seed_indexed(seed, "letter", (ci * 10_000 + t) as u64)));
         }
     }
-    parallel_map(jobs, threads, |(ch, setup, s)| {
+    parallel_map(jobs, opts.threads, |(ch, setup, s)| {
         let run = run_trial(setup, *s);
         LetterTrial {
             actual: *ch,
@@ -118,9 +126,10 @@ pub fn run_word_trials(
     base: &TrialSetup,
     trials: usize,
     seed: u64,
-    threads: usize,
+    opts: &RunOpts,
 ) -> f64 {
     let recognizer = WordRecognizer::new(words);
+    let base = base.clone().with_cell_scale(base.cell_scale * opts.cell_scale);
     let mut jobs = Vec::new();
     for (wi, w) in words.iter().enumerate() {
         for t in 0..trials {
@@ -129,7 +138,7 @@ pub fn run_word_trials(
             jobs.push((w.to_string(), setup, derive_seed_indexed(seed, "word", (wi * 10_000 + t) as u64)));
         }
     }
-    let outcomes = parallel_map(jobs, threads, |(w, setup, s)| {
+    let outcomes = parallel_map(jobs, opts.threads, |(w, setup, s)| {
         let run = run_trial(setup, *s);
         recognizer.classify(&run.trail.points).as_deref() == Some(w.as_str())
     });

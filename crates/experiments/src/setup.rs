@@ -13,10 +13,9 @@ use rf_physics::{Bystander, ChannelModel};
 use rfid_sim::reader::TagPose;
 use rfid_sim::tracking::{Trail, TrajectoryTracker};
 use rfid_sim::{Reader, TagReport};
-use serde::{Deserialize, Serialize};
 
 /// Which tracking system a trial runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrackerKind {
     /// PolarDraw, two linearly-polarized antennas (the paper's system).
     PolarDraw,
@@ -63,6 +62,10 @@ pub struct TrialSetup {
     /// Tag-to-reader distance: how far the antennas stand off the
     /// writing plane, metres (Table 5 sweeps this).
     pub standoff_m: f64,
+    /// Grid coarsening factor applied to every tracker's cell size
+    /// (1.0 = paper fidelity; >1 trades accuracy for speed, e.g. in the
+    /// registry smoke test).
+    pub cell_scale: f64,
 }
 
 impl TrialSetup {
@@ -77,6 +80,7 @@ impl TrialSetup {
             alpha_e_rad: 30f64.to_radians(),
             bystander: None,
             standoff_m: 0.65,
+            cell_scale: 1.0,
         }
     }
 
@@ -88,6 +92,12 @@ impl TrialSetup {
     /// Switch the tracker.
     pub fn with_tracker(mut self, tracker: TrackerKind) -> TrialSetup {
         self.tracker = tracker;
+        self
+    }
+
+    /// Coarsen (or refine) every tracker's grid by this factor.
+    pub fn with_cell_scale(mut self, cell_scale: f64) -> TrialSetup {
+        self.cell_scale = cell_scale;
         self
     }
 }
@@ -188,6 +198,7 @@ pub fn tracker_for(setup: &TrialSetup) -> Box<dyn TrajectoryTracker + Send + Syn
             cfg.board_max = board_max;
             cfg.start_hint = start_hint;
             cfg.use_polarization = setup.tracker == TrackerKind::PolarDraw;
+            cfg.hmm.cell_m *= setup.cell_scale.max(0.01);
             Box::new(PolarDraw::new(cfg))
         }
         TrackerKind::Tagoram2 | TrackerKind::Tagoram4 => {
@@ -200,6 +211,7 @@ pub fn tracker_for(setup: &TrialSetup) -> Box<dyn TrajectoryTracker + Send + Syn
             cfg.board_min = board_min;
             cfg.board_max = board_max;
             cfg.start_hint = start_hint;
+            cfg.cell_m *= setup.cell_scale.max(0.01);
             Box::new(Tagoram::new(cfg))
         }
         TrackerKind::RfIdraw4 => {
@@ -208,6 +220,7 @@ pub fn tracker_for(setup: &TrialSetup) -> Box<dyn TrajectoryTracker + Send + Syn
             cfg.board_min = board_min;
             cfg.board_max = board_max;
             cfg.start_hint = start_hint;
+            cfg.cell_m *= setup.cell_scale.max(0.01);
             Box::new(RfIdraw::new(cfg))
         }
     }

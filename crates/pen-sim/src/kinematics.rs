@@ -21,10 +21,8 @@
 //! shows accuracy is insensitive to the choice, Table 7).
 
 use crate::path::TimedPoint;
-use rand::Rng;
-use rf_core::rng::gaussian;
+use rf_core::rng::{gaussian, Rng64};
 use rf_core::{Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 use std::f64::consts::FRAC_PI_2;
 
 /// A full pen pose: where the tip is and where the tag's dipole points.
@@ -43,7 +41,7 @@ pub struct PenPose {
 }
 
 /// The wrist articulation model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WristModel {
     /// Azimuthal deflection gain `g`, radians. 0 = perfectly stiff.
     pub gain_rad: f64,
@@ -94,7 +92,7 @@ impl WristModel {
     ///
     /// `rng` drives the tremor terms; pass a fixed-seed RNG for
     /// reproducible sessions.
-    pub fn animate<R: Rng>(&self, path: &[TimedPoint], rng: &mut R) -> Vec<PenPose> {
+    pub fn animate(&self, path: &[TimedPoint], rng: &mut Rng64) -> Vec<PenPose> {
         let mut out = Vec::with_capacity(path.len());
         let mut azimuth = self.rest_azimuth_rad;
         let mut elevation = self.elevation_rad;
@@ -123,6 +121,32 @@ impl WristModel {
             });
         }
         out
+    }
+}
+
+impl rf_core::json::ToJson for WristModel {
+    fn to_json(&self) -> rf_core::Json {
+        rf_core::Json::obj([
+            ("gain_rad", rf_core::Json::Num(self.gain_rad)),
+            ("lag_s", rf_core::Json::Num(self.lag_s)),
+            ("rest_azimuth_rad", rf_core::Json::Num(self.rest_azimuth_rad)),
+            ("elevation_rad", rf_core::Json::Num(self.elevation_rad)),
+            ("elevation_jitter_rad", rf_core::Json::Num(self.elevation_jitter_rad)),
+            ("azimuth_jitter_rad", rf_core::Json::Num(self.azimuth_jitter_rad)),
+        ])
+    }
+}
+
+impl rf_core::json::FromJson for WristModel {
+    fn from_json(v: &rf_core::Json) -> Result<WristModel, rf_core::JsonError> {
+        Ok(WristModel {
+            gain_rad: v.req_f64("gain_rad")?,
+            lag_s: v.req_f64("lag_s")?,
+            rest_azimuth_rad: v.req_f64("rest_azimuth_rad")?,
+            elevation_rad: v.req_f64("elevation_rad")?,
+            elevation_jitter_rad: v.req_f64("elevation_jitter_rad")?,
+            azimuth_jitter_rad: v.req_f64("azimuth_jitter_rad")?,
+        })
     }
 }
 
@@ -219,6 +243,16 @@ mod tests {
             assert_eq!(pose.tip.xy(), tp.pos);
             assert_eq!(pose.tip.z, 0.0);
         }
+    }
+
+    #[test]
+    fn wrist_model_round_trips_through_json() {
+        use rf_core::json::{FromJson, ToJson};
+        let w = WristModel { gain_rad: 0.7, ..WristModel::default() };
+        let text = w.to_json().to_json_string();
+        let back = WristModel::from_json(&rf_core::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, w);
+        assert!(WristModel::from_json(&rf_core::Json::parse("{}").unwrap()).is_err());
     }
 
     #[test]

@@ -6,11 +6,10 @@
 //! polarization-based direction estimator.
 
 use crate::kinematics::WristModel;
-use serde::{Deserialize, Serialize};
 
 /// A writer's style: kinematic parameters feeding the wrist model and
 /// path synthesis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WriterProfile {
     /// Display name.
     pub name: &'static str,
@@ -94,6 +93,17 @@ impl WriterProfile {
     pub fn with_elevation(mut self, elevation_rad: f64) -> WriterProfile {
         self.wrist.elevation_rad = elevation_rad;
         self
+    }
+}
+
+impl rf_core::json::ToJson for WriterProfile {
+    fn to_json(&self) -> rf_core::Json {
+        rf_core::Json::obj([
+            ("name", rf_core::Json::str(self.name)),
+            ("speed_mps", rf_core::Json::Num(self.speed_mps)),
+            ("letter_size_m", rf_core::Json::Num(self.letter_size_m)),
+            ("wrist", self.wrist.to_json()),
+        ])
     }
 }
 

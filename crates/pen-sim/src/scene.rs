@@ -5,10 +5,8 @@ use crate::kinematics::{PenPose, WristModel};
 use crate::path::{join_strokes, place_glyph, timed_path};
 use crate::profile::WriterProfile;
 use crate::{glyph, GroundTruth};
-use rand::Rng;
 use rf_core::rng::{gaussian, rng_from_seed};
 use rf_core::{Vec2, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Out-of-plane wobble model for in-air writing.
 ///
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// writing plane; the tracker's planar distance inference then sees
 /// phantom displacement, which is the paper's explanation for the ~8 %
 /// accuracy drop in Fig. 15.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AirModel {
     /// Peak wobble out of the plane, metres (a few cm).
     pub wobble_amplitude_m: f64,
@@ -33,7 +31,7 @@ impl Default for AirModel {
 }
 
 /// Where and how the writing happens.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scene {
     /// Top-left corner of the writing area on the board, metres.
     /// The default antenna rig sits above y = 0, so y ≈ 0.6–0.9 m puts
@@ -72,6 +70,56 @@ impl Scene {
     pub fn in_air(mut self) -> Scene {
         self.air = Some(AirModel::default());
         self
+    }
+}
+
+impl rf_core::json::ToJson for AirModel {
+    fn to_json(&self) -> rf_core::Json {
+        rf_core::Json::obj([
+            ("wobble_amplitude_m", rf_core::Json::Num(self.wobble_amplitude_m)),
+            ("wobble_period_s", rf_core::Json::Num(self.wobble_period_s)),
+            ("drift_sigma_m", rf_core::Json::Num(self.drift_sigma_m)),
+        ])
+    }
+}
+
+impl rf_core::json::FromJson for AirModel {
+    fn from_json(v: &rf_core::Json) -> Result<AirModel, rf_core::JsonError> {
+        Ok(AirModel {
+            wobble_amplitude_m: v.req_f64("wobble_amplitude_m")?,
+            wobble_period_s: v.req_f64("wobble_period_s")?,
+            drift_sigma_m: v.req_f64("drift_sigma_m")?,
+        })
+    }
+}
+
+impl rf_core::json::ToJson for Scene {
+    fn to_json(&self) -> rf_core::Json {
+        rf_core::Json::obj([
+            ("origin", self.origin.to_json()),
+            ("air", self.air.as_ref().map_or(rf_core::Json::Null, |a| a.to_json())),
+            ("sample_dt", rf_core::Json::Num(self.sample_dt)),
+            ("letter_gap", rf_core::Json::Num(self.letter_gap)),
+        ])
+    }
+}
+
+impl rf_core::json::FromJson for Scene {
+    fn from_json(v: &rf_core::Json) -> Result<Scene, rf_core::JsonError> {
+        let air = match v.get("air") {
+            None | Some(rf_core::Json::Null) => None,
+            Some(a) => Some(AirModel::from_json(a)?),
+        };
+        let origin = v.get("origin").ok_or_else(|| rf_core::JsonError {
+            message: "Scene: missing `origin`".to_string(),
+            offset: 0,
+        })?;
+        Ok(Scene {
+            origin: rf_core::Vec2::from_json(origin)?,
+            air,
+            sample_dt: v.req_f64("sample_dt")?,
+            letter_gap: v.req_f64("letter_gap")?,
+        })
     }
 }
 
@@ -270,5 +318,16 @@ mod tests {
     fn scene_at_distance_places_writing_area() {
         let s = Scene::at_distance(1.2);
         assert_eq!(s.origin.y, 1.2);
+    }
+
+    #[test]
+    fn scenes_round_trip_through_json() {
+        use rf_core::json::{FromJson, ToJson};
+        for scene in [Scene::default(), Scene::at_distance(1.1).in_air()] {
+            let text = scene.to_json().to_json_string();
+            let back = Scene::from_json(&rf_core::Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, scene);
+        }
+        assert!(Scene::from_json(&rf_core::Json::parse("{\"origin\":[0,0]}").unwrap()).is_err());
     }
 }

@@ -1,9 +1,8 @@
 //! Confusion matrices (Fig. 14) and accuracy aggregation.
 
-use serde::{Deserialize, Serialize};
 
 /// A square confusion matrix over a fixed label set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfusionMatrix {
     /// Class labels, in row/column order.
     pub labels: Vec<char>,

@@ -6,7 +6,6 @@
 //! pipeline (Eqs. 5–7 of the paper), so every crate uses these helpers
 //! instead of ad-hoc `%` arithmetic.
 
-use serde::{Deserialize, Serialize};
 use std::f64::consts::{PI, TAU};
 
 /// Convert degrees to radians.
@@ -102,7 +101,7 @@ pub fn circular_mean(angles: &[f64]) -> Option<f64> {
 /// (antenna mounting angles, pen elevation).
 ///
 /// Stored internally in radians.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Angle(f64);
 
 impl Angle {

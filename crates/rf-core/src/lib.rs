@@ -14,8 +14,11 @@
 //!   of the paper).
 //! * [`stats`] — descriptive statistics used by the evaluation harness
 //!   (means, percentiles, empirical CDFs).
-//! * [`rng`] — deterministic seed derivation so that every experiment in
-//!   the workspace is reproducible from a single `u64`.
+//! * [`rng`] — the workspace-standard seeded PRNG (xoshiro256++) and
+//!   seed derivation so that every experiment in the workspace is
+//!   reproducible from a single `u64`.
+//! * [`json`] — a minimal JSON writer/parser so result dumps and
+//!   scenario configs need no external serialization crate.
 //!
 //! Nothing in this crate knows about RFID, antennas, or pens; it is pure
 //! math. Higher layers are `rf-physics` (electromagnetics), `rfid-sim`
@@ -28,6 +31,7 @@
 pub mod angle;
 pub mod complex;
 pub mod db;
+pub mod json;
 pub mod mat;
 pub mod rng;
 pub mod stats;
@@ -36,7 +40,9 @@ pub mod vec;
 pub use angle::{deg_to_rad, rad_to_deg, wrap_pi, wrap_tau, Angle};
 pub use complex::Complex;
 pub use db::{db_to_ratio, dbm_to_mw, mw_to_dbm, ratio_to_db};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use mat::Mat2;
+pub use rng::Rng64;
 pub use vec::{Vec2, Vec3};
 
 /// Speed of light in vacuum, metres per second.

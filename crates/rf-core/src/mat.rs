@@ -6,10 +6,9 @@
 //! also solves for an optimal rotation.
 
 use crate::vec::Vec2;
-use serde::{Deserialize, Serialize};
 
 /// A 2×2 matrix in row-major order.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mat2 {
     /// Row 0, column 0.
     pub a: f64,

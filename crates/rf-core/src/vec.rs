@@ -5,11 +5,10 @@
 //! for antenna positions, pen/tag dipole orientation, and multipath
 //! reflector geometry.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// A 2-D vector / point on the whiteboard plane, in metres.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec2 {
     /// Horizontal board coordinate (rightward positive).
     pub x: f64,
@@ -140,7 +139,7 @@ impl Neg for Vec2 {
 /// Board convention: X rightward along the board, Y downward along the
 /// board (matching the paper's trajectory plots), Z out of the board
 /// toward the writer.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// X component.
     pub x: f64,
@@ -266,6 +265,53 @@ impl Neg for Vec3 {
     }
 }
 
+impl crate::json::ToJson for Vec2 {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::Arr(vec![
+            crate::json::Json::Num(self.x),
+            crate::json::Json::Num(self.y),
+        ])
+    }
+}
+
+impl crate::json::FromJson for Vec2 {
+    fn from_json(v: &crate::json::Json) -> Result<Vec2, crate::json::JsonError> {
+        match v.as_arr() {
+            Some([x, y]) => match (x.as_f64(), y.as_f64()) {
+                (Some(x), Some(y)) => Ok(Vec2::new(x, y)),
+                _ => Err(bad_vec("Vec2: non-numeric component")),
+            },
+            _ => Err(bad_vec("Vec2: expected [x, y]")),
+        }
+    }
+}
+
+impl crate::json::ToJson for Vec3 {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::Arr(vec![
+            crate::json::Json::Num(self.x),
+            crate::json::Json::Num(self.y),
+            crate::json::Json::Num(self.z),
+        ])
+    }
+}
+
+impl crate::json::FromJson for Vec3 {
+    fn from_json(v: &crate::json::Json) -> Result<Vec3, crate::json::JsonError> {
+        match v.as_arr() {
+            Some([x, y, z]) => match (x.as_f64(), y.as_f64(), z.as_f64()) {
+                (Some(x), Some(y), Some(z)) => Ok(Vec3::new(x, y, z)),
+                _ => Err(bad_vec("Vec3: non-numeric component")),
+            },
+            _ => Err(bad_vec("Vec3: expected [x, y, z]")),
+        }
+    }
+}
+
+fn bad_vec(message: &str) -> crate::json::JsonError {
+    crate::json::JsonError { message: message.to_string(), offset: 0 }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,5 +382,16 @@ mod tests {
         let b = Vec3::new(2.0, 3.0, 5.0);
         assert_eq!(a.distance(b), b.distance(a));
         assert!((a.distance(b) - 21f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vectors_round_trip_through_json() {
+        use crate::json::{FromJson, Json, ToJson};
+        let v2 = Vec2::new(-0.25, 1e-3);
+        assert_eq!(Vec2::from_json(&Json::parse(&v2.to_json().to_json_string()).unwrap()).unwrap(), v2);
+        let v3 = Vec3::new(0.1, -0.0, 2.5e8);
+        assert_eq!(Vec3::from_json(&Json::parse(&v3.to_json().to_json_string()).unwrap()).unwrap(), v3);
+        assert!(Vec2::from_json(&Json::parse("[1,2,3]").unwrap()).is_err());
+        assert!(Vec3::from_json(&Json::parse("[1,2,\"x\"]").unwrap()).is_err());
     }
 }

@@ -9,10 +9,9 @@
 
 use crate::polarization;
 use rf_core::{db_to_ratio, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Antenna polarization type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Polarization {
     /// Linear polarization along the given (unit) axis.
     Linear(Vec3),
@@ -23,7 +22,7 @@ pub enum Polarization {
 
 /// A reader antenna: position, boresight, polarization, and a patch-like
 /// gain pattern `G(θ) = G₀·cosⁿθ` clipped to the front hemisphere.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Antenna {
     /// Phase-centre position, metres.
     pub position: Vec3,

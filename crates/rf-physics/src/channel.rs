@@ -27,7 +27,6 @@ use crate::polarization::{rotate_about_axis, transverse_field};
 use crate::propagation::log_distance_amplitude;
 use crate::spectrum::ChannelPlan;
 use rf_core::{db_to_ratio, wrap_tau, Complex, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// Everything the reader can know about one interrogation attempt,
 /// before receiver measurement noise and quantization (those live in
@@ -49,7 +48,7 @@ pub struct LinkObservation {
 }
 
 /// The full RF environment: antennas, clutter, regulatory plan, budgets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelModel {
     /// Reader antennas (PolarDraw uses two; baselines up to four).
     pub antennas: Vec<Antenna>,

@@ -16,10 +16,9 @@
 
 use crate::polarization::rotate_about_axis;
 use rf_core::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// An infinite planar reflector (wall, ceiling, desk surface).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Reflector {
     /// Any point on the plane.
     pub point: Vec3,
@@ -81,7 +80,7 @@ impl Reflector {
 }
 
 /// How the bystander moves.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BystanderMotion {
     /// Standing still: static multipath.
     Static,
@@ -97,7 +96,7 @@ pub enum BystanderMotion {
 
 /// A human bystander near the whiteboard, modelled as a point scatterer
 /// with a fixed (random, per-scene) scattered polarization.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bystander {
     /// Torso centre at t = 0.
     pub position: Vec3,

@@ -6,12 +6,10 @@
 //! roughly ±0.5 dB RSSI granularity and ~0.1 rad phase spread at good
 //! SNR, degrading as the backscatter approaches the sensitivity floor.
 
-use rand::Rng;
-use rf_core::rng::gaussian;
-use serde::{Deserialize, Serialize};
+use rf_core::rng::{gaussian, Rng64};
 
 /// Receiver noise configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseModel {
     /// Reader noise floor, dBm (thermal + NF over the backscatter BW).
     pub noise_floor_dbm: f64,
@@ -55,13 +53,33 @@ impl NoiseModel {
     }
 
     /// Sample an RSSI perturbation, dB.
-    pub fn sample_rssi_noise<R: Rng>(&self, rng: &mut R, rx_dbm: f64) -> f64 {
+    pub fn sample_rssi_noise(&self, rng: &mut Rng64, rx_dbm: f64) -> f64 {
         gaussian(rng, self.rssi_sigma_at(rx_dbm))
     }
 
     /// Sample a phase perturbation, radians.
-    pub fn sample_phase_noise<R: Rng>(&self, rng: &mut R, rx_dbm: f64) -> f64 {
+    pub fn sample_phase_noise(&self, rng: &mut Rng64, rx_dbm: f64) -> f64 {
         gaussian(rng, self.phase_sigma_at(rx_dbm))
+    }
+}
+
+impl rf_core::json::ToJson for NoiseModel {
+    fn to_json(&self) -> rf_core::Json {
+        rf_core::Json::obj([
+            ("noise_floor_dbm", rf_core::Json::Num(self.noise_floor_dbm)),
+            ("rssi_sigma_db", rf_core::Json::Num(self.rssi_sigma_db)),
+            ("phase_sigma_rad", rf_core::Json::Num(self.phase_sigma_rad)),
+        ])
+    }
+}
+
+impl rf_core::json::FromJson for NoiseModel {
+    fn from_json(v: &rf_core::Json) -> Result<NoiseModel, rf_core::JsonError> {
+        Ok(NoiseModel {
+            noise_floor_dbm: v.req_f64("noise_floor_dbm")?,
+            rssi_sigma_db: v.req_f64("rssi_sigma_db")?,
+            phase_sigma_rad: v.req_f64("phase_sigma_rad")?,
+        })
     }
 }
 
@@ -99,6 +117,16 @@ mod tests {
             assert!(s < prev, "phase sigma must shrink with power");
             prev = s;
         }
+    }
+
+    #[test]
+    fn noise_model_round_trips_through_json() {
+        use rf_core::json::{FromJson, ToJson};
+        let n = NoiseModel::default();
+        let back =
+            NoiseModel::from_json(&rf_core::Json::parse(&n.to_json().to_json_string()).unwrap())
+                .unwrap();
+        assert_eq!(back, n);
     }
 
     #[test]

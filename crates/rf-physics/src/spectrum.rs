@@ -7,7 +7,6 @@
 //! behaviour); we default to a fixed channel but expose the hopping
 //! sequence so the ablation "what does hopping cost?" can be run.
 
-use serde::{Deserialize, Serialize};
 
 /// Number of FCC channels.
 pub const FCC_CHANNEL_COUNT: usize = 50;
@@ -19,7 +18,7 @@ pub const FCC_SPACING_HZ: f64 = 0.5e6;
 pub const FCC_MAX_DWELL_S: f64 = 0.4;
 
 /// Carrier-frequency schedule for the reader.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ChannelPlan {
     /// Stay on one channel index (0-based). The paper's effective mode.
     Fixed(usize),

@@ -12,8 +12,7 @@
 //! and the Q-algorithm dynamics that keep the round short.
 
 use crate::modulation::ModulationScheme;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rf_core::rng::Rng64;
 
 /// Reader-to-tag (downlink) data rate, bits/s, for typical Tari = 12.5 µs
 /// PIE encoding (average symbol ≈ 1.5 Tari).
@@ -39,7 +38,7 @@ pub const T1_S: f64 = 60e-6;
 pub const T2_S: f64 = 50e-6;
 
 /// Timing and state of the Gen2 MAC for a single-reader session.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Gen2Config {
     /// Uplink modulation.
     pub scheme: ModulationScheme,
@@ -128,9 +127,9 @@ pub enum SlotOutcome {
 
 /// Simulate the slot outcome for `n_tags` tags drawing uniformly from
 /// `2^q` slots and count how many picked slot 0.
-pub fn slot_outcome<R: Rng>(rng: &mut R, n_tags: usize, q: u32) -> SlotOutcome {
-    let slots = 1u32 << q.min(15);
-    let hits = (0..n_tags).filter(|_| rng.gen_range(0..slots) == 0).count();
+pub fn slot_outcome(rng: &mut Rng64, n_tags: usize, q: u32) -> SlotOutcome {
+    let slots = 1usize << q.min(15);
+    let hits = (0..n_tags).filter(|_| rng.gen_index(slots) == 0).count();
     match hits {
         0 => SlotOutcome::Empty,
         1 => SlotOutcome::Single,

@@ -37,10 +37,9 @@ pub use modulation::ModulationScheme;
 pub use reader::{Reader, ReaderConfig};
 pub use tracking::TrajectoryTracker;
 
-use serde::{Deserialize, Serialize};
 
 /// One successful tag interrogation, as delivered by LLRP.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TagReport {
     /// Timestamp, seconds since session start.
     pub t: f64,
@@ -54,6 +53,41 @@ pub struct TagReport {
     pub channel: usize,
     /// Tag EPC (truncated to 64 bits for compactness).
     pub epc: u64,
+}
+
+impl rf_core::json::ToJson for TagReport {
+    fn to_json(&self) -> rf_core::Json {
+        rf_core::Json::obj([
+            ("t", rf_core::Json::Num(self.t)),
+            ("antenna", rf_core::Json::Num(self.antenna as f64)),
+            ("rssi_dbm", rf_core::Json::Num(self.rssi_dbm)),
+            ("phase_rad", rf_core::Json::Num(self.phase_rad)),
+            ("channel", rf_core::Json::Num(self.channel as f64)),
+            // EPCs use the full 64 bits; JSON numbers are f64 and would
+            // lose precision past 2^53, so carry the EPC as hex text.
+            ("epc", rf_core::Json::str(format!("{:016x}", self.epc))),
+        ])
+    }
+}
+
+impl rf_core::json::FromJson for TagReport {
+    fn from_json(v: &rf_core::Json) -> Result<TagReport, rf_core::JsonError> {
+        let epc_text = v.get("epc").and_then(rf_core::Json::as_str).ok_or_else(|| {
+            rf_core::JsonError { message: "TagReport: missing `epc`".to_string(), offset: 0 }
+        })?;
+        let epc = u64::from_str_radix(epc_text, 16).map_err(|_| rf_core::JsonError {
+            message: format!("TagReport: bad epc `{epc_text}`"),
+            offset: 0,
+        })?;
+        Ok(TagReport {
+            t: v.req_f64("t")?,
+            antenna: v.req_f64("antenna")? as usize,
+            rssi_dbm: v.req_f64("rssi_dbm")?,
+            phase_rad: v.req_f64("phase_rad")?,
+            channel: v.req_f64("channel")? as usize,
+            epc,
+        })
+    }
 }
 
 /// Split a report stream per antenna port, preserving order.
@@ -89,5 +123,22 @@ mod tests {
         let reports = vec![report(0.0, 5)];
         let split = split_by_antenna(&reports, 2);
         assert!(split[0].is_empty() && split[1].is_empty());
+    }
+
+    #[test]
+    fn tag_report_round_trips_through_json_with_full_epc() {
+        use rf_core::json::{FromJson, ToJson};
+        let r = TagReport {
+            t: 1.2345,
+            antenna: 1,
+            rssi_dbm: -43.5,
+            phase_rad: 3.25,
+            channel: 17,
+            epc: 0xE280_1160_6000_0001, // > 2^53: would not survive as an f64
+        };
+        let back =
+            TagReport::from_json(&rf_core::Json::parse(&r.to_json().to_json_string()).unwrap())
+                .unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -7,10 +7,9 @@
 //! The paper (§4) exploits exactly this trade-off, probing schemes until
 //! the phase noise is acceptable.
 
-use serde::{Deserialize, Serialize};
 
 /// A Gen2 uplink encoding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModulationScheme {
     /// FM0 baseband: fastest, least robust.
     Fm0,

@@ -9,14 +9,12 @@
 
 use crate::gen2::Gen2Config;
 use crate::TagReport;
-use rand::Rng;
 use rf_core::rng::{gaussian, rng_from_seed};
 use rf_core::wrap_tau;
 use rf_physics::ChannelModel;
-use serde::{Deserialize, Serialize};
 
 /// Reader configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReaderConfig {
     /// MAC/modulation timing.
     pub gen2: Gen2Config,
@@ -105,7 +103,7 @@ impl Reader {
                     .gen2
                     .scheme
                     .packet_success(snr, crate::gen2::frame::EPC_BITS);
-                if rng.gen::<f64>() < p_ok {
+                if rng.gen_bool(p_ok) {
                     let rssi = obs.rx_power_dbm
                         + self.channel.noise.sample_rssi_noise(&mut rng, obs.rx_power_dbm);
                     let phase = obs.phase_rad
@@ -191,14 +189,14 @@ impl Reader {
             let round = match outcome {
                 crate::gen2::SlotOutcome::Single => {
                     // The responding tag is uniform among the live set.
-                    let (ti, pose, rx) = live[rng.gen_range(0..live.len())];
+                    let (ti, pose, rx) = live[rng.gen_index(live.len())];
                     let snr = self.channel.noise.snr_db(rx);
                     let p_ok = self
                         .config
                         .gen2
                         .scheme
                         .packet_success(snr, crate::gen2::frame::EPC_BITS);
-                    if rng.gen::<f64>() < p_ok {
+                    if rng.gen_bool(p_ok) {
                         let obs = self.channel.evaluate(port, pose.position, pose.dipole, t);
                         let rssi =
                             obs.rx_power_dbm + self.channel.noise.sample_rssi_noise(&mut rng, rx);

@@ -6,7 +6,7 @@
 //! cargo run --release --example air_writing
 //! ```
 
-use experiments::runner::{letter_accuracy, run_letter_trials};
+use experiments::runner::{letter_accuracy, run_letter_trials, RunOpts};
 use experiments::setup::TrialSetup;
 use pen_sim::Scene;
 use recognition::LetterRecognizer;
@@ -27,7 +27,7 @@ fn main() {
                 (ch, s)
             })
             .collect();
-        let results = run_letter_trials(&conditions, trials, 7, 0);
+        let results = run_letter_trials(&conditions, trials, 7, &RunOpts::default());
         println!(
             "{label:>11}: {:>3.0} % over {} trials",
             100.0 * letter_accuracy(&results),

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification entrypoint (see ROADMAP.md).
+#
+# Builds and tests the whole workspace *offline* and then proves the
+# dependency graph is hermetic: every crate in `cargo tree` must be a
+# workspace member (path dependency). Any registry/git crate — even one
+# that happens to be cached — fails the run.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== verify: offline release build =="
+cargo build --release --offline --workspace --benches
+
+echo "== verify: offline test suite =="
+cargo test -q --offline --workspace --release
+
+echo "== verify: dependency graph is workspace-only =="
+# Every line of `cargo tree` that names a crate must carry the marker of
+# a local path dependency: "(/…)" pointing into this repo. Registry
+# crates print "vX.Y.Z" with no path; catch them.
+nonlocal=$(cargo tree --offline --workspace --edges normal,build,dev --prefix none \
+    | sort -u \
+    | grep -v "($(pwd)" || true)
+if [ -n "$nonlocal" ]; then
+    echo "FAIL: non-workspace dependencies found:" >&2
+    echo "$nonlocal" >&2
+    exit 1
+fi
+
+echo "verify: OK"

@@ -1,0 +1,88 @@
+//! Smoke test: every registered experiment runs end to end on a
+//! reduced configuration and produces sane output.
+//!
+//! The per-experiment tests elsewhere cover the headline artifacts in
+//! depth; this sweep guarantees *coverage* — an experiment added to the
+//! registry (or an id like fig14/fig20/fig22/table7/table8 produced as
+//! a secondary report) cannot silently break, because every id is
+//! executed here with `trials = 1`.
+
+use experiments::runner::RunOpts;
+use experiments::{all_experiments, Report};
+use std::collections::BTreeSet;
+
+fn smoke_opts() -> RunOpts {
+    // The reduced configuration: one trial per condition, and every
+    // tracker's grid coarsened 8× (2.5 mm → 2 cm cells). That trades
+    // accuracy — which this test does not assert — for a sweep that
+    // drives all 19 artifacts end to end in test-scale time.
+    RunOpts { trials: 1, cell_scale: 8.0, ..RunOpts::default() }
+}
+
+/// A report cell is either non-numeric text (labels, letter names, the
+/// occasional blank presentation cell) or a parseable finite number.
+/// "nan"/"inf" leaking into a table is a bug.
+fn assert_cells_sane(report: &Report) {
+    assert!(!report.id.is_empty(), "report with empty id");
+    assert!(!report.rows.is_empty(), "{}: no data rows", report.id);
+    for (r, row) in report.rows.iter().enumerate() {
+        assert!(!row.is_empty(), "{}: row {r} is empty", report.id);
+        for (c, cell) in row.iter().enumerate() {
+            if let Ok(x) = cell.trim().trim_end_matches('%').parse::<f64>() {
+                assert!(
+                    x.is_finite(),
+                    "{}: non-finite value {cell:?} at row {r} col {c}",
+                    report.id
+                );
+            } else {
+                let lower = cell.to_ascii_lowercase();
+                assert!(
+                    !lower.contains("nan") && !lower.contains("inf"),
+                    "{}: suspicious cell {cell:?} at row {r} col {c}",
+                    report.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_experiment_runs_on_reduced_config() {
+    let opts = smoke_opts();
+    let mut produced: BTreeSet<String> = BTreeSet::new();
+    for def in all_experiments() {
+        let reports = (def.run)(&opts);
+        assert!(!reports.is_empty(), "{}: produced no reports", def.id);
+        let got: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
+        for want in def.produces {
+            assert!(
+                got.contains(want),
+                "{}: promised report {want} missing (got {got:?})",
+                def.id
+            );
+        }
+        for report in &reports {
+            assert_cells_sane(report);
+            produced.insert(report.id.clone());
+        }
+    }
+    // The full paper artifact set, including the secondary ids.
+    for id in [
+        "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14", "fig15",
+        "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5", "table6", "table7",
+        "table8",
+    ] {
+        assert!(produced.contains(id), "artifact {id} was never produced");
+    }
+}
+
+#[test]
+fn reduced_runs_are_deterministic() {
+    // Same seed ⇒ byte-identical reports, across two fresh runs of a
+    // cheap experiment that exercises the whole pipeline.
+    let opts = smoke_opts();
+    let def = experiments::registry::find("fig10").expect("fig10 registered");
+    let a = (def.run)(&opts);
+    let b = (def.run)(&opts);
+    assert_eq!(a, b, "fig10 not reproducible for seed {}", opts.seed);
+}
