@@ -1,0 +1,107 @@
+//! Viterbi decode throughput: the optimized beam decoder across a
+//! (cell size × beam width × step count) matrix, plus the retained
+//! naive reference at matching workloads so the speedup is measured,
+//! not asserted.
+//!
+//! The workload is the paper-fidelity rig: the default `PolarDrawConfig`
+//! board and antennas, a 100-step synthetic observation stream with a
+//! slowly-turning direction prior and a hyperbola measurement on every
+//! step — the same shape `repro`'s accuracy trials decode thousands of
+//! times. `decode/opt/cell2.5mm/beam2500/steps100` versus
+//! `decode/ref/cell2.5mm/beam2500/steps100` is the headline pair the
+//! committed `BENCH_decode.json` tracks (`scripts/bench.sh` regenerates
+//! it; `bench_check --min-speedup` enforces the ≥3× floor).
+
+use polardraw_bench::harness::Bench;
+use polardraw_core::distance::FeasibleRegion;
+use polardraw_core::hmm::{
+    viterbi_beam, viterbi_reference, viterbi_with_stats, Grid, HmmConfig, StepObservation,
+};
+use polardraw_core::PolarDrawConfig;
+use rf_core::Vec2;
+
+/// The synthetic observation stream every decode bench shares: steady
+/// ~4 mm steps with a slowly-turning direction and a constant hyperbola
+/// measurement (values match the long-standing `components.rs` decode
+/// workload).
+fn make_steps(n: usize) -> Vec<StepObservation> {
+    (0..n)
+        .map(|i| StepObservation {
+            region: FeasibleRegion { min_dist: 0.002, max_dist: 0.01 },
+            direction: Some(Vec2::from_angle(i as f64 * 0.1)),
+            dtheta21: Some(0.3),
+            target_dist: 0.004,
+        })
+        .collect()
+}
+
+fn main() {
+    let mut bench = Bench::from_args("decode");
+    let cfg = PolarDrawConfig::default();
+    let hmm = HmmConfig::default();
+
+    // Optimized decoder: cell × beam matrix at the repro step count.
+    let steps100 = make_steps(100);
+    for (cell_label, cell_m) in [("cell2.5mm", 0.0025), ("cell5mm", 0.005), ("cell10mm", 0.01)] {
+        let grid = Grid::covering(cfg.board_min, cfg.board_max, cell_m);
+        let config = HmmConfig { cell_m, ..hmm };
+        for beam in [500usize, 2500] {
+            bench.bench(&format!("decode/opt/{cell_label}/beam{beam}/steps100"), || {
+                viterbi_beam(&grid, cfg.antennas, cfg.start_hint, &steps100, &config, beam)
+            });
+        }
+    }
+
+    // Step-count axis (decode cost is linear in steps; this guards it).
+    {
+        let cell_m = 0.005;
+        let grid = Grid::covering(cfg.board_min, cfg.board_max, cell_m);
+        let config = HmmConfig { cell_m, ..hmm };
+        for n in [25usize, 400] {
+            let steps = make_steps(n);
+            bench.bench(&format!("decode/opt/cell5mm/beam2500/steps{n}"), || {
+                viterbi_beam(&grid, cfg.antennas, cfg.start_hint, &steps, &config, 2500)
+            });
+        }
+    }
+
+    // Retained naive reference at the two headline workloads.
+    for (cell_label, cell_m) in [("cell2.5mm", 0.0025), ("cell5mm", 0.005)] {
+        let grid = Grid::covering(cfg.board_min, cfg.board_max, cell_m);
+        let config = HmmConfig { cell_m, ..hmm };
+        bench.bench(&format!("decode/ref/{cell_label}/beam2500/steps100"), || {
+            viterbi_reference(&grid, cfg.antennas, cfg.start_hint, &steps100, &config, 2500)
+        });
+    }
+
+    // Work counters for the headline workload: what the decode did, not
+    // just how long it took.
+    {
+        let grid = Grid::covering(cfg.board_min, cfg.board_max, 0.0025);
+        let (_, stats) =
+            viterbi_with_stats(&grid, cfg.antennas, cfg.start_hint, &steps100, &hmm, 2500);
+        bench.note(format!(
+            "decode/opt/cell2.5mm/beam2500/steps100 work: {} expansions, {} touched cells, \
+             {} beam-pruned, {} below-min, mean frontier {:.0}, max frontier {}, \
+             {} carried of {} steps",
+            stats.expansions,
+            stats.touched_cells,
+            stats.pruned_beam,
+            stats.pruned_below_min,
+            stats.mean_frontier(),
+            stats.max_frontier,
+            stats.carried_steps,
+            stats.steps,
+        ));
+        bench.note(format!(
+            "grid {}x{} = {} cells; board {:?}..{:?}",
+            grid.nx,
+            grid.ny,
+            grid.len(),
+            cfg.board_min,
+            cfg.board_max,
+        ));
+    }
+
+    bench.finish();
+}

@@ -4,7 +4,7 @@
 
 use pen_sim::{Scene, WriterProfile};
 use polardraw_bench::harness::Bench;
-use recognition::dtw::dtw_distance;
+use recognition::dtw::{dtw_distance, sakoe_chiba_band};
 use recognition::procrustes::align;
 use recognition::resample::{prepare, prepare_whitened};
 use recognition::LetterRecognizer;
@@ -24,7 +24,9 @@ fn main() {
 
     let s = prepare(&trajectory('S'), 64).unwrap();
     let z = prepare(&trajectory('Z'), 64).unwrap();
-    bench.bench("recognition/dtw_64pt_band12", || dtw_distance(&s, &z, 12));
+    let band = sakoe_chiba_band(64);
+    bench.bench(&format!("recognition/dtw_64pt_band{band}"), || dtw_distance(&s, &z, band));
+    bench.bench("recognition/dtw_64pt_unbanded", || dtw_distance(&s, &z, usize::MAX));
 
     let raw = trajectory('Q');
     bench.bench("recognition/preparation/similarity_normalized", || prepare(&raw, 64));

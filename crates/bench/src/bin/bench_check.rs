@@ -1,0 +1,192 @@
+//! Gate on a bench report: parse it, compare against a committed
+//! baseline, and enforce the optimized-vs-reference speedup floor.
+//!
+//! ```text
+//! bench_check <report.json> [--baseline BASE.json] [--max-regression X]
+//!             [--min-speedup X] [--opt NAME] [--ref NAME]
+//! ```
+//!
+//! * With no flags: the report must parse as an `experiments::Report`
+//!   and every row's `median_ns` must be a positive finite number.
+//! * `--baseline` + `--max-regression X`: for every bench name present
+//!   in both reports, `current_median / baseline_median` must stay
+//!   ≤ X (default 1.5 when `--baseline` is given without a limit).
+//! * `--min-speedup X`: `median(--ref) / median(--opt)` must be ≥ X.
+//!   Defaults compare the paper-fidelity headline pair
+//!   `decode/ref/cell2.5mm/beam2500/steps100` vs
+//!   `decode/opt/cell2.5mm/beam2500/steps100`.
+//!
+//! Exits 0 when every requested check passes, 1 otherwise, 2 on usage
+//! errors — so `scripts/verify.sh --quick-bench` and `scripts/bench.sh`
+//! can gate on it.
+
+use experiments::Report;
+use rf_core::json::FromJson as _;
+use rf_core::Json;
+use std::collections::HashMap;
+
+const DEFAULT_OPT: &str = "decode/opt/cell2.5mm/beam2500/steps100";
+const DEFAULT_REF: &str = "decode/ref/cell2.5mm/beam2500/steps100";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_check <report.json> [--baseline BASE.json] [--max-regression X] \
+         [--min-speedup X] [--opt NAME] [--ref NAME]"
+    );
+    std::process::exit(2);
+}
+
+fn load_report(path: &str) -> Report {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_check: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    match Report::from_json(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_check: {path} is not a Report: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Extract `bench name → median_ns` from a bench-suite report.
+fn medians(report: &Report, path: &str) -> HashMap<String, f64> {
+    let name_col = report.headers.iter().position(|h| h == "bench");
+    let median_col = report.headers.iter().position(|h| h == "median_ns");
+    let (Some(nc), Some(mc)) = (name_col, median_col) else {
+        eprintln!(
+            "bench_check: {path} lacks bench/median_ns columns (headers: {:?})",
+            report.headers
+        );
+        std::process::exit(1);
+    };
+    let mut out = HashMap::new();
+    for (i, row) in report.rows.iter().enumerate() {
+        let name = match row.get(nc) {
+            Some(n) => n.clone(),
+            None => {
+                eprintln!("bench_check: {path} row {i} is short");
+                std::process::exit(1);
+            }
+        };
+        let median: f64 = match row.get(mc).and_then(|v| v.parse().ok()) {
+            Some(m) => m,
+            None => {
+                eprintln!("bench_check: {path} row {i} ({name}) has unparsable median");
+                std::process::exit(1);
+            }
+        };
+        if !(median.is_finite() && median > 0.0) {
+            eprintln!("bench_check: {path} row {i} ({name}) has non-positive median {median}");
+            std::process::exit(1);
+        }
+        out.insert(name, median);
+    }
+    out
+}
+
+fn main() {
+    let mut report_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression: Option<f64> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut opt_name = DEFAULT_OPT.to_string();
+    let mut ref_name = DEFAULT_REF.to_string();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("bench_check: {flag} requires a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = Some(val("--baseline")),
+            "--max-regression" => {
+                max_regression = Some(val("--max-regression").parse().unwrap_or_else(|_| usage()))
+            }
+            "--min-speedup" => {
+                min_speedup = Some(val("--min-speedup").parse().unwrap_or_else(|_| usage()))
+            }
+            "--opt" => opt_name = val("--opt"),
+            "--ref" => ref_name = val("--ref"),
+            "--help" | "-h" => usage(),
+            p if !p.starts_with('-') && report_path.is_none() => report_path = Some(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(report_path) = report_path else { usage() };
+
+    let report = load_report(&report_path);
+    let current = medians(&report, &report_path);
+    if current.is_empty() {
+        eprintln!("bench_check: {report_path} has no bench rows");
+        std::process::exit(1);
+    }
+    println!("bench_check: {report_path} parses; {} bench rows OK", current.len());
+    let mut failed = false;
+
+    if let Some(base_path) = baseline_path {
+        let limit = max_regression.unwrap_or(1.5);
+        let base = medians(&load_report(&base_path), &base_path);
+        let mut compared = 0usize;
+        let mut names: Vec<&String> = current.keys().filter(|n| base.contains_key(*n)).collect();
+        names.sort();
+        for name in names {
+            let ratio = current[name] / base[name];
+            compared += 1;
+            if ratio > limit {
+                eprintln!(
+                    "bench_check: REGRESSION {name}: {:.1} ns vs baseline {:.1} ns \
+                     ({ratio:.2}x > {limit}x)",
+                    current[name], base[name]
+                );
+                failed = true;
+            } else {
+                println!("bench_check: {name}: {ratio:.2}x of baseline (limit {limit}x)");
+            }
+        }
+        if compared == 0 {
+            eprintln!("bench_check: no bench names shared with baseline {base_path}");
+            failed = true;
+        }
+    }
+
+    if let Some(floor) = min_speedup {
+        match (current.get(&ref_name), current.get(&opt_name)) {
+            (Some(&r), Some(&o)) => {
+                let speedup = r / o;
+                if speedup < floor {
+                    eprintln!(
+                        "bench_check: SPEEDUP {speedup:.2}x < required {floor}x \
+                         ({ref_name} {r:.1} ns vs {opt_name} {o:.1} ns)"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "bench_check: speedup {speedup:.2}x (≥ {floor}x): \
+                         {ref_name} {r:.1} ns vs {opt_name} {o:.1} ns"
+                    );
+                }
+            }
+            _ => {
+                eprintln!("bench_check: report lacks {ref_name} and/or {opt_name}");
+                failed = true;
+            }
+        }
+    }
+
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -97,12 +97,13 @@ pub struct Bench {
     suite: String,
     config: BenchConfig,
     stats: Vec<BenchStats>,
+    notes: Vec<String>,
 }
 
 impl Bench {
     /// Build a suite with an explicit configuration.
     pub fn with_config(suite: &str, config: BenchConfig) -> Bench {
-        Bench { suite: suite.to_string(), config, stats: Vec::new() }
+        Bench { suite: suite.to_string(), config, stats: Vec::new(), notes: Vec::new() }
     }
 
     /// Build a suite, reading options from the process arguments
@@ -199,6 +200,12 @@ impl Bench {
         &self.stats
     }
 
+    /// Attach a free-form note to the suite report (workload shapes,
+    /// decode work counters — context the timing rows can't carry).
+    pub fn note<S: Into<String>>(&mut self, note: S) {
+        self.notes.push(note.into());
+    }
+
     /// Fold the suite's results into a [`Report`] (the same structure
     /// the `repro` harness emits).
     pub fn to_report(&self) -> Report {
@@ -226,6 +233,9 @@ impl Bench {
                 s.iters.to_string(),
                 s.samples.to_string(),
             ]);
+        }
+        for note in &self.notes {
+            report.push_note(note.clone());
         }
         report
     }
@@ -294,6 +304,15 @@ mod tests {
         b.bench("drop_me", || 2u64);
         assert_eq!(b.stats().len(), 1);
         assert_eq!(b.stats()[0].name, "keep_me");
+    }
+
+    #[test]
+    fn notes_land_in_the_report() {
+        let mut b = quick_bench();
+        b.bench("noted", || 0u8);
+        b.note("workload: synthetic");
+        let report = b.to_report();
+        assert_eq!(report.notes, vec!["workload: synthetic".to_string()]);
     }
 
     #[test]

@@ -15,9 +15,41 @@
 //! score in log-space with configurable sharpness weights, which
 //! preserves the ranking the paper's product induces while letting the
 //! ablation benches explore the weighting (see DESIGN.md).
+//!
+//! ## Decoder performance
+//!
+//! The beam decoder is the dominant cost of the whole reproduction
+//! (every accuracy experiment runs thousands of decodes), so its inner
+//! loop is built around precomputation and flat memory:
+//!
+//! * [`EmissionTable`] caches `expected_dtheta21` per cell — it depends
+//!   only on the cell centre, the antennas, and the wavelength, so one
+//!   table (two 3-D norms per cell, built once) serves every
+//!   (frontier × candidate) pair of every step of every decode on the
+//!   same rig.
+//! * [`AnnulusStencil`] replaces the per-frontier-cell
+//!   [`Grid::neighbourhood`] `Vec` allocation with a radius-keyed table
+//!   of `(dx, dy, ideal distance)` offsets; boundary clipping is pure
+//!   index arithmetic.
+//! * Backpointers live in flat `Vec<u32>` frames instead of a per-step
+//!   `HashMap`, beam truncation uses `select_nth_unstable_by` instead of
+//!   a full sort, and every buffer lives in a reusable
+//!   [`DecoderScratch`] (one per thread by default) so steady-state
+//!   decodes allocate nothing but the returned track.
+//!
+//! The optimized decoder is kept *exactly* output-equivalent to the
+//! retained naive implementation, [`viterbi_reference`]: both perform
+//! identical floating-point operations per candidate in identical order
+//! and share one canonical beam total order (score descending, cell
+//! index ascending), so `tests/decoder_equivalence.rs` can assert
+//! bit-for-bit identical tracks. `cargo bench -p polardraw-bench
+//! --bench decode` (or `scripts/bench.sh`) measures the speedup;
+//! DESIGN.md's "Decoder performance" section keeps the numbers.
 
 use crate::distance::{expected_dtheta21, FeasibleRegion};
 use rf_core::{wrap_pi, Vec2, Vec3};
+use std::cell::RefCell;
+use std::cmp::Ordering;
 
 /// A uniform cell grid over the board region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,25 +103,42 @@ impl Grid {
         iy * self.nx + ix
     }
 
+    /// Radius in whole cells a stencil must span to cover `radius`
+    /// metres, clamped to the grid diagonal (no in-bounds pair of cells
+    /// is farther apart, so a larger stencil could never match more).
+    fn radius_cells(&self, radius: f64) -> i32 {
+        let cap = f64::hypot(self.nx as f64, self.ny as f64).ceil();
+        (radius / self.cell_m).ceil().clamp(0.0, cap) as i32
+    }
+
     /// Indices of cells whose centres lie within `radius` of cell
     /// `from`'s centre.
+    ///
+    /// Implemented on [`AnnulusStencil`]: the scan covers exactly the
+    /// `ceil(radius / cell)` square (the historical version visited one
+    /// extra ring that could never pass the distance check), in the same
+    /// row-major order, with the same `≤ radius + 1e-12` membership
+    /// rule — so results are identical, minus the redundant ring. The
+    /// decoder hot path uses cached stencils via [`DecoderScratch`]
+    /// instead of this allocating convenience method.
     pub fn neighbourhood(&self, from: usize, radius: f64) -> Vec<usize> {
+        let stencil = AnnulusStencil::new(self.cell_m, self.radius_cells(radius));
         let c = self.center(from);
-        let r_cells = (radius / self.cell_m).ceil() as isize + 1;
-        let ix0 = (from % self.nx) as isize;
-        let iy0 = (from / self.nx) as isize;
+        let ix0 = (from % self.nx) as i64;
+        let iy0 = (from / self.nx) as i64;
         let mut out = Vec::new();
-        for dy in -r_cells..=r_cells {
-            for dx in -r_cells..=r_cells {
-                let ix = ix0 + dx;
-                let iy = iy0 + dy;
-                if ix < 0 || iy < 0 || ix >= self.nx as isize || iy >= self.ny as isize {
-                    continue;
-                }
-                let idx = iy as usize * self.nx + ix as usize;
-                if self.center(idx).distance(c) <= radius + 1e-12 {
-                    out.push(idx);
-                }
+        for off in stencil.offsets() {
+            if off.ideal_dist_m > radius + 1e-12 + STENCIL_MARGIN_M {
+                continue;
+            }
+            let ix = ix0 + off.dx as i64;
+            let iy = iy0 + off.dy as i64;
+            if ix < 0 || iy < 0 || ix >= self.nx as i64 || iy >= self.ny as i64 {
+                continue;
+            }
+            let idx = iy as usize * self.nx + ix as usize;
+            if self.center(idx).distance(c) <= radius + 1e-12 {
+                out.push(idx);
             }
         }
         out
@@ -158,6 +207,222 @@ impl Default for HmmConfig {
     }
 }
 
+/// ULP guard added on top of the exact `≤ radius + 1e-12` membership
+/// epsilon when pre-filtering candidates on the *ideal* centre distance
+/// `hypot(dx, dy)·cell`: actual centre differences deviate from the
+/// ideal by a few ULPs of the board coordinates (≪ 1e-12 m), never by
+/// this much. Offsets admitted by the prefilter still face the exact
+/// per-cell check, so the stencil only ever over-approximates.
+const STENCIL_MARGIN_M: f64 = 1e-9;
+
+/// One candidate offset of an [`AnnulusStencil`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StencilOffset {
+    /// Cell offset along X.
+    pub dx: i32,
+    /// Cell offset along Y.
+    pub dy: i32,
+    /// Ideal centre-to-centre distance `hypot(dx, dy)·cell`, metres.
+    pub ideal_dist_m: f64,
+}
+
+/// A radius-keyed table of candidate cell offsets: every `(dx, dy)`
+/// whose ideal centre distance can pass the `≤ r_cells·cell` membership
+/// check, in the row-major `(dy, dx)` order the historical
+/// [`Grid::neighbourhood`] scan used. Replaces a per-frontier-cell
+/// `Vec<usize>` allocation (plus one `sqrt` per visited cell) with a
+/// reusable flat table; boundary clipping happens by index arithmetic
+/// at use time.
+#[derive(Debug, Clone)]
+pub struct AnnulusStencil {
+    cell_m: f64,
+    r_cells: i32,
+    offsets: Vec<StencilOffset>,
+}
+
+impl AnnulusStencil {
+    /// Build the stencil for `r_cells` whole cells of reach on a grid
+    /// with `cell_m` cell edge.
+    pub fn new(cell_m: f64, r_cells: i32) -> AnnulusStencil {
+        assert!(cell_m > 0.0, "cell size must be positive");
+        let r_cells = r_cells.max(0);
+        let reach = r_cells as f64 * cell_m + 1e-12 + STENCIL_MARGIN_M;
+        let mut offsets = Vec::new();
+        for dy in -r_cells..=r_cells {
+            for dx in -r_cells..=r_cells {
+                let ideal = f64::hypot(dx as f64, dy as f64) * cell_m;
+                if ideal <= reach {
+                    offsets.push(StencilOffset { dx, dy, ideal_dist_m: ideal });
+                }
+            }
+        }
+        AnnulusStencil { cell_m, r_cells, offsets }
+    }
+
+    /// The candidate offsets, row-major by `(dy, dx)`.
+    pub fn offsets(&self) -> &[StencilOffset] {
+        &self.offsets
+    }
+
+    /// Cell edge this stencil was built for, metres.
+    pub fn cell_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// Reach in whole cells.
+    pub fn r_cells(&self) -> i32 {
+        self.r_cells
+    }
+}
+
+/// Per-cell cache of [`expected_dtheta21`]: the emission's hyperbola
+/// term depends only on the cell centre, the antenna positions, and the
+/// wavelength, so one table (two 3-D norms per cell, built once) serves
+/// every (frontier × candidate) pair of every decode on the same rig.
+/// Values are the *exact* bits `expected_dtheta21` returns.
+#[derive(Debug, Clone)]
+pub struct EmissionTable {
+    grid: Grid,
+    antennas: [Vec3; 2],
+    wavelength_m: f64,
+    values: Vec<f64>,
+}
+
+impl EmissionTable {
+    /// Precompute the expected Δθ²¹ for every cell of `grid`.
+    pub fn build(grid: &Grid, antennas: [Vec3; 2], wavelength_m: f64) -> EmissionTable {
+        let values = (0..grid.len())
+            .map(|idx| expected_dtheta21(grid.center(idx), antennas, wavelength_m))
+            .collect();
+        EmissionTable { grid: *grid, antennas, wavelength_m, values }
+    }
+
+    /// Whether this table was built for exactly this rig.
+    pub fn matches(&self, grid: &Grid, antennas: [Vec3; 2], wavelength_m: f64) -> bool {
+        self.grid == *grid && self.antennas == antennas && self.wavelength_m == wavelength_m
+    }
+
+    /// The cached `expected_dtheta21` of a cell.
+    #[inline]
+    pub fn expected(&self, cell: usize) -> f64 {
+        self.values[cell]
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Work counters from one decode, returned by [`viterbi_with_stats`]:
+/// how much the decoder actually did, not just how long it took.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecodeStats {
+    /// Observations decoded.
+    pub steps: usize,
+    /// Steps carried through unchanged because no candidate was
+    /// feasible (inconsistent annulus / frontier collapse).
+    pub carried_steps: usize,
+    /// Candidate (frontier × annulus) pairs that entered scoring.
+    pub expansions: u64,
+    /// Candidates rejected by the hard annulus lower bound.
+    pub pruned_below_min: u64,
+    /// Scored cells dropped by beam truncation, summed over steps.
+    pub pruned_beam: u64,
+    /// Distinct cells scored, summed over steps.
+    pub touched_cells: u64,
+    /// Largest frontier entering any step.
+    pub max_frontier: usize,
+    /// Frontier sizes entering each step, summed.
+    pub total_frontier: u64,
+}
+
+impl DecodeStats {
+    /// Mean frontier size entering a step.
+    pub fn mean_frontier(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_frontier as f64 / self.steps as f64
+        }
+    }
+}
+
+/// Cap on cached stencils per scratch; decodes see a handful of
+/// distinct radii, so this is only a guard against pathological inputs.
+const STENCIL_CACHE_CAP: usize = 64;
+
+/// Reusable decode buffers and caches. [`viterbi_beam`] keeps one per
+/// thread automatically; long-running callers (benches, servers) can
+/// hold their own via [`viterbi_with_scratch`] so steady-state decodes
+/// allocate nothing but the returned track.
+#[derive(Debug, Default)]
+pub struct DecoderScratch {
+    /// Dense per-cell best score this step, reset via `touched`.
+    scores: Vec<f64>,
+    /// Dense per-cell best predecessor this step.
+    preds: Vec<u32>,
+    /// Cells written this step (the reset list).
+    touched: Vec<u32>,
+    /// Stencil offsets trimmed to the current step's radius.
+    step_offsets: Vec<StencilOffset>,
+    /// Current frontier, canonically ordered.
+    frontier: Vec<(u32, f64)>,
+    /// Next frontier under construction.
+    next: Vec<(u32, f64)>,
+    /// Flat backpointer frames: cells …
+    bp_cells: Vec<u32>,
+    /// … their best predecessors …
+    bp_prevs: Vec<u32>,
+    /// … and each step's exclusive end offset into the two above.
+    frame_ends: Vec<u32>,
+    /// Radius-keyed stencil cache.
+    stencils: Vec<AnnulusStencil>,
+    /// Rig-keyed emission table cache.
+    emissions: Option<EmissionTable>,
+}
+
+impl DecoderScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> DecoderScratch {
+        DecoderScratch::default()
+    }
+}
+
+/// Find (or build) the cached stencil for `(cell_m, r_cells)`.
+fn cached_stencil(stencils: &mut Vec<AnnulusStencil>, cell_m: f64, r_cells: i32) -> usize {
+    if let Some(i) =
+        stencils.iter().position(|s| s.cell_m() == cell_m && s.r_cells() == r_cells)
+    {
+        return i;
+    }
+    if stencils.len() >= STENCIL_CACHE_CAP {
+        stencils.clear();
+    }
+    stencils.push(AnnulusStencil::new(cell_m, r_cells));
+    stencils.len() - 1
+}
+
+/// The canonical beam total order both decoders share: score
+/// descending, cell index ascending. Cell indices are unique, so this
+/// is a strict total order — beam truncation and frontier iteration are
+/// deterministic and implementation-independent.
+fn beam_order(a: &(u32, f64), b: &(u32, f64)) -> Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
+thread_local! {
+    /// Per-thread default scratch backing [`viterbi_beam`] /
+    /// [`viterbi_with_stats`]: repeated decodes on a thread (every trial
+    /// in `experiments::runner`) reuse buffers and caches for free.
+    static THREAD_SCRATCH: RefCell<DecoderScratch> = RefCell::new(DecoderScratch::new());
+}
+
 /// Viterbi decoding of the cell sequence, with a sparse beam frontier.
 ///
 /// * `grid` — the state space.
@@ -186,6 +451,274 @@ pub fn viterbi(
 
 /// [`viterbi`] with an explicit beam width (ablation hook).
 pub fn viterbi_beam(
+    grid: &Grid,
+    antennas: [Vec3; 2],
+    start: Vec2,
+    steps: &[StepObservation],
+    config: &HmmConfig,
+    beam_width: usize,
+) -> Vec<Vec2> {
+    viterbi_with_stats(grid, antennas, start, steps, config, beam_width).0
+}
+
+/// [`viterbi_beam`] plus [`DecodeStats`] work counters, using the
+/// per-thread scratch.
+pub fn viterbi_with_stats(
+    grid: &Grid,
+    antennas: [Vec3; 2],
+    start: Vec2,
+    steps: &[StepObservation],
+    config: &HmmConfig,
+    beam_width: usize,
+) -> (Vec<Vec2>, DecodeStats) {
+    THREAD_SCRATCH.with(|s| {
+        decode_optimized(grid, antennas, start, steps, config, beam_width, &mut s.borrow_mut())
+    })
+}
+
+/// [`viterbi_with_stats`] against caller-held scratch, for callers that
+/// want explicit control of buffer/cache lifetime (benches, services).
+pub fn viterbi_with_scratch(
+    grid: &Grid,
+    antennas: [Vec3; 2],
+    start: Vec2,
+    steps: &[StepObservation],
+    config: &HmmConfig,
+    beam_width: usize,
+    scratch: &mut DecoderScratch,
+) -> (Vec<Vec2>, DecodeStats) {
+    decode_optimized(grid, antennas, start, steps, config, beam_width, scratch)
+}
+
+/// The optimized decoder core. Performs, per candidate, the *same*
+/// floating-point operations in the *same* order as
+/// [`viterbi_reference`] (the emission lookup returns the exact bits the
+/// reference recomputes), processes frontiers in the same canonical
+/// order, and applies the same membership/pruning rules — so its output
+/// is bit-for-bit identical; only the bookkeeping around the arithmetic
+/// differs.
+#[allow(clippy::too_many_arguments)]
+fn decode_optimized(
+    grid: &Grid,
+    antennas: [Vec3; 2],
+    start: Vec2,
+    steps: &[StepObservation],
+    config: &HmmConfig,
+    beam_width: usize,
+    scratch: &mut DecoderScratch,
+) -> (Vec<Vec2>, DecodeStats) {
+    let mut stats = DecodeStats { steps: steps.len(), ..DecodeStats::default() };
+    if steps.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let beam_width = beam_width.max(8);
+    let n = grid.len();
+
+    let DecoderScratch {
+        scores,
+        preds,
+        touched,
+        step_offsets,
+        frontier,
+        next,
+        bp_cells,
+        bp_prevs,
+        frame_ends,
+        stencils,
+        emissions,
+    } = scratch;
+
+    if scores.len() < n {
+        scores.resize(n, f64::NEG_INFINITY);
+        preds.resize(n, u32::MAX);
+    }
+    touched.clear();
+    frontier.clear();
+    next.clear();
+    bp_cells.clear();
+    bp_prevs.clear();
+    frame_ends.clear();
+
+    // Build (or reuse) the emission table only when a step carries a
+    // hyperbola measurement.
+    let emission: Option<&EmissionTable> = if steps.iter().any(|o| o.dtheta21.is_some()) {
+        let stale = emissions
+            .as_ref()
+            .map_or(true, |t| !t.matches(grid, antennas, config.wavelength_m));
+        if stale {
+            *emissions = Some(EmissionTable::build(grid, antennas, config.wavelength_m));
+        }
+        emissions.as_ref().map(|t| &*t)
+    } else {
+        None
+    };
+
+    frontier.push((grid.index_of(start) as u32, 0.0));
+    let nx = grid.nx as i64;
+    let ny = grid.ny as i64;
+
+    for obs in steps {
+        stats.total_frontier += frontier.len() as u64;
+        stats.max_frontier = stats.max_frontier.max(frontier.len());
+
+        let max_r = obs.region.max_dist.max(grid.cell_m);
+        let dmax = max_r;
+        let target = obs.target_dist.min(obs.region.max_dist);
+        // Outlier suppression: a candidate well below the (already
+        // noise-compensated) lower bound is rejected outright — Eq. 8's
+        // hard annulus with generous quantization slack.
+        let hard_min = obs.region.min_dist - 2.0 * grid.cell_m;
+        // The exact membership rule `neighbourhood` applies, plus the
+        // ULP-safe prefilter bound on the ideal offset distance.
+        let exact_reach = max_r + 1e-12;
+        let prefilter_reach = exact_reach + STENCIL_MARGIN_M;
+
+        let si = cached_stencil(stencils, grid.cell_m, grid.radius_cells(max_r));
+        // Trim the stencil to this step's radius once, so the per-pair
+        // loop carries no prefilter branch.
+        step_offsets.clear();
+        step_offsets.extend(
+            stencils[si].offsets().iter().filter(|o| o.ideal_dist_m <= prefilter_reach),
+        );
+
+        for &(from, s_from) in frontier.iter() {
+            let from_us = from as usize;
+            let ix0 = (from_us % grid.nx) as i64;
+            let iy0 = (from_us / grid.nx) as i64;
+            // Same formula `Grid::center` uses, with the (ix, iy) we
+            // already hold — identical bits, no div/mod per pair.
+            let c_from = Vec2::new(
+                grid.min.x + (ix0 as f64 + 0.5) * grid.cell_m,
+                grid.min.y + (iy0 as f64 + 0.5) * grid.cell_m,
+            );
+            for off in step_offsets.iter() {
+                let ix = ix0 + off.dx as i64;
+                let iy = iy0 + off.dy as i64;
+                if ix < 0 || iy < 0 || ix >= nx || iy >= ny {
+                    continue;
+                }
+                let to = iy as usize * grid.nx + ix as usize;
+                let c_to = Vec2::new(
+                    grid.min.x + (ix as f64 + 0.5) * grid.cell_m,
+                    grid.min.y + (iy as f64 + 0.5) * grid.cell_m,
+                );
+                let delta = c_to - c_from;
+                let d = delta.norm();
+                if d > exact_reach {
+                    continue;
+                }
+                stats.expansions += 1;
+                if d < hard_min {
+                    stats.pruned_below_min += 1;
+                    continue;
+                }
+                let mut s = s_from;
+                // Hyperbola term (Fig. 12(c)).
+                if let Some(meas) = obs.dtheta21 {
+                    let expected = match emission {
+                        Some(table) => table.expected(to),
+                        None => expected_dtheta21(c_to, antennas, config.wavelength_m),
+                    };
+                    let err = wrap_pi(meas - expected).abs() / std::f64::consts::PI;
+                    s -= config.hyperbola_weight * err;
+                }
+                // Distance-consistency term: decoded step length should
+                // match the phase-measured displacement.
+                let (d_along, w_dist) = match obs.direction {
+                    Some(dir) => (dir.dot(delta), config.distance_weight),
+                    None => (d, config.distance_weight_still),
+                };
+                s -= w_dist * ((d_along - target).abs() / dmax).min(2.0);
+                // Direction-line term (Fig. 12(b)).
+                if let Some(dir) = obs.direction {
+                    if d > 1e-12 {
+                        let perp = dir.cross(delta).abs();
+                        s -= config.direction_weight * (perp / dmax).min(2.0);
+                        if dir.dot(delta) < 0.0 {
+                            s -= config.backward_penalty;
+                        }
+                    }
+                }
+                // Scores are always finite, so NEG_INFINITY marks
+                // "untouched" on its own (same outcome as the
+                // reference's joint (score, pred) sentinel check).
+                let best = &mut scores[to];
+                if *best == f64::NEG_INFINITY {
+                    touched.push(to as u32);
+                }
+                if s > *best {
+                    *best = s;
+                    preds[to] = from;
+                }
+            }
+        }
+
+        if touched.is_empty() {
+            // Inconsistent step: carry the frontier through unchanged.
+            stats.carried_steps += 1;
+            for &(c, _) in frontier.iter() {
+                bp_cells.push(c);
+                bp_prevs.push(c);
+            }
+            frame_ends.push(bp_cells.len() as u32);
+            continue;
+        }
+        stats.touched_cells += touched.len() as u64;
+
+        next.clear();
+        next.extend(touched.iter().map(|&c| (c, scores[c as usize])));
+        // Keep the top `beam_width` states under the canonical order:
+        // an O(n) partition instead of the reference's full sort.
+        if next.len() > beam_width {
+            stats.pruned_beam += (next.len() - beam_width) as u64;
+            next.select_nth_unstable_by(beam_width - 1, beam_order);
+            next.truncate(beam_width);
+        }
+        next.sort_unstable_by(beam_order);
+        // Flat backpointer frame, in frontier order.
+        for &(c, _) in next.iter() {
+            bp_cells.push(c);
+            bp_prevs.push(preds[c as usize]);
+        }
+        frame_ends.push(bp_cells.len() as u32);
+        for &c in touched.iter() {
+            scores[c as usize] = f64::NEG_INFINITY;
+            preds[c as usize] = u32::MAX;
+        }
+        touched.clear();
+        std::mem::swap(frontier, next);
+    }
+
+    // Backtrack from the best final state.
+    let mut idx = frontier
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|&(c, _)| c)
+        .unwrap_or(0);
+    let mut rev = Vec::with_capacity(steps.len());
+    for f in (0..frame_ends.len()).rev() {
+        let lo = if f == 0 { 0 } else { frame_ends[f - 1] as usize };
+        let hi = frame_ends[f] as usize;
+        rev.push(grid.center(idx as usize));
+        match bp_cells[lo..hi].iter().position(|&c| c == idx) {
+            Some(k) => idx = bp_prevs[lo + k],
+            None => break,
+        }
+    }
+    rev.reverse();
+    (rev, stats)
+}
+
+/// The retained naive reference decoder: per-frontier-cell
+/// [`Grid::neighbourhood`] allocation, per-candidate
+/// [`expected_dtheta21`] recomputation, `HashMap` backpointers, and a
+/// full frontier sort — the seed implementation, kept verbatim except
+/// that beam truncation uses the same canonical total order (score
+/// descending, cell ascending) as the optimized decoder, making the two
+/// comparable state-for-state. `tests/decoder_equivalence.rs` asserts
+/// [`viterbi_beam`] matches this function bit-for-bit; the `decode`
+/// bench suite measures the speedup over it.
+pub fn viterbi_reference(
     grid: &Grid,
     antennas: [Vec3; 2],
     start: Vec2,
@@ -269,8 +802,8 @@ pub fn viterbi_beam(
 
         let mut next: Vec<(u32, f64)> =
             touched.iter().map(|&c| (c, dense[c as usize].0)).collect();
-        // Keep the top `beam_width` states.
-        next.sort_unstable_by(|a, b| b.1.total_cmp(&a.1));
+        // Keep the top `beam_width` states (canonical order).
+        next.sort_unstable_by(beam_order);
         next.truncate(beam_width);
         let bp: std::collections::HashMap<u32, u32> = next
             .iter()
@@ -364,6 +897,69 @@ mod tests {
         assert!(hood.iter().all(|&i| i < g.len()));
     }
 
+    /// The stencil-backed `neighbourhood` must reproduce the historical
+    /// brute-force scan (which visited one extra, always-empty ring)
+    /// exactly — same cells, same row-major order.
+    #[test]
+    fn neighbourhood_matches_bruteforce_scan() {
+        let g = small_grid();
+        for radius in [0.0, 0.004, 0.01, 0.0173, 0.02, 0.033, 0.5] {
+            for from in [0, 7, g.nx - 1, g.len() / 2, g.len() - 1] {
+                let c = g.center(from);
+                let r_cells = (radius / g.cell_m).ceil() as isize + 1;
+                let ix0 = (from % g.nx) as isize;
+                let iy0 = (from / g.nx) as isize;
+                let mut want = Vec::new();
+                for dy in -r_cells..=r_cells {
+                    for dx in -r_cells..=r_cells {
+                        let ix = ix0 + dx;
+                        let iy = iy0 + dy;
+                        if ix < 0 || iy < 0 || ix >= g.nx as isize || iy >= g.ny as isize {
+                            continue;
+                        }
+                        let idx = iy as usize * g.nx + ix as usize;
+                        if g.center(idx).distance(c) <= radius + 1e-12 {
+                            want.push(idx);
+                        }
+                    }
+                }
+                assert_eq!(
+                    g.neighbourhood(from, radius),
+                    want,
+                    "radius {radius} from {from}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_covers_square_and_trims_corners() {
+        let st = AnnulusStencil::new(0.01, 4);
+        // Full square is 81; the four far corners (|dx|=|dy|=4,
+        // distance 4√2 ≈ 5.66 cells) must be trimmed.
+        assert!(st.offsets().len() < 81);
+        assert!(st.offsets().iter().any(|o| o.dx == 0 && o.dy == -4));
+        assert!(!st.offsets().iter().any(|o| o.dx == 4 && o.dy == 4));
+        // Row-major order: dy strictly non-decreasing.
+        for w in st.offsets().windows(2) {
+            assert!(w[0].dy <= w[1].dy);
+        }
+    }
+
+    #[test]
+    fn emission_table_matches_direct_computation() {
+        let g = small_grid();
+        let table = EmissionTable::build(&g, rig(), 0.3276);
+        assert_eq!(table.len(), g.len());
+        assert!(!table.is_empty());
+        for idx in [0, 3, g.len() / 2, g.len() - 1] {
+            let direct = expected_dtheta21(g.center(idx), rig(), 0.3276);
+            assert_eq!(table.expected(idx).to_bits(), direct.to_bits(), "cell {idx}");
+        }
+        assert!(table.matches(&g, rig(), 0.3276));
+        assert!(!table.matches(&g, rig(), 0.33));
+    }
+
     fn moving_step(min_dist: f64, max_dist: f64, dir: Option<Vec2>) -> StepObservation {
         StepObservation {
             region: FeasibleRegion { min_dist, max_dist },
@@ -440,6 +1036,10 @@ mod tests {
     fn empty_steps_give_empty_track() {
         let g = small_grid();
         assert!(viterbi(&g, rig(), Vec2::ZERO, &[], &HmmConfig::default()).is_empty());
+        let (track, stats) =
+            viterbi_with_stats(&g, rig(), Vec2::ZERO, &[], &HmmConfig::default(), 64);
+        assert!(track.is_empty());
+        assert_eq!(stats, DecodeStats::default());
     }
 
     #[test]
@@ -460,6 +1060,96 @@ mod tests {
         );
         let track = viterbi(&g, rig(), start, &steps, &HmmConfig::default());
         assert_eq!(track.len(), steps.len(), "decoder must survive the bad step");
+        // The carried-through step is visible in the work counters.
+        let (_, stats) =
+            viterbi_with_stats(&g, rig(), start, &steps, &HmmConfig::default(), 64);
+        assert_eq!(stats.steps, steps.len());
+        assert_eq!(stats.carried_steps, 1);
+    }
+
+    #[test]
+    fn optimized_matches_reference_on_scenarios() {
+        let g = small_grid();
+        let rig = rig();
+        let cfg = HmmConfig::default();
+        let meas = expected_dtheta21(Vec2::new(0.06, 0.05), rig, cfg.wavelength_m);
+        let scenarios: Vec<(Vec<StepObservation>, usize)> = vec![
+            ((0..10).map(|_| moving_step(0.008, 0.012, Some(Vec2::new(1.0, 0.0)))).collect(), 2500),
+            ((0..6).map(|_| moving_step(0.0, 0.02, None)).collect(), 16),
+            (
+                (0..8)
+                    .map(|i| StepObservation {
+                        region: FeasibleRegion { min_dist: 0.004, max_dist: 0.015 },
+                        direction: if i % 2 == 0 { Some(Vec2::from_angle(i as f64)) } else { None },
+                        dtheta21: Some(meas),
+                        target_dist: 0.006,
+                    })
+                    .collect(),
+                1, // exercises the beam_width < 8 clamp
+            ),
+        ];
+        for (steps, beam) in scenarios {
+            let fast = viterbi_beam(&g, rig, Vec2::new(0.02, 0.05), &steps, &cfg, beam);
+            let slow = viterbi_reference(&g, rig, Vec2::new(0.02, 0.05), &steps, &cfg, beam);
+            assert_eq!(fast.len(), slow.len());
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!(
+                    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits(),
+                    "beam {beam}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_decoder_work() {
+        let g = small_grid();
+        let steps: Vec<StepObservation> =
+            (0..10).map(|_| moving_step(0.008, 0.012, Some(Vec2::new(1.0, 0.0)))).collect();
+        let (track, stats) =
+            viterbi_with_stats(&g, rig(), Vec2::new(0.02, 0.05), &steps, &HmmConfig::default(), 64);
+        assert_eq!(track.len(), 10);
+        assert_eq!(stats.steps, 10);
+        assert_eq!(stats.carried_steps, 0);
+        assert!(stats.expansions > 0);
+        assert!(stats.touched_cells > 0);
+        assert!(stats.max_frontier >= 1 && stats.max_frontier <= 64);
+        assert!(stats.mean_frontier() >= 1.0);
+        // Every scored candidate either survived or was pruned.
+        assert!(stats.expansions >= stats.pruned_below_min + stats.touched_cells);
+    }
+
+    /// Scratch caches (stencils, emission table) must invalidate
+    /// correctly when the rig or grid changes between calls.
+    #[test]
+    fn scratch_reuse_across_rigs_is_sound() {
+        let mut scratch = DecoderScratch::new();
+        let cfg = HmmConfig::default();
+        let g1 = small_grid();
+        let g2 = Grid::covering(Vec2::new(-0.1, 0.55), Vec2::new(0.1, 0.75), 0.008);
+        let rig1 = rig();
+        let rig2 = [Vec3::new(-0.4, 0.1, 0.5), Vec3::new(0.4, 0.1, 0.5)];
+        let mk = |g: &Grid, r: [Vec3; 2]| -> Vec<StepObservation> {
+            let meas = expected_dtheta21(g.center(g.len() / 2), r, cfg.wavelength_m);
+            (0..6)
+                .map(|_| StepObservation {
+                    region: FeasibleRegion { min_dist: 0.004, max_dist: 0.012 },
+                    direction: None,
+                    dtheta21: Some(meas),
+                    target_dist: 0.005,
+                })
+                .collect()
+        };
+        for (g, r) in [(&g1, rig1), (&g2, rig2), (&g1, rig1), (&g1, rig2)] {
+            let steps = mk(g, r);
+            let start = g.center(0);
+            let (warm, _) =
+                viterbi_with_scratch(g, r, start, &steps, &cfg, 128, &mut scratch);
+            let (cold, _) =
+                viterbi_with_scratch(g, r, start, &steps, &cfg, 128, &mut DecoderScratch::new());
+            assert_eq!(warm, cold);
+            assert_eq!(warm, viterbi_reference(g, r, start, &steps, &cfg, 128));
+        }
     }
 
     #[test]

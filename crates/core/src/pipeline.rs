@@ -6,7 +6,10 @@
 //! correction, and exposes it all as a [`rfid_sim::TrajectoryTracker`].
 
 use crate::distance::{feasible_region, DistanceConfig};
-use crate::hmm::{rotate_trajectory, viterbi, Grid, HmmConfig, StepObservation};
+use crate::hmm::{
+    rotate_trajectory, viterbi_with_stats, DecodeStats, Grid, HmmConfig, StepObservation,
+    DEFAULT_BEAM_WIDTH,
+};
 use crate::model::{direction_from_azimuth, rotation_angle, Cardinal, Rotation, Sector};
 use crate::preprocess::{preprocess, PreprocessConfig, Windowed};
 use crate::rotation::{AzimuthTracker, RotationConfig};
@@ -161,6 +164,9 @@ pub struct TrackOutput {
     pub windows: Vec<Windowed>,
     /// Estimated initial azimuth error α̃a, radians.
     pub initial_azimuth_error: f64,
+    /// Decoder work counters for this run (expansions, pruning, frontier
+    /// sizes) — what the decode *did*, complementing wall-time benches.
+    pub decode_stats: DecodeStats,
 }
 
 impl PolarDraw {
@@ -294,7 +300,14 @@ impl PolarDraw {
         }
 
         let grid = Grid::covering(cfg.board_min, cfg.board_max, cfg.hmm.cell_m);
-        let mut points = viterbi(&grid, cfg.antennas, cfg.start_hint, &observations, &cfg.hmm);
+        let (mut points, decode_stats) = viterbi_with_stats(
+            &grid,
+            cfg.antennas,
+            cfg.start_hint,
+            &observations,
+            &cfg.hmm,
+            DEFAULT_BEAM_WIDTH,
+        );
 
         let raw_error = azimuth_tracker.initial_error_estimate();
         let initial_azimuth_error = raw_error
@@ -308,7 +321,7 @@ impl PolarDraw {
             points = crate::smoother::smooth(&times, &points, &cfg.smoother);
         }
         let trail = Trail::new(times, points);
-        TrackOutput { trail, steps, windows, initial_azimuth_error }
+        TrackOutput { trail, steps, windows, initial_azimuth_error, decode_stats }
     }
 }
 

@@ -33,6 +33,13 @@ impl Default for RunOpts {
 }
 
 /// Map `jobs` through `f` on `threads` workers, preserving order.
+///
+/// Work is still claimed job-by-job from a shared atomic counter (so a
+/// slow trial doesn't idle the other workers), but each worker keeps
+/// its results in a thread-local buffer; the buffers are merged into
+/// the output only after the scope joins. No lock is taken anywhere on
+/// the completion path, so short jobs on many threads no longer
+/// serialize on a results mutex.
 pub fn parallel_map<T, R, F>(jobs: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -41,23 +48,33 @@ where
 {
     let threads = threads.max(1);
     let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let collected = std::sync::Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&jobs[i]);
-                collected.lock().expect("collect lock").push((i, r));
-            });
-        }
+    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&jobs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
-    let mut pairs = collected.into_inner().expect("collect lock");
-    pairs.sort_unstable_by_key(|(i, _)| *i);
-    pairs.into_iter().map(|(_, r)| r).collect()
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buffers.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|s| s.expect("every job produces a result")).collect()
 }
 
 /// Result of one recognition trial.

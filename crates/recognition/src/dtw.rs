@@ -7,6 +7,21 @@
 
 use rf_core::Vec2;
 
+/// Default Sakoe–Chiba half-width for sequences resampled to `len`
+/// points: ~10% of the length (the classic speech-recognition setting),
+/// floored at 2 so very short sequences keep some elasticity. At 10%
+/// the band prunes the pathological warpings (one point absorbing a
+/// whole stroke) while leaving room for realistic speed variation —
+/// and cuts the DP from `len²` to `~0.2·len²` cells.
+pub const fn sakoe_chiba_band(len: usize) -> usize {
+    let b = len / 10;
+    if b < 2 {
+        2
+    } else {
+        b
+    }
+}
+
 /// DTW distance between two trajectories with a Sakoe–Chiba band of
 /// half-width `band` (`usize::MAX` for unconstrained).
 ///
@@ -86,6 +101,29 @@ mod tests {
         let free = dtw_distance(&a, &b, usize::MAX).unwrap();
         let banded = dtw_distance(&a, &b, 2).unwrap();
         assert!(banded >= free, "banded {banded} free {free}");
+    }
+
+    #[test]
+    fn sakoe_chiba_band_is_ten_percent_floored() {
+        assert_eq!(sakoe_chiba_band(64), 6);
+        assert_eq!(sakoe_chiba_band(100), 10);
+        assert_eq!(sakoe_chiba_band(10), 2, "floor keeps short sequences elastic");
+        assert_eq!(sakoe_chiba_band(0), 2);
+    }
+
+    #[test]
+    fn default_band_matches_unbanded_on_aligned_sequences() {
+        // Well-aligned sequences (the clean-glyph regime the recognizer
+        // sees) never need warping beyond the 10% band, so banded and
+        // unbanded DTW agree exactly.
+        let a = ramp(40, 0.5);
+        let mut b = ramp(40, 0.5);
+        for (i, p) in b.iter_mut().enumerate() {
+            p.y += 0.002 * (i as f64 * 0.7).sin(); // mild local jitter
+        }
+        let banded = dtw_distance(&a, &b, sakoe_chiba_band(40)).unwrap();
+        let free = dtw_distance(&a, &b, usize::MAX).unwrap();
+        assert!((banded - free).abs() < 1e-12, "banded {banded} free {free}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Constraining rotation to ±30° is essential: free rotation would map
 //! `M` exactly onto `W` and `Z` nearly onto `N`.
 
-use crate::dtw::dtw_distance;
+use crate::dtw::{dtw_distance, sakoe_chiba_band};
 use crate::procrustes::align;
 use crate::resample::prepare_whitened;
 use pen_sim::path::{join_strokes, place_glyph};
@@ -23,8 +23,12 @@ pub const MAX_MATCH_ROTATION: f64 = 20.0 * std::f64::consts::PI / 180.0;
 /// Procrustes alone won the recognizer sweep on tracked trajectories;
 /// the DTW term is kept for the ablation benches.
 pub const DTW_WEIGHT: f64 = 0.0;
-/// Sakoe–Chiba band half-width for the ensemble's DTW term.
-pub const DTW_BAND: usize = 12;
+/// Sakoe–Chiba band half-width for the ensemble's DTW term: ~10% of the
+/// resample length ([`sakoe_chiba_band`]), the classic constraint that
+/// forbids degenerate warpings and cuts the DP cost ~5×. On clean
+/// glyphs banded and unbanded DTW agree (see tests); the band only
+/// bites on pathological alignments.
+pub const DTW_BAND: usize = sakoe_chiba_band(TEMPLATE_POINTS);
 
 fn match_cost(template: &[Vec2], prepared: &[Vec2]) -> Option<f64> {
     let a = align(template, prepared, MAX_MATCH_ROTATION)?;
@@ -199,6 +203,25 @@ mod tests {
             }
         }
         assert!(ok >= 5, "only {ok}/{} noisy letters recognized", letters.len());
+    }
+
+    /// The default band must not change what the DTW term measures on
+    /// clean glyphs: for every letter, banded and unbanded DTW between
+    /// the prepared trajectory and its own template agree exactly
+    /// (the optimal alignment stays inside the 10% band).
+    #[test]
+    fn banded_dtw_agrees_with_unbanded_on_clean_glyphs() {
+        let rec = LetterRecognizer::new();
+        for (ch, tpl) in &rec.templates {
+            let traj = clean_trajectory(&ch.to_string(), 7);
+            let prepared = prepare_whitened(&traj, TEMPLATE_POINTS).unwrap();
+            let banded = dtw_distance(tpl, &prepared, DTW_BAND).unwrap();
+            let free = dtw_distance(tpl, &prepared, usize::MAX).unwrap();
+            assert!(
+                (banded - free).abs() < 1e-9,
+                "letter {ch}: banded {banded} vs unbanded {free}"
+            );
+        }
     }
 
     #[test]

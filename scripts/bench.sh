@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Measure decode throughput and refresh the committed baseline.
+#
+# Runs the `decode` bench suite at full methodology (200 ms warmup,
+# 11 samples, median-of-N — see crates/bench/src/harness.rs), copies
+# the resulting report to BENCH_decode.json at the repo root (the
+# committed point of the perf trajectory; see DESIGN.md "Decoder
+# performance"), and enforces the optimized-vs-reference speedup floor
+# at the paper-fidelity workload (cell 2.5 mm, beam 2500, 100 steps).
+#
+# Usage: scripts/bench.sh [--min-speedup X]   (default 3.0)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP=3.0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --min-speedup) MIN_SPEEDUP="$2"; shift 2 ;;
+        *) echo "unknown flag: $1" >&2; exit 2 ;;
+    esac
+done
+
+echo "== bench: decode suite (full methodology; takes a few minutes) =="
+cargo bench --offline -p polardraw-bench --bench decode
+
+cp results/bench_decode.json BENCH_decode.json
+echo "== bench: wrote BENCH_decode.json =="
+
+cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+    BENCH_decode.json --min-speedup "$MIN_SPEEDUP"

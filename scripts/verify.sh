@@ -6,9 +6,23 @@
 # workspace member (path dependency). Any registry/git crate — even one
 # that happens to be cached — fails the run.
 #
-# Usage: scripts/verify.sh
+# Usage: scripts/verify.sh [--quick-bench]
+#
+# --quick-bench additionally smoke-runs the decode bench suite in
+# `--quick` mode (milliseconds of sampling, not a real measurement),
+# checks the report parses, and gates the optimized-decoder rows
+# against the committed BENCH_decode.json baseline at a generous 1.5×
+# (quick mode is noisy; real measurements come from scripts/bench.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK_BENCH=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick-bench) QUICK_BENCH=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "== verify: offline release build =="
 cargo build --release --offline --workspace --benches
@@ -27,6 +41,18 @@ if [ -n "$nonlocal" ]; then
     echo "FAIL: non-workspace dependencies found:" >&2
     echo "$nonlocal" >&2
     exit 1
+fi
+
+if [ "$QUICK_BENCH" = 1 ]; then
+    echo "== verify: decode bench smoke (--quick) =="
+    mkdir -p results/quickbench
+    # Bench binaries run with the package dir as CWD; --out must be
+    # absolute to land at the repo root.
+    cargo bench --offline -p polardraw-bench --bench decode -- \
+        --quick --filter decode/opt --out "$(pwd)/results/quickbench"
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        results/quickbench/bench_decode.json \
+        --baseline BENCH_decode.json --max-regression 1.5
 fi
 
 echo "verify: OK"
