@@ -27,6 +27,19 @@ fn main() {
     let pre_cfg = PreprocessConfig::default();
     bench.bench("polardraw/preprocess_letter_stream", || preprocess(&reports, &pre_cfg));
 
+    // Fault-layer overhead: what the injector costs, and what the
+    // hardened preprocess pays on a worst-case (reordered + duplicated)
+    // stream versus the clean borrow path above.
+    let injector = rfid_sim::faults::FaultInjector::new(
+        rfid_sim::faults::FaultPlan::at_intensity(0.5),
+        11,
+    );
+    bench.bench("faults/inject_letter_stream", || injector.inject(&reports));
+    let adversarial = injector.inject(&reports);
+    bench.bench("polardraw/preprocess_adversarial_stream", || {
+        preprocess(&adversarial, &pre_cfg)
+    });
+
     let grid = Grid::covering(Vec2::new(-0.3, 0.5), Vec2::new(0.3, 0.9), 0.0025);
     let rig = [Vec3::new(-0.28, 0.15, 0.65), Vec3::new(0.28, 0.15, 0.65)];
     let steps: Vec<StepObservation> = (0..100)

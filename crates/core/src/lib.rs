@@ -48,4 +48,4 @@ pub mod translation;
 
 mod pipeline;
 
-pub use pipeline::{PolarDraw, PolarDrawConfig, StepEstimate, StepKind};
+pub use pipeline::{DegradationReport, PolarDraw, PolarDrawConfig, StepEstimate, StepKind, TrackOutput};

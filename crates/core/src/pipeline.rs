@@ -11,7 +11,7 @@ use crate::hmm::{
     DEFAULT_BEAM_WIDTH,
 };
 use crate::model::{direction_from_azimuth, rotation_angle, Cardinal, Rotation, Sector};
-use crate::preprocess::{preprocess, PreprocessConfig, Windowed};
+use crate::preprocess::{preprocess_with_stats, PreprocessConfig, PreprocessStats, Windowed};
 use crate::rotation::{AzimuthTracker, RotationConfig};
 use crate::translation::{estimate_translation, TranslationConfig};
 use rf_core::angle::phase_diff;
@@ -69,6 +69,14 @@ pub struct PolarDrawConfig {
     /// for the strictly paper-faithful coarse-direction behaviour (the
     /// ablation benches sweep this).
     pub refine_translation: bool,
+    /// Gap bridging: an interior run of at least this many consecutive
+    /// completely-empty windows (no reads on either antenna — a total
+    /// outage) is coalesced into a single decoder step whose `dt` spans
+    /// the whole gap, so the feasible annulus widens to `v_max · gap`
+    /// instead of emitting a chain of blind per-window steps. Clean
+    /// streams never hit this (the reader reads every window), so the
+    /// default changes nothing on healthy input. `usize::MAX` disables.
+    pub gap_bridge_min_windows: usize,
 }
 
 impl Default for PolarDrawConfig {
@@ -91,6 +99,7 @@ impl Default for PolarDrawConfig {
             smooth_output: true,
             smoother: crate::smoother::SmootherConfig::default(),
             refine_translation: false,
+            gap_bridge_min_windows: 4,
         }
     }
 }
@@ -153,6 +162,61 @@ pub struct PolarDraw {
     pub config: PolarDrawConfig,
 }
 
+/// How degraded the input stream was and what the pipeline did about
+/// it — carried on every [`TrackOutput`] so callers can tell a clean
+/// track from one that survived faults, instead of silently getting
+/// garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DegradationReport {
+    /// Reports in the raw input stream.
+    pub input_reports: usize,
+    /// The stream arrived out of timestamp order and was sorted.
+    pub input_unsorted: bool,
+    /// Exact duplicate reports removed.
+    pub duplicates_removed: usize,
+    /// Total pre-processing windows.
+    pub windows: usize,
+    /// Windows with no reads at all (total outage).
+    pub empty_windows: usize,
+    /// Windows where only one antenna read (port outage signature).
+    pub single_antenna_windows: usize,
+    /// Phases struck by the spurious-rejection screen.
+    pub spurious_rejected: usize,
+    /// Interior empty-window runs coalesced into one bridged step.
+    pub gaps_bridged: usize,
+    /// Longest time span handed to the decoder as a single bridged
+    /// step, seconds (0 when nothing was bridged).
+    pub largest_gap_bridged_s: f64,
+    /// Decoder steps whose observation was inconsistent and was carried
+    /// through (from [`DecodeStats`]).
+    pub carried_steps: usize,
+}
+
+impl DegradationReport {
+    /// True when the stream needed *any* tolerance beyond the clean
+    /// path: sorting, dedup, outage bridging, or missing-antenna spans.
+    pub fn is_degraded(&self) -> bool {
+        self.input_unsorted
+            || self.duplicates_removed > 0
+            || self.empty_windows > 0
+            || self.single_antenna_windows > 0
+            || self.gaps_bridged > 0
+    }
+
+    fn from_preprocess(stats: &PreprocessStats) -> DegradationReport {
+        DegradationReport {
+            input_reports: stats.input_reports,
+            input_unsorted: stats.input_unsorted,
+            duplicates_removed: stats.duplicates_removed,
+            windows: stats.windows,
+            empty_windows: stats.empty_windows,
+            single_antenna_windows: stats.single_antenna_windows,
+            spurious_rejected: stats.spurious_rejected,
+            ..DegradationReport::default()
+        }
+    }
+}
+
 /// Everything a tracking run produces beyond the trail itself.
 #[derive(Debug, Clone)]
 pub struct TrackOutput {
@@ -167,6 +231,8 @@ pub struct TrackOutput {
     /// Decoder work counters for this run (expansions, pruning, frontier
     /// sizes) — what the decode *did*, complementing wall-time benches.
     pub decode_stats: DecodeStats,
+    /// Stream-quality diagnostics: what the pipeline had to tolerate.
+    pub degradation: DegradationReport,
 }
 
 impl PolarDraw {
@@ -178,7 +244,43 @@ impl PolarDraw {
     /// Run the full pipeline, keeping diagnostics.
     pub fn track_with_diagnostics(&self, reports: &[TagReport]) -> TrackOutput {
         let cfg = &self.config;
-        let windows = preprocess(reports, &cfg.preprocess);
+        let (windows, pre_stats) = preprocess_with_stats(reports, &cfg.preprocess);
+        let mut degradation = DegradationReport::from_preprocess(&pre_stats);
+
+        // Gap bridging: long interior runs of totally-empty windows are
+        // collapsed so the decoder sees one step spanning the outage.
+        // `feasible_region`'s max bound is `v_max · dt`, so the widened
+        // annulus over the bridged step is automatic; a per-window chain
+        // of blind steps would instead let the beam wander and then
+        // teleport on re-acquisition.
+        let kept = {
+            let min_run = cfg.gap_bridge_min_windows.max(1);
+            let mut kept: Vec<usize> = Vec::with_capacity(windows.len());
+            let mut i = 0;
+            while i < windows.len() {
+                if windows[i].flags.empty {
+                    let mut j = i;
+                    while j < windows.len() && windows[j].flags.empty {
+                        j += 1;
+                    }
+                    // Only interior runs can be bridged: there is nothing
+                    // to anchor a step before the first read or after the
+                    // last.
+                    if j - i >= min_run && !kept.is_empty() && j < windows.len() {
+                        degradation.gaps_bridged += 1;
+                        let gap_s = windows[j].t - windows[*kept.last().unwrap()].t;
+                        degradation.largest_gap_bridged_s =
+                            degradation.largest_gap_bridged_s.max(gap_s);
+                        i = j;
+                        continue;
+                    }
+                }
+                kept.push(i);
+                i += 1;
+            }
+            kept
+        };
+
         let mut steps: Vec<StepEstimate> = Vec::new();
         let mut observations: Vec<StepObservation> = Vec::new();
         let mut azimuth_tracker = AzimuthTracker::new(cfg.rotation);
@@ -189,8 +291,8 @@ impl PolarDraw {
         let mut offset21: Option<f64> = None;
         let mut pos_est = cfg.start_hint;
 
-        for pair in windows.windows(2) {
-            let (prev, cur) = (&pair[0], &pair[1]);
+        for pair in kept.windows(2) {
+            let (prev, cur) = (&windows[pair[0]], &windows[pair[1]]);
             let dt = (cur.t - prev.t).max(1e-6);
 
             let ds = [delta(prev.rssi[0], cur.rssi[0]), delta(prev.rssi[1], cur.rssi[1])];
@@ -321,7 +423,8 @@ impl PolarDraw {
             points = crate::smoother::smooth(&times, &points, &cfg.smoother);
         }
         let trail = Trail::new(times, points);
-        TrackOutput { trail, steps, windows, initial_azimuth_error, decode_stats }
+        degradation.carried_steps = decode_stats.carried_steps;
+        TrackOutput { trail, steps, windows, initial_azimuth_error, decode_stats, degradation }
     }
 }
 
@@ -478,6 +581,84 @@ mod tests {
         for p in &trail.points {
             assert!(p.distance(start) < 0.06, "still tag wandered to {p:?}");
         }
+    }
+
+    #[test]
+    fn clean_stream_reports_no_degradation() {
+        let pd = PolarDraw::new(PolarDrawConfig::default());
+        let out = pd.track_with_diagnostics(&downward_stream(30));
+        let d = &out.degradation;
+        assert!(!d.is_degraded(), "clean synthetic stream flagged degraded: {d:?}");
+        assert_eq!(d.gaps_bridged, 0);
+        assert_eq!(d.largest_gap_bridged_s, 0.0);
+        assert_eq!(d.duplicates_removed, 0);
+        assert!(!d.input_unsorted);
+    }
+
+    #[test]
+    fn total_outage_is_bridged_as_one_widened_step() {
+        // 0.5 s of clean reads, a 0.5 s total outage, 0.5 s more reads.
+        let mut stream = downward_stream(10); // 0.0 .. 0.5 s
+        for r in downward_stream(30) {
+            if r.t >= 1.0 {
+                stream.push(r); // 1.0 .. 1.5 s
+            }
+        }
+        let cfg = PolarDrawConfig::default();
+        let pd = PolarDraw::new(cfg);
+        let out = pd.track_with_diagnostics(&stream);
+        let d = &out.degradation;
+        assert!(d.is_degraded());
+        assert_eq!(d.gaps_bridged, 1, "one interior outage: {d:?}");
+        assert!(
+            (0.4..=0.7).contains(&d.largest_gap_bridged_s),
+            "bridged span should cover the ~0.5 s outage, got {}",
+            d.largest_gap_bridged_s
+        );
+        // The bridged gap removes its empty windows from the step chain:
+        // every empty window here is interior, so all are coalesced away.
+        assert!(d.empty_windows > 0);
+        assert_eq!(out.steps.len(), out.windows.len() - 1 - d.empty_windows);
+        // The track stays finite and never teleports faster than vmax
+        // allows across the bridged step.
+        for (w, pts) in out.steps.windows(2).zip(out.trail.points.windows(2)) {
+            let dt = w[1].t - w[0].t;
+            let dist = pts[0].distance(pts[1]);
+            assert!(dist.is_finite());
+            assert!(
+                dist <= cfg.distance.vmax_mps * dt + 3.0 * cfg.hmm.cell_m,
+                "teleport across bridged step: {dist} m in {dt} s"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_bridging_can_be_disabled() {
+        let mut stream = downward_stream(10);
+        for r in downward_stream(30) {
+            if r.t >= 1.0 {
+                stream.push(r);
+            }
+        }
+        let mut cfg = PolarDrawConfig::default();
+        cfg.gap_bridge_min_windows = usize::MAX;
+        let out = PolarDraw::new(cfg).track_with_diagnostics(&stream);
+        assert_eq!(out.degradation.gaps_bridged, 0);
+        assert_eq!(out.steps.len(), out.windows.len() - 1);
+    }
+
+    #[test]
+    fn unsorted_duplicated_stream_is_tolerated_and_reported() {
+        let mut stream = downward_stream(20);
+        let dup = stream[7];
+        stream.insert(8, dup);
+        stream.swap(3, 12);
+        let out = PolarDraw::new(PolarDrawConfig::default()).track_with_diagnostics(&stream);
+        let d = &out.degradation;
+        assert!(d.input_unsorted);
+        assert_eq!(d.duplicates_removed, 1);
+        assert!(d.is_degraded());
+        assert!(out.trail.points.iter().all(|p| p.x.is_finite() && p.y.is_finite()));
     }
 
     #[test]

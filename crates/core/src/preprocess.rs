@@ -10,6 +10,7 @@
 
 use rf_core::angle::{circular_mean, phase_distance};
 use rfid_sim::TagReport;
+use std::borrow::Cow;
 
 /// One aligned pre-processing window across both antennas.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -23,6 +24,45 @@ pub struct Windowed {
     pub phase: [Option<f64>; 2],
     /// Raw read counts per antenna (diagnostics).
     pub reads: [usize; 2],
+    /// Quality flags for this window (degradation diagnostics).
+    pub flags: WindowFlags,
+}
+
+/// Per-window quality flags, set during pre-processing so downstream
+/// stages (and the pipeline's `DegradationReport`) can tell *why* a
+/// window is weak without re-deriving it from the raw fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowFlags {
+    /// No reads landed on either antenna.
+    pub empty: bool,
+    /// Exactly one antenna produced reads (port outage signature).
+    pub single_antenna: bool,
+    /// The phase on this antenna was measured but struck as spurious.
+    pub spurious: [bool; 2],
+}
+
+/// What pre-processing had to tolerate in one stream — returned by
+/// [`preprocess_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreprocessStats {
+    /// Reports in the input stream.
+    pub input_reports: usize,
+    /// The input was not sorted by timestamp and had to be sorted.
+    pub input_unsorted: bool,
+    /// Exact duplicate reports removed after sorting.
+    pub duplicates_removed: usize,
+    /// Reports ignored because `antenna >= 2`.
+    pub ignored_ports: usize,
+    /// Total windows produced.
+    pub windows: usize,
+    /// Windows with no reads on either antenna.
+    pub empty_windows: usize,
+    /// Windows with reads on exactly one antenna.
+    pub single_antenna_windows: usize,
+    /// Phases struck by the spurious-rejection screen (both antennas).
+    pub spurious_rejected: usize,
+    /// Longest run of consecutive empty windows.
+    pub largest_empty_run: usize,
 }
 
 /// Pre-processing configuration.
@@ -46,16 +86,33 @@ impl Default for PreprocessConfig {
 /// Returns one [`Windowed`] per window from the first to the last
 /// report; windows with no reads on either antenna are retained (with
 /// `None` entries) so that downstream timing stays uniform.
+///
+/// The input does **not** have to be sorted or duplicate-free: unsorted
+/// streams are stably sorted by timestamp and exact adjacent duplicates
+/// (LLRP redelivery) are removed before windowing. On an already-clean
+/// stream normalization is a borrow — no copy, no behaviour change.
 pub fn preprocess(reports: &[TagReport], config: &PreprocessConfig) -> Vec<Windowed> {
+    preprocess_with_stats(reports, config).0
+}
+
+/// [`preprocess`], also returning [`PreprocessStats`] describing what
+/// the stream needed tolerated.
+pub fn preprocess_with_stats(
+    reports: &[TagReport],
+    config: &PreprocessConfig,
+) -> (Vec<Windowed>, PreprocessStats) {
+    let mut stats = PreprocessStats { input_reports: reports.len(), ..Default::default() };
+    let reports = normalize(reports, &mut stats);
     let (first, last) = match (reports.first(), reports.last()) {
         (Some(f), Some(l)) => (f.t, l.t),
-        _ => return Vec::new(),
+        _ => return (Vec::new(), stats),
     };
     assert!(config.window_s > 0.0, "window length must be positive");
     let n_windows = ((last - first) / config.window_s).floor() as usize + 1;
     let mut acc: Vec<[WindowAcc; 2]> = vec![Default::default(); n_windows];
-    for r in reports {
+    for r in reports.iter() {
         if r.antenna >= 2 {
+            stats.ignored_ports += 1;
             continue; // PolarDraw is strictly two-antenna
         }
         let w = (((r.t - first) / config.window_s).floor() as usize).min(n_windows - 1);
@@ -63,6 +120,7 @@ pub fn preprocess(reports: &[TagReport], config: &PreprocessConfig) -> Vec<Windo
     }
 
     let mut out: Vec<Windowed> = Vec::with_capacity(n_windows);
+    let mut empty_run = 0usize;
     for (i, pair) in acc.iter().enumerate() {
         let t = first + (i as f64 + 0.5) * config.window_s;
         let mut w = Windowed { t, ..Default::default() };
@@ -71,11 +129,48 @@ pub fn preprocess(reports: &[TagReport], config: &PreprocessConfig) -> Vec<Windo
             w.rssi[ant] = pair[ant].mean_rssi();
             w.phase[ant] = pair[ant].mean_phase();
         }
+        w.flags.empty = w.reads == [0, 0];
+        w.flags.single_antenna = (w.reads[0] == 0) != (w.reads[1] == 0);
+        if w.flags.empty {
+            stats.empty_windows += 1;
+            empty_run += 1;
+            stats.largest_empty_run = stats.largest_empty_run.max(empty_run);
+        } else {
+            empty_run = 0;
+        }
+        if w.flags.single_antenna {
+            stats.single_antenna_windows += 1;
+        }
         out.push(w);
     }
+    stats.windows = out.len();
 
-    reject_spurious(&mut out, config.spurious_threshold_rad);
-    out
+    stats.spurious_rejected = reject_spurious(&mut out, config.spurious_threshold_rad);
+    (out, stats)
+}
+
+/// Sort-and-dedup tolerance: stable-sort by timestamp when the stream is
+/// out of order and remove exact adjacent duplicates. Clean streams
+/// (sorted, duplicate-free — what [`rfid_sim::Reader`] emits) take the
+/// borrow path and are untouched.
+///
+/// The stable sort by `t` alone means reports sharing a timestamp keep
+/// their arrival order, so window accumulation order — and therefore the
+/// floating-point sums — are bit-identical to the unsorted-unaware code
+/// on any already-sorted stream.
+fn normalize<'a>(reports: &'a [TagReport], stats: &mut PreprocessStats) -> Cow<'a, [TagReport]> {
+    let unsorted = reports.windows(2).any(|w| w[1].t < w[0].t);
+    let has_adjacent_dupes = reports.windows(2).any(|w| w[1] == w[0]);
+    if !unsorted && !has_adjacent_dupes {
+        return Cow::Borrowed(reports);
+    }
+    stats.input_unsorted = unsorted;
+    let mut v = reports.to_vec();
+    v.sort_by(|a, b| a.t.total_cmp(&b.t));
+    let before = v.len();
+    v.dedup();
+    stats.duplicates_removed = before - v.len();
+    Cow::Owned(v)
 }
 
 /// Strike phases that jump more than `threshold` radians from the
@@ -88,7 +183,8 @@ pub fn preprocess(reports: &[TagReport], config: &PreprocessConfig) -> Vec<Windo
 /// motion drifts the phase away from it and every later window would be
 /// rejected. The cost is that an isolated glitch rejects two windows
 /// (the glitch and the re-entry jump), after which the stream is back.
-fn reject_spurious(windows: &mut [Windowed], threshold: f64) {
+fn reject_spurious(windows: &mut [Windowed], threshold: f64) -> usize {
+    let mut rejected = 0;
     for ant in 0..2 {
         let mut prev_measured: Option<f64> = None;
         for w in windows.iter_mut() {
@@ -96,12 +192,15 @@ fn reject_spurious(windows: &mut [Windowed], threshold: f64) {
                 if let Some(prev) = prev_measured {
                     if phase_distance(p, prev) > threshold {
                         w.phase[ant] = None;
+                        w.flags.spurious[ant] = true;
+                        rejected += 1;
                     }
                 }
                 prev_measured = Some(p);
             }
         }
     }
+    rejected
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -234,6 +333,101 @@ mod tests {
         let reports = vec![report(0.0, 0, -40.0, 1.0), report(0.0, 2, -30.0, 0.5)];
         let w = preprocess(&reports, &PreprocessConfig::default());
         assert_eq!(w[0].reads, [1, 0]);
+    }
+
+    #[test]
+    fn unsorted_stream_buckets_like_its_sorted_self() {
+        // Regression: the old code took `reports.first()/last()` as the
+        // time extremes and clamped stragglers into the *last* window,
+        // so an out-of-order stream silently mis-bucketed. Sorting must
+        // make the two streams indistinguishable.
+        let sorted = vec![
+            report(0.00, 0, -40.0, 1.0),
+            report(0.03, 1, -50.0, 2.0),
+            report(0.06, 0, -42.0, 1.1),
+            report(0.12, 0, -44.0, 1.2),
+            report(0.16, 1, -52.0, 2.1),
+        ];
+        let mut shuffled = sorted.clone();
+        shuffled.swap(0, 3); // first/last no longer the extremes
+        shuffled.swap(1, 4);
+        let cfg = PreprocessConfig::default();
+        let (from_sorted, s1) = preprocess_with_stats(&sorted, &cfg);
+        let (from_shuffled, s2) = preprocess_with_stats(&shuffled, &cfg);
+        assert_eq!(from_sorted, from_shuffled);
+        assert!(!s1.input_unsorted);
+        assert!(s2.input_unsorted);
+        // Every report must land in its own window, none clamped away:
+        // 0.16 s span at 50 ms windows = 4 windows, reads [1,1,1]+[0]+...
+        assert_eq!(from_shuffled.len(), 4);
+        assert_eq!(from_shuffled.iter().map(|w| w.reads[0] + w.reads[1]).sum::<usize>(), 5);
+        assert_eq!(from_shuffled[1].reads, [1, 0], "0.06 s read stays in window 1");
+    }
+
+    #[test]
+    fn exact_duplicates_are_removed_once() {
+        let base = vec![
+            report(0.00, 0, -40.0, 1.0),
+            report(0.02, 1, -50.0, 2.0),
+            report(0.04, 0, -42.0, 1.1),
+        ];
+        let mut dup = base.clone();
+        dup.insert(1, base[0]); // exact LLRP redelivery
+        dup.push(base[2]);
+        let cfg = PreprocessConfig::default();
+        let (clean, _) = preprocess_with_stats(&base, &cfg);
+        let (deduped, stats) = preprocess_with_stats(&dup, &cfg);
+        assert_eq!(stats.duplicates_removed, 2);
+        assert_eq!(clean, deduped, "duplicates must not bias window means");
+    }
+
+    #[test]
+    fn clean_streams_take_the_borrow_path_bit_identically() {
+        let reports: Vec<TagReport> =
+            (0..40).map(|i| report(i as f64 * 0.011, i % 2, -40.0, 1.0 + 0.01 * i as f64)).collect();
+        let cfg = PreprocessConfig::default();
+        let (w, stats) = preprocess_with_stats(&reports, &cfg);
+        assert!(!stats.input_unsorted);
+        assert_eq!(stats.duplicates_removed, 0);
+        assert_eq!(preprocess(&reports, &cfg), w);
+    }
+
+    #[test]
+    fn quality_flags_and_stats_describe_the_stream() {
+        let reports = vec![
+            report(0.00, 0, -40.0, 1.0),
+            report(0.01, 1, -50.0, 2.0),
+            // windows 1-2 empty (gap 0.05..0.15)
+            report(0.16, 0, -40.0, 1.05),
+            // window 3: antenna 0 only
+        ];
+        let cfg = PreprocessConfig::default();
+        let (w, stats) = preprocess_with_stats(&reports, &cfg);
+        assert_eq!(w.len(), 4);
+        assert!(!w[0].flags.empty && !w[0].flags.single_antenna);
+        assert!(w[1].flags.empty && w[2].flags.empty);
+        assert!(w[3].flags.single_antenna);
+        assert_eq!(stats.windows, 4);
+        assert_eq!(stats.empty_windows, 2);
+        assert_eq!(stats.largest_empty_run, 2);
+        assert_eq!(stats.single_antenna_windows, 1);
+        assert_eq!(stats.input_reports, 3);
+    }
+
+    #[test]
+    fn spurious_rejections_are_counted_and_flagged() {
+        let cfg = PreprocessConfig::default();
+        let reports = vec![
+            report(0.000, 0, -40.0, 1.0),
+            report(0.070, 0, -40.0, 1.05),
+            report(0.120, 0, -58.0, 3.0), // glitch
+            report(0.170, 0, -40.0, 1.10),
+            report(0.220, 0, -40.0, 1.15),
+        ];
+        let (w, stats) = preprocess_with_stats(&reports, &cfg);
+        assert_eq!(stats.spurious_rejected, 2);
+        assert!(w[2].flags.spurious[0] && w[3].flags.spurious[0]);
+        assert!(!w[4].flags.spurious[0]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! One module per paper table/figure.
 
+pub mod faults;
 pub mod fig02;
 pub mod fig03;
 pub mod fig09;

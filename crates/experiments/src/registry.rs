@@ -110,6 +110,12 @@ pub fn all_experiments() -> Vec<ExperimentDef> {
             title: "Sensitivity to inter-antenna angle",
             run: crate::exp::table8::run,
         },
+        ExperimentDef {
+            id: "faults",
+            produces: &["faults"],
+            title: "Robustness under injected reader faults (not in paper)",
+            run: crate::exp::faults::run,
+        },
     ]
 }
 
@@ -131,7 +137,7 @@ mod tests {
         for id in [
             "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14",
             "fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5",
-            "table6", "table7", "table8",
+            "table6", "table7", "table8", "faults",
         ] {
             assert!(produced.contains(&id), "missing {id}");
         }

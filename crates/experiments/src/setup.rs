@@ -10,6 +10,7 @@ use rf_core::rng::derive_seed;
 use rf_core::{Vec2, Vec3};
 use rf_physics::antenna::Antenna;
 use rf_physics::{Bystander, ChannelModel};
+use rfid_sim::faults::{FaultInjector, FaultPlan};
 use rfid_sim::reader::TagPose;
 use rfid_sim::tracking::{Trail, TrajectoryTracker};
 use rfid_sim::{Reader, TagReport};
@@ -66,6 +67,10 @@ pub struct TrialSetup {
     /// (1.0 = paper fidelity; >1 trades accuracy for speed, e.g. in the
     /// registry smoke test).
     pub cell_scale: f64,
+    /// Optional reader-fault injection applied to the report stream
+    /// before tracking (`None` and `Some(identity)` are both provable
+    /// no-ops; see `rfid_sim::faults`).
+    pub faults: Option<FaultPlan>,
 }
 
 impl TrialSetup {
@@ -81,6 +86,7 @@ impl TrialSetup {
             bystander: None,
             standoff_m: 0.65,
             cell_scale: 1.0,
+            faults: None,
         }
     }
 
@@ -98,6 +104,12 @@ impl TrialSetup {
     /// Coarsen (or refine) every tracker's grid by this factor.
     pub fn with_cell_scale(mut self, cell_scale: f64) -> TrialSetup {
         self.cell_scale = cell_scale;
+        self
+    }
+
+    /// Inject reader faults into the report stream before tracking.
+    pub fn with_faults(mut self, plan: FaultPlan) -> TrialSetup {
+        self.faults = Some(plan);
         self
     }
 }
@@ -173,9 +185,9 @@ fn circular_rig(antennas: &[Vec3]) -> ChannelModel {
     ch
 }
 
-/// Build the tracker instance for a setup, with its HMM board region
-/// sized around the writing area.
-pub fn tracker_for(setup: &TrialSetup) -> Box<dyn TrajectoryTracker + Send + Sync> {
+/// The HMM board region and bootstrap for a setup's writing area:
+/// `(board_min, board_max, start_hint)`.
+fn board_for(setup: &TrialSetup) -> (Vec2, Vec2, Vec2) {
     let origin = setup.scene.origin;
     let size = setup.profile.letter_size_m;
     let advance = size * 0.7 + size * setup.scene.letter_gap;
@@ -186,20 +198,43 @@ pub fn tracker_for(setup: &TrialSetup) -> Box<dyn TrajectoryTracker + Send + Syn
         origin.y + size + 0.15,
     );
     let start_hint = Vec2::new(origin.x, origin.y + size * 0.5);
+    (board_min, board_max, start_hint)
+}
+
+/// The full PolarDraw configuration `tracker_for` would run for this
+/// setup — public so integration tests can call
+/// `PolarDraw::track_with_diagnostics` (for the `DegradationReport`)
+/// on exactly the rig a trial uses. Panics if the setup's tracker is
+/// not a PolarDraw variant.
+pub fn polardraw_config_for(setup: &TrialSetup) -> PolarDrawConfig {
+    assert!(
+        matches!(setup.tracker, TrackerKind::PolarDraw | TrackerKind::PolarDrawNoPolarization),
+        "polardraw_config_for needs a PolarDraw setup, got {:?}",
+        setup.tracker
+    );
+    let origin = setup.scene.origin;
+    let (board_min, board_max, start_hint) = board_for(setup);
+    let channel = channel_for(setup.tracker, setup.gamma_rad, setup.standoff_m);
+    let gamma_eff = effective_gamma(&channel, Vec3::new(origin.x + 0.2, origin.y + 0.1, 0.0));
+    let mut cfg = PolarDrawConfig::default().with_gamma(gamma_eff);
+    cfg.antennas = [channel.antennas[0].position, channel.antennas[1].position];
+    cfg.alpha_e_rad = setup.alpha_e_rad;
+    cfg.board_min = board_min;
+    cfg.board_max = board_max;
+    cfg.start_hint = start_hint;
+    cfg.use_polarization = setup.tracker == TrackerKind::PolarDraw;
+    cfg.hmm.cell_m *= setup.cell_scale.max(0.01);
+    cfg
+}
+
+/// Build the tracker instance for a setup, with its HMM board region
+/// sized around the writing area.
+pub fn tracker_for(setup: &TrialSetup) -> Box<dyn TrajectoryTracker + Send + Sync> {
+    let (board_min, board_max, start_hint) = board_for(setup);
 
     match setup.tracker {
         TrackerKind::PolarDraw | TrackerKind::PolarDrawNoPolarization => {
-            let channel = channel_for(setup.tracker, setup.gamma_rad, setup.standoff_m);
-            let gamma_eff = effective_gamma(&channel, Vec3::new(origin.x + 0.2, origin.y + 0.1, 0.0));
-            let mut cfg = PolarDrawConfig::default().with_gamma(gamma_eff);
-            cfg.antennas = [channel.antennas[0].position, channel.antennas[1].position];
-            cfg.alpha_e_rad = setup.alpha_e_rad;
-            cfg.board_min = board_min;
-            cfg.board_max = board_max;
-            cfg.start_hint = start_hint;
-            cfg.use_polarization = setup.tracker == TrackerKind::PolarDraw;
-            cfg.hmm.cell_m *= setup.cell_scale.max(0.01);
-            Box::new(PolarDraw::new(cfg))
+            Box::new(PolarDraw::new(polardraw_config_for(setup)))
         }
         TrackerKind::Tagoram2 | TrackerKind::Tagoram4 => {
             let mut cfg = if setup.tracker == TrackerKind::Tagoram2 {
@@ -245,7 +280,12 @@ pub fn run_trial(setup: &TrialSetup, seed: u64) -> TrialRun {
     let mut channel = channel_for(setup.tracker, setup.gamma_rad, setup.standoff_m);
     channel.bystander = setup.bystander;
     let reader = Reader::new(channel);
-    let reports = reader.inventory(&to_tag_poses(&session.poses), derive_seed(seed, "reader"));
+    let mut reports = reader.inventory(&to_tag_poses(&session.poses), derive_seed(seed, "reader"));
+    if let Some(plan) = &setup.faults {
+        // Identity plans are a no-op inside the injector, so a sweep's
+        // intensity-0 column is bit-identical to faults-off.
+        reports = FaultInjector::new(plan.clone(), derive_seed(seed, "faults")).inject(&reports);
+    }
     let tracker = tracker_for(setup);
     let trail = tracker.track(&reports);
     TrialRun { truth: session.truth.points, trail, reports }
@@ -305,6 +345,26 @@ mod tests {
         assert!(!run.truth.is_empty());
         assert!(!run.reports.is_empty());
         assert!(!run.trail.is_empty());
+    }
+
+    #[test]
+    fn identity_fault_plan_leaves_trials_bit_identical() {
+        let clean = run_trial(&TrialSetup::letter('I'), 5);
+        let ident = run_trial(&TrialSetup::letter('I').with_faults(FaultPlan::identity()), 5);
+        assert_eq!(clean.reports, ident.reports);
+        assert_eq!(clean.trail.points, ident.trail.points);
+        assert_eq!(clean.trail.times, ident.trail.times);
+    }
+
+    #[test]
+    fn injected_faults_change_the_stream_but_not_determinism() {
+        let setup = TrialSetup::letter('I').with_faults(FaultPlan::at_intensity(0.8));
+        let a = run_trial(&setup, 5);
+        let b = run_trial(&setup, 5);
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.trail.points, b.trail.points);
+        let clean = run_trial(&TrialSetup::letter('I'), 5);
+        assert_ne!(a.reports, clean.reports, "intensity 0.8 must actually degrade the stream");
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! Deterministic fault injection for [`TagReport`] streams.
+//!
+//! The reader model in [`crate::reader`] is a *healthy* reader: reports
+//! arrive sorted, deduplicated, on schedule, from every configured
+//! antenna port. Real LLRP deployments are not so kind — RF bursts
+//! silence whole spans of reads, antenna cables fail, the network stack
+//! duplicates and reorders RO_ACCESS_REPORTs, reader clocks jitter and
+//! drift, and FCC channel hops step the measured phase. This module
+//! injects exactly those degradations, deterministically, so the
+//! tracking stack's graceful-degradation behaviour can be tested and
+//! swept (see `experiments::exp::faults`).
+//!
+//! Design rules:
+//!
+//! * **Seed-driven.** A [`FaultInjector`] is a pure function of
+//!   `(plan, seed, input stream)`. Same inputs, same faulty stream,
+//!   bit for bit — the Determinism contract in DESIGN.md extends to
+//!   faults.
+//! * **Identity is a provable no-op.** [`FaultPlan::identity`] (also
+//!   `FaultPlan::default`) makes [`FaultInjector::inject`] return an
+//!   exact element-wise copy of its input without constructing a PRNG,
+//!   so "faults configured off" and "faults absent" are the same code
+//!   path. The golden-trace tests pin this.
+//! * **Composable.** Each fault model is independently optional; a plan
+//!   enables any subset. Stages draw from separately derived PRNG
+//!   streams, so enabling one model never perturbs another's draws.
+//!
+//! Stage order (fixed, documented, relied on by tests): burst dropouts →
+//! antenna-port outages → clock jitter/drift → per-channel phase offsets
+//! → duplication → bounded reordering. Duplication runs after the clock
+//! stage so duplicates are *exact* copies (as LLRP redelivery produces),
+//! and reordering runs last because it permutes whatever survived.
+
+use crate::TagReport;
+use rf_core::rng::{derive_seed, rng_from_seed, Rng64};
+
+/// Gilbert–Elliott two-state burst loss model.
+///
+/// The chain sits in a *good* or *bad* state and advances one step per
+/// input report; each state drops reports with its own probability.
+/// Short `p_exit` dwell gives the bursty, correlated losses that RF
+/// interference produces (distinct from i.i.d. thinning, which the
+/// reader's own `p_ok` already covers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-report probability of transitioning good → bad.
+    pub p_enter: f64,
+    /// Per-report probability of transitioning bad → good.
+    pub p_exit: f64,
+    /// Drop probability while in the bad (burst) state.
+    pub p_drop_bad: f64,
+    /// Background drop probability in the good state.
+    pub p_drop_good: f64,
+}
+
+/// A single-antenna-port failure window.
+///
+/// All reports from `antenna` whose timestamps fall inside
+/// `[start_frac, end_frac]` of the stream's time span are dropped —
+/// a loose cable or blown port, while the other port keeps reading.
+/// Fractions (rather than absolute seconds) make one plan meaningful
+/// across sessions of different lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortOutage {
+    /// The failed antenna port (0-based, matching [`TagReport::antenna`]).
+    pub antenna: usize,
+    /// Outage start, as a fraction of the stream time span in `[0, 1]`.
+    pub start_frac: f64,
+    /// Outage end, as a fraction of the stream time span in `[0, 1]`.
+    pub end_frac: f64,
+}
+
+/// Report duplication (LLRP redelivery / retransmission).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Duplication {
+    /// Per-report probability of being duplicated.
+    pub p_duplicate: f64,
+    /// Number of extra copies when a report is duplicated (≥ 1).
+    pub max_copies: usize,
+}
+
+/// Bounded reordering: reports are delivered out of order, but no
+/// report arrives more than `max_shift_s` of *timestamp* ahead of an
+/// earlier one. Timestamps themselves are untouched — only the delivery
+/// order changes, which is how network-induced reordering looks on the
+/// wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reordering {
+    /// Per-report probability of being displaced from its slot.
+    pub p_displace: f64,
+    /// Maximum forward displacement of a report's delivery slot, in
+    /// seconds of stream time.
+    pub max_shift_s: f64,
+}
+
+/// Reader clock imperfections applied to timestamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockFaults {
+    /// Gaussian timestamp jitter, standard deviation in seconds.
+    /// Large jitter can locally invert timestamp order — the hardened
+    /// preprocess sorts, so this is an intended pathology.
+    pub jitter_std_s: f64,
+    /// Linear clock drift in parts-per-million of elapsed stream time.
+    pub drift_ppm: f64,
+}
+
+/// Per-channel phase offset steps.
+///
+/// Reader LO paths are not phase-matched across FCC channels; each hop
+/// steps the reported phase by a channel-specific constant. Offsets are
+/// drawn once per channel index from the injector seed (uniform in
+/// `[-max_offset_rad, max_offset_rad]`), so a channel always gets the
+/// same offset within a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelPhaseFaults {
+    /// Largest per-channel offset magnitude, radians.
+    pub max_offset_rad: f64,
+}
+
+/// A composable description of which faults to inject.
+///
+/// Every field is independently optional; the default value is the
+/// identity plan (inject nothing).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Burst dropouts (Gilbert–Elliott), if any.
+    pub dropouts: Option<GilbertElliott>,
+    /// Antenna-port failure windows, if any.
+    pub outages: Vec<PortOutage>,
+    /// Report duplication, if any.
+    pub duplication: Option<Duplication>,
+    /// Bounded delivery reordering, if any.
+    pub reordering: Option<Reordering>,
+    /// Timestamp jitter/drift, if any.
+    pub clock: Option<ClockFaults>,
+    /// Per-channel phase offset steps, if any.
+    pub channel_phase: Option<ChannelPhaseFaults>,
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing. [`FaultInjector::inject`] with
+    /// this plan returns an exact copy of its input and never
+    /// constructs a PRNG.
+    pub fn identity() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when this plan is guaranteed to be a no-op.
+    pub fn is_identity(&self) -> bool {
+        self.dropouts.is_none()
+            && self.outages.is_empty()
+            && self.duplication.is_none()
+            && self.reordering.is_none()
+            && self.clock.is_none()
+            && self.channel_phase.is_none()
+    }
+
+    /// A composite plan with every fault model scaled by one intensity
+    /// knob `x ∈ [0, 1]` — the axis the `faults` experiment sweeps.
+    ///
+    /// `x <= 0` returns [`FaultPlan::identity`] exactly (not a plan of
+    /// zero-probability models), so intensity 0 in a sweep is provably
+    /// the clean run. At `x = 1`: heavy burst loss, a 0.45–0.65
+    /// single-port outage, 10 % duplication, 25 % reordering within
+    /// 40 ms, 2 ms clock jitter with 200 ppm drift, and per-channel
+    /// phase steps up to 0.3 rad.
+    pub fn at_intensity(x: f64) -> FaultPlan {
+        if x <= 0.0 {
+            return FaultPlan::identity();
+        }
+        let x = x.min(1.0);
+        FaultPlan {
+            dropouts: Some(GilbertElliott {
+                p_enter: 0.02 + 0.08 * x,
+                p_exit: 0.20,
+                p_drop_bad: 0.95,
+                p_drop_good: 0.02 * x,
+            }),
+            outages: if x >= 0.5 {
+                vec![PortOutage { antenna: 1, start_frac: 0.45, end_frac: 0.45 + 0.2 * x }]
+            } else {
+                Vec::new()
+            },
+            duplication: Some(Duplication { p_duplicate: 0.10 * x, max_copies: 2 }),
+            reordering: Some(Reordering { p_displace: 0.25 * x, max_shift_s: 0.04 }),
+            clock: Some(ClockFaults { jitter_std_s: 0.002 * x, drift_ppm: 200.0 * x }),
+            channel_phase: Some(ChannelPhaseFaults { max_offset_rad: 0.3 * x }),
+        }
+    }
+}
+
+/// What the injector did to one stream — returned alongside the faulty
+/// stream by [`FaultInjector::inject_with_log`] so sweeps can report
+/// realized (not just configured) fault rates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultLog {
+    /// Reports in the input stream.
+    pub input_reports: usize,
+    /// Reports in the output stream.
+    pub output_reports: usize,
+    /// Reports dropped by the Gilbert–Elliott burst model.
+    pub dropped_burst: usize,
+    /// Reports dropped by antenna-port outage windows.
+    pub dropped_outage: usize,
+    /// Extra copies inserted by duplication.
+    pub duplicated: usize,
+    /// Reports displaced from their delivery slot by reordering.
+    pub displaced: usize,
+    /// Reports whose phase was stepped by a channel offset.
+    pub phase_stepped: usize,
+}
+
+/// Applies a [`FaultPlan`] to report streams, deterministically in a
+/// seed. Stage PRNGs are derived per fault model, so two plans that
+/// share a model make identical draws for it regardless of which other
+/// models are enabled.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// The plan to apply.
+    pub plan: FaultPlan,
+    /// Root seed; stage streams are derived from it by label.
+    pub seed: u64,
+}
+
+impl FaultInjector {
+    /// Build an injector for `plan` rooted at `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> FaultInjector {
+        FaultInjector { plan, seed }
+    }
+
+    /// Apply the plan to `reports`, returning the degraded stream.
+    pub fn inject(&self, reports: &[TagReport]) -> Vec<TagReport> {
+        self.inject_with_log(reports).0
+    }
+
+    /// Apply the plan and also report what was done.
+    pub fn inject_with_log(&self, reports: &[TagReport]) -> (Vec<TagReport>, FaultLog) {
+        let mut log = FaultLog { input_reports: reports.len(), ..FaultLog::default() };
+        if self.plan.is_identity() {
+            log.output_reports = reports.len();
+            return (reports.to_vec(), log);
+        }
+
+        let mut out: Vec<TagReport> = reports.to_vec();
+        let (first_t, last_t) = match (reports.first(), reports.last()) {
+            (Some(f), Some(l)) => (f.t, l.t),
+            _ => return (out, log),
+        };
+        let span = (last_t - first_t).max(0.0);
+
+        if let Some(ge) = &self.plan.dropouts {
+            let mut rng = self.stage_rng("dropout");
+            let mut bad = false;
+            let before = out.len();
+            out.retain(|_| {
+                if bad {
+                    if rng.gen_bool(ge.p_exit) {
+                        bad = false;
+                    }
+                } else if rng.gen_bool(ge.p_enter) {
+                    bad = true;
+                }
+                let p_drop = if bad { ge.p_drop_bad } else { ge.p_drop_good };
+                !rng.gen_bool(p_drop)
+            });
+            log.dropped_burst = before - out.len();
+        }
+
+        if !self.plan.outages.is_empty() {
+            let before = out.len();
+            out.retain(|r| {
+                !self.plan.outages.iter().any(|o| {
+                    let lo = first_t + span * o.start_frac.min(o.end_frac);
+                    let hi = first_t + span * o.start_frac.max(o.end_frac);
+                    r.antenna == o.antenna && r.t >= lo && r.t <= hi
+                })
+            });
+            log.dropped_outage = before - out.len();
+        }
+
+        if let Some(clock) = &self.plan.clock {
+            let mut rng = self.stage_rng("clock");
+            let scale = 1.0 + clock.drift_ppm * 1e-6;
+            for r in &mut out {
+                r.t = first_t + (r.t - first_t) * scale + rng.gaussian(clock.jitter_std_s);
+            }
+        }
+
+        if let Some(ch) = &self.plan.channel_phase {
+            for r in &mut out {
+                let offset = self.channel_offset(r.channel, ch.max_offset_rad);
+                if offset != 0.0 {
+                    r.phase_rad = (r.phase_rad + offset).rem_euclid(std::f64::consts::TAU);
+                    log.phase_stepped += 1;
+                }
+            }
+        }
+
+        if let Some(dup) = &self.plan.duplication {
+            let mut rng = self.stage_rng("dup");
+            let mut with_dupes = Vec::with_capacity(out.len());
+            for r in out {
+                with_dupes.push(r);
+                if dup.p_duplicate > 0.0 && rng.gen_bool(dup.p_duplicate) {
+                    let copies = 1 + rng.gen_index(dup.max_copies.max(1));
+                    for _ in 0..copies {
+                        with_dupes.push(r);
+                        log.duplicated += 1;
+                    }
+                }
+            }
+            out = with_dupes;
+        }
+
+        if let Some(re) = &self.plan.reordering {
+            let mut rng = self.stage_rng("reorder");
+            // Displace delivery *keys*, not timestamps: a displaced
+            // report's key moves forward by up to max_shift_s, then a
+            // stable sort by key yields a bounded permutation.
+            let mut keyed: Vec<(f64, TagReport)> = out
+                .into_iter()
+                .map(|r| {
+                    if re.p_displace > 0.0 && rng.gen_bool(re.p_displace) {
+                        log.displaced += 1;
+                        (r.t + rng.gen_range(0.0..re.max_shift_s.max(f64::MIN_POSITIVE)), r)
+                    } else {
+                        (r.t, r)
+                    }
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+            out = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+
+        log.output_reports = out.len();
+        (out, log)
+    }
+
+    fn stage_rng(&self, stage: &str) -> Rng64 {
+        rng_from_seed(derive_seed(self.seed, &format!("faults.{stage}")))
+    }
+
+    /// The stable phase offset for one channel index: a single uniform
+    /// draw from a per-channel derived stream, so the offset depends
+    /// only on `(seed, channel)`.
+    fn channel_offset(&self, channel: usize, max_offset_rad: f64) -> f64 {
+        if max_offset_rad <= 0.0 {
+            return 0.0;
+        }
+        let mut rng = rng_from_seed(rf_core::rng::derive_seed_indexed(
+            self.seed,
+            "faults.chphase",
+            channel as u64,
+        ));
+        rng.gen_range(-max_offset_rad..max_offset_rad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize, antennas: usize) -> Vec<TagReport> {
+        (0..n)
+            .map(|i| TagReport {
+                t: i as f64 * 0.01,
+                antenna: i % antennas,
+                rssi_dbm: -30.0 - (i % 7) as f64 * 0.5,
+                phase_rad: (i as f64 * 0.37).rem_euclid(std::f64::consts::TAU),
+                channel: i % 3,
+                epc: 0xE280,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_plan_is_a_provable_noop() {
+        let reports = stream(400, 2);
+        let plan = FaultPlan::identity();
+        assert!(plan.is_identity());
+        assert!(FaultPlan::default().is_identity());
+        assert!(FaultPlan::at_intensity(0.0).is_identity());
+        assert!(FaultPlan::at_intensity(-3.0).is_identity());
+        let (out, log) = FaultInjector::new(plan, 1234).inject_with_log(&reports);
+        assert_eq!(out, reports);
+        assert_eq!(log.input_reports, 400);
+        assert_eq!(log.output_reports, 400);
+        assert_eq!(
+            log,
+            FaultLog { input_reports: 400, output_reports: 400, ..FaultLog::default() }
+        );
+        // The seed must be irrelevant for the identity plan.
+        assert_eq!(FaultInjector::new(FaultPlan::identity(), 9999).inject(&reports), out);
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_seed() {
+        let reports = stream(600, 2);
+        let plan = FaultPlan::at_intensity(0.7);
+        let a = FaultInjector::new(plan.clone(), 42).inject(&reports);
+        let b = FaultInjector::new(plan.clone(), 42).inject(&reports);
+        assert_eq!(a, b);
+        let c = FaultInjector::new(plan, 43).inject(&reports);
+        assert_ne!(a, c, "a different seed must realize different faults");
+    }
+
+    #[test]
+    fn burst_dropouts_thin_the_stream_with_bursts() {
+        let reports = stream(2000, 2);
+        let plan = FaultPlan {
+            dropouts: Some(GilbertElliott {
+                p_enter: 0.05,
+                p_exit: 0.2,
+                p_drop_bad: 0.95,
+                p_drop_good: 0.0,
+            }),
+            ..FaultPlan::identity()
+        };
+        let (out, log) = FaultInjector::new(plan, 7).inject_with_log(&reports);
+        assert!(log.dropped_burst > 0, "bursts must drop something");
+        assert_eq!(out.len(), 2000 - log.dropped_burst);
+        // Burstiness: at least one run of ≥ 3 consecutive input indices
+        // missing (i.i.d. loss at this rate would rarely do that, a
+        // Gilbert–Elliott bad state routinely does).
+        let kept: std::collections::HashSet<u64> =
+            out.iter().map(|r| (r.t / 0.01).round() as u64).collect();
+        let longest_gap = (0..2000u64)
+            .scan(0u64, |run, i| {
+                *run = if kept.contains(&i) { 0 } else { *run + 1 };
+                Some(*run)
+            })
+            .max()
+            .unwrap();
+        assert!(longest_gap >= 3, "expected a burst of ≥ 3 consecutive losses, got {longest_gap}");
+    }
+
+    #[test]
+    fn port_outage_silences_exactly_the_configured_window() {
+        let reports = stream(1000, 2);
+        let plan = FaultPlan {
+            outages: vec![PortOutage { antenna: 1, start_frac: 0.4, end_frac: 0.6 }],
+            ..FaultPlan::identity()
+        };
+        let (out, log) = FaultInjector::new(plan, 7).inject_with_log(&reports);
+        let span = reports.last().unwrap().t;
+        let (lo, hi) = (0.4 * span, 0.6 * span);
+        assert!(log.dropped_outage > 0);
+        assert!(out.iter().all(|r| r.antenna != 1 || r.t < lo || r.t > hi));
+        // Port 0 must be untouched.
+        let port0_in = reports.iter().filter(|r| r.antenna == 0).count();
+        let port0_out = out.iter().filter(|r| r.antenna == 0).count();
+        assert_eq!(port0_in, port0_out);
+    }
+
+    #[test]
+    fn duplication_inserts_exact_adjacent_copies() {
+        let reports = stream(500, 2);
+        let plan = FaultPlan {
+            duplication: Some(Duplication { p_duplicate: 0.2, max_copies: 2 }),
+            ..FaultPlan::identity()
+        };
+        let (out, log) = FaultInjector::new(plan, 11).inject_with_log(&reports);
+        assert!(log.duplicated > 0);
+        assert_eq!(out.len(), 500 + log.duplicated);
+        // Every inserted copy sits directly after a report it equals.
+        let mut dupes = 0;
+        for w in out.windows(2) {
+            if w[0] == w[1] {
+                dupes += 1;
+            }
+        }
+        assert!(dupes >= log.duplicated.min(1));
+    }
+
+    #[test]
+    fn reordering_is_bounded_and_preserves_content() {
+        let reports = stream(800, 2);
+        let max_shift_s = 0.04;
+        let plan = FaultPlan {
+            reordering: Some(Reordering { p_displace: 0.3, max_shift_s }),
+            ..FaultPlan::identity()
+        };
+        let (out, log) = FaultInjector::new(plan, 5).inject_with_log(&reports);
+        assert!(log.displaced > 0);
+        assert_eq!(out.len(), reports.len());
+        // Same multiset of reports (timestamps untouched).
+        let mut a = reports.clone();
+        let mut b = out.clone();
+        a.sort_by(|x, y| x.t.total_cmp(&y.t));
+        b.sort_by(|x, y| x.t.total_cmp(&y.t));
+        assert_eq!(a, b);
+        // Bounded: any inversion spans at most max_shift_s of stream time.
+        let mut inversions = 0;
+        for i in 0..out.len() {
+            for j in (i + 1)..out.len() {
+                if out[i].t > out[j].t {
+                    inversions += 1;
+                    assert!(
+                        out[i].t - out[j].t <= max_shift_s + 1e-12,
+                        "inversion of {} s exceeds the bound",
+                        out[i].t - out[j].t
+                    );
+                }
+            }
+        }
+        assert!(inversions > 0, "displacements must actually reorder something");
+    }
+
+    #[test]
+    fn clock_faults_perturb_timestamps_boundedly() {
+        let reports = stream(500, 2);
+        let jitter = 0.002;
+        let plan = FaultPlan {
+            clock: Some(ClockFaults { jitter_std_s: jitter, drift_ppm: 500.0 }),
+            ..FaultPlan::identity()
+        };
+        let out = FaultInjector::new(plan, 3).inject(&reports);
+        assert_eq!(out.len(), reports.len());
+        let span = reports.last().unwrap().t;
+        for (orig, faulty) in reports.iter().zip(&out) {
+            let drifted = orig.t * (1.0 + 500.0e-6);
+            assert!(
+                (faulty.t - drifted).abs() < 8.0 * jitter,
+                "timestamp moved beyond drift + 8σ jitter"
+            );
+        }
+        // Drift is visible at the far end of the stream.
+        assert!((out.last().unwrap().t - span).abs() > 1e-6);
+    }
+
+    #[test]
+    fn channel_phase_offsets_are_stable_per_channel() {
+        let reports = stream(300, 2);
+        let plan = FaultPlan {
+            channel_phase: Some(ChannelPhaseFaults { max_offset_rad: 0.3 }),
+            ..FaultPlan::identity()
+        };
+        let out = FaultInjector::new(plan, 21).inject(&reports);
+        // Collect realized offset per channel; each channel must map to
+        // exactly one offset value, and phases must stay in [0, 2π).
+        let mut per_channel: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for (orig, faulty) in reports.iter().zip(&out) {
+            assert!((0.0..std::f64::consts::TAU).contains(&faulty.phase_rad));
+            let delta = (faulty.phase_rad - orig.phase_rad)
+                .rem_euclid(std::f64::consts::TAU);
+            let canonical = if delta > std::f64::consts::PI {
+                delta - std::f64::consts::TAU
+            } else {
+                delta
+            };
+            assert!(canonical.abs() <= 0.3 + 1e-12);
+            let entry = per_channel.entry(orig.channel).or_insert(canonical);
+            assert!((*entry - canonical).abs() < 1e-12, "offset must be stable per channel");
+        }
+        assert_eq!(per_channel.len(), 3);
+    }
+
+    #[test]
+    fn intensity_scales_realized_loss_monotonically() {
+        let reports = stream(3000, 2);
+        let survivors: Vec<usize> = [0.0f64, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&x| {
+                let plan = FaultPlan {
+                    // Dropout axis only: the monotonicity claim is about
+                    // loss intensity, not the composite plan.
+                    dropouts: FaultPlan::at_intensity(x.max(1e-9)).dropouts,
+                    ..FaultPlan::identity()
+                };
+                FaultInjector::new(plan, 99).inject(&reports).len()
+            })
+            .collect();
+        for w in survivors.windows(2) {
+            assert!(
+                w[1] <= w[0] + 60,
+                "survivor count should not materially increase with intensity: {survivors:?}"
+            );
+        }
+        assert!(
+            survivors[4] < survivors[0],
+            "full intensity must lose reports: {survivors:?}"
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_handled() {
+        let plan = FaultPlan::at_intensity(1.0);
+        let (out, log) = FaultInjector::new(plan, 1).inject_with_log(&[]);
+        assert!(out.is_empty());
+        assert_eq!(log.output_reports, 0);
+    }
+}

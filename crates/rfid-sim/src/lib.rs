@@ -20,12 +20,17 @@
 //!   12-bit steps), and emits [`TagReport`]s.
 //! * [`llrp`] — a compact LLRP-flavoured wire encoding of tag reports
 //!   (RO_ACCESS_REPORT), so report streams can be serialized/replayed.
+//! * [`faults`] — deterministic fault injection (burst dropouts, port
+//!   outages, duplication, bounded reordering, clock jitter/drift,
+//!   per-channel phase steps) for degradation testing; an identity
+//!   [`faults::FaultPlan`] is a provable no-op.
 //! * [`tracking`] — the [`TrajectoryTracker`] trait implemented by
 //!   `polardraw-core` and the `baselines` crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod gen2;
 pub mod llrp;
 pub mod modselect;
@@ -33,6 +38,7 @@ pub mod modulation;
 pub mod reader;
 pub mod tracking;
 
+pub use faults::{FaultInjector, FaultLog, FaultPlan};
 pub use modulation::ModulationScheme;
 pub use reader::{Reader, ReaderConfig};
 pub use tracking::TrajectoryTracker;

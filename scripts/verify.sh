@@ -30,6 +30,17 @@ cargo build --release --offline --workspace --benches
 echo "== verify: offline test suite =="
 cargo test -q --offline --workspace --release
 
+echo "== verify: golden traces + fault layer =="
+# Explicit tier-1 gates for the robustness layer (also part of the
+# workspace suite above; named here so a failure is unmissable and so
+# they run even if the target list is ever filtered):
+# - tests/golden.rs pins bit-identical reports/traces vs committed
+#   snapshots (the identity-FaultPlan no-op proof rides on these),
+# - the fault-injection unit tests live in rfid-sim,
+# - the adversarial-stream sweeps live in tests/properties.rs.
+cargo test -q --offline --release --test golden
+cargo test -q --offline --release -p rfid-sim faults
+
 echo "== verify: dependency graph is workspace-only =="
 # Every line of `cargo tree` that names a crate must carry the marker of
 # a local path dependency: "(/…)" pointing into this repo. Registry

@@ -143,3 +143,53 @@ fn pen_rotation_modulates_rss_but_not_for_a_stiff_writer() {
         "rotation must swing RSS: rotating σ = {rotating:.2} dB, stiff σ = {stiff:.2} dB"
     );
 }
+
+#[test]
+fn single_antenna_outage_degrades_gracefully() {
+    // ISSUE 3 acceptance: a mid-trajectory single-antenna-port outage
+    // must yield a finite track, a populated DegradationReport, and a
+    // Procrustes distance within a stated bound of the clean run.
+    use experiments::setup::polardraw_config_for;
+    use polardraw_core::PolarDraw;
+    use rfid_sim::faults::{FaultInjector, FaultPlan, PortOutage};
+
+    let setup = TrialSetup::letter('L');
+    let clean = run_trial(&setup, 42);
+
+    // Antenna 1 goes silent for the middle quarter of the session.
+    let plan = FaultPlan {
+        outages: vec![PortOutage { antenna: 1, start_frac: 0.40, end_frac: 0.65 }],
+        ..FaultPlan::identity()
+    };
+    let faulty_reports = FaultInjector::new(plan, 7).inject(&clean.reports);
+    assert!(faulty_reports.len() < clean.reports.len(), "the outage must drop reads");
+
+    let tracker = PolarDraw::new(polardraw_config_for(&setup));
+    let out = tracker.track_with_diagnostics(&faulty_reports);
+
+    // Finite, non-empty track.
+    assert!(!out.trail.is_empty());
+    for p in &out.trail.points {
+        assert!(p.x.is_finite() && p.y.is_finite(), "outage produced a non-finite point");
+    }
+
+    // Populated degradation report: the outage shows up as
+    // single-antenna windows, and the pipeline owns up to being
+    // degraded.
+    let d = &out.degradation;
+    assert!(d.single_antenna_windows > 0, "outage must be visible in the report: {d:?}");
+    assert!(d.is_degraded());
+    assert_eq!(d.input_reports, faulty_reports.len());
+
+    // Accuracy bound: the degraded track stays in the clean run's error
+    // regime. The clean full-stack test asserts < 0.10 m; allow the
+    // outage to cost at most 5 cm of Procrustes distance on top.
+    let clean_d = procrustes_distance(&clean.truth, &clean.trail.points, 64)
+        .expect("clean run is non-degenerate");
+    let degraded_d = procrustes_distance(&clean.truth, &out.trail.points, 64)
+        .expect("degraded run is non-degenerate");
+    assert!(
+        degraded_d < clean_d + 0.05,
+        "outage cost too much accuracy: clean {clean_d:.3} m, degraded {degraded_d:.3} m"
+    );
+}

@@ -1,0 +1,108 @@
+//! Golden-trace snapshot tests: pin the Determinism contract in
+//! DESIGN.md against committed artifacts.
+//!
+//! Two layers:
+//!
+//! * **Report snapshots** — three representative experiments (fig13,
+//!   table5, table6) re-run on the reduced-fidelity configuration the
+//!   registry smoke test uses (`trials = 1`, `cell_scale = 8`,
+//!   seed 42) must serialize bit-identically to the JSON committed
+//!   under `tests/snapshots/`.
+//! * **Trace snapshot** — one full-fidelity letter trial ('L', seed 42)
+//!   must reproduce its committed `TagReport` stream and recovered
+//!   trail bit-for-bit, with faults disabled *and* under an identity
+//!   `FaultPlan` (the injector's no-op guarantee).
+//!
+//! The snapshots were generated from the pre-fault-layer code, so these
+//! tests prove the fault-injection PR changed nothing on clean input.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//! `GOLDEN_REGEN=1 cargo test --test golden` — then review the diff.
+
+use experiments::runner::RunOpts;
+use experiments::setup::{run_trial, TrialSetup};
+use rf_core::json::{Json, ToJson};
+use std::path::PathBuf;
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots").join(name)
+}
+
+/// Compare `actual` against the committed snapshot, or rewrite the
+/// snapshot when `GOLDEN_REGEN` is set.
+fn assert_matches_snapshot(name: &str, actual: &str) {
+    let path = snapshot_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {} ({e}); run GOLDEN_REGEN=1", path.display()));
+    assert!(
+        expected == actual,
+        "{name}: output drifted from the committed golden snapshot.\n\
+         If this change is intentional, regenerate with GOLDEN_REGEN=1 \
+         and review the diff.\n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+/// The reduced-fidelity configuration shared with `registry_smoke.rs`.
+fn golden_opts() -> RunOpts {
+    RunOpts { trials: 1, cell_scale: 8.0, seed: 42, ..RunOpts::default() }
+}
+
+#[test]
+fn golden_report_fig13() {
+    run_report_snapshot("fig13");
+}
+
+#[test]
+fn golden_report_table5() {
+    run_report_snapshot("table5");
+}
+
+#[test]
+fn golden_report_table6() {
+    run_report_snapshot("table6");
+}
+
+fn run_report_snapshot(id: &str) {
+    let def = experiments::registry::find(id).unwrap_or_else(|| panic!("{id} registered"));
+    let reports = (def.run)(&golden_opts());
+    let report = reports
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("{id} produced by its definition"));
+    assert_matches_snapshot(&format!("{id}.json"), &report.to_json().to_json_string());
+}
+
+/// Serialize a full-fidelity trial (stream + recovered trail) with the
+/// workspace JSON writer's shortest-round-trip `f64` formatting, so a
+/// string comparison is a bit-for-bit comparison.
+fn trace_json(run: &experiments::setup::TrialRun) -> String {
+    Json::obj([
+        ("letter", Json::str("L")),
+        ("seed", Json::Num(42.0)),
+        ("reports", Json::Arr(run.reports.iter().map(|r| r.to_json()).collect())),
+        ("trail_times", Json::Arr(run.trail.times.iter().map(|&t| Json::Num(t)).collect())),
+        (
+            "trail_points",
+            Json::Arr(
+                run.trail
+                    .points
+                    .iter()
+                    .map(|p| Json::Arr(vec![Json::Num(p.x), Json::Num(p.y)]))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_json_string()
+}
+
+#[test]
+fn golden_trace_letter_trial() {
+    let run = run_trial(&TrialSetup::letter('L'), 42);
+    assert_matches_snapshot("trace_letter_L.json", &trace_json(&run));
+}

@@ -15,7 +15,7 @@ fn smoke_opts() -> RunOpts {
     // The reduced configuration: one trial per condition, and every
     // tracker's grid coarsened 8× (2.5 mm → 2 cm cells). That trades
     // accuracy — which this test does not assert — for a sweep that
-    // drives all 19 artifacts end to end in test-scale time.
+    // drives all 20 artifacts end to end in test-scale time.
     RunOpts { trials: 1, cell_scale: 8.0, ..RunOpts::default() }
 }
 
@@ -70,7 +70,7 @@ fn every_experiment_runs_on_reduced_config() {
     for id in [
         "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14", "fig15",
         "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5", "table6", "table7",
-        "table8",
+        "table8", "faults",
     ] {
         assert!(produced.contains(id), "artifact {id} was never produced");
     }
