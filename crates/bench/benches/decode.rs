@@ -15,7 +15,8 @@
 use polardraw_bench::harness::Bench;
 use polardraw_core::distance::FeasibleRegion;
 use polardraw_core::hmm::{
-    viterbi_beam, viterbi_reference, viterbi_with_stats, Grid, HmmConfig, StepObservation,
+    viterbi_beam, viterbi_reference, viterbi_with_stats, FixedLagDecoder, Grid, HmmConfig,
+    StepObservation,
 };
 use polardraw_core::PolarDrawConfig;
 use rf_core::Vec2;
@@ -63,6 +64,27 @@ fn main() {
                 viterbi_beam(&grid, cfg.antennas, cfg.start_hint, &steps, &config, 2500)
             });
         }
+    }
+
+    // Online per-window step latency at paper fidelity: one
+    // `FixedLagDecoder::step` on a long-lived decoder (lag 64, the
+    // streaming default), cycling through the synthetic observations so
+    // steady state looks like a live session. Each iteration is one
+    // window of work; `scripts/verify.sh --quick-bench` gates the
+    // median at 10 ms via `bench_check --max-median` — the decoder must
+    // keep up with the stream's window period with room to spare.
+    {
+        let cell_m = 0.0025;
+        let grid = Grid::covering(cfg.board_min, cfg.board_max, cell_m);
+        let config = HmmConfig { cell_m, ..hmm };
+        let mut decoder =
+            FixedLagDecoder::new(grid, cfg.antennas, cfg.start_hint, config, 2500, 64);
+        let mut i = 0usize;
+        bench.bench("decode/online/step/cell2.5mm/beam2500/lag64", || {
+            let committed = decoder.step(&steps100[i % steps100.len()]);
+            i += 1;
+            committed
+        });
     }
 
     // Retained naive reference at the two headline workloads.

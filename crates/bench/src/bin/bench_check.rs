@@ -4,6 +4,7 @@
 //! ```text
 //! bench_check <report.json> [--baseline BASE.json] [--max-regression X]
 //!             [--min-speedup X] [--opt NAME] [--ref NAME]
+//!             [--max-median NAME=NS]...
 //! ```
 //!
 //! * With no flags: the report must parse as an `experiments::Report`
@@ -15,6 +16,10 @@
 //!   Defaults compare the paper-fidelity headline pair
 //!   `decode/ref/cell2.5mm/beam2500/steps100` vs
 //!   `decode/opt/cell2.5mm/beam2500/steps100`.
+//! * `--max-median NAME=NS` (repeatable): bench `NAME` must be present
+//!   and its median must stay ≤ `NS` nanoseconds — an absolute latency
+//!   ceiling rather than a relative one (used to gate the online
+//!   per-window decode step against the real-time window period).
 //!
 //! Exits 0 when every requested check passes, 1 otherwise, 2 on usage
 //! errors — so `scripts/verify.sh --quick-bench` and `scripts/bench.sh`
@@ -31,7 +36,7 @@ const DEFAULT_REF: &str = "decode/ref/cell2.5mm/beam2500/steps100";
 fn usage() -> ! {
     eprintln!(
         "usage: bench_check <report.json> [--baseline BASE.json] [--max-regression X] \
-         [--min-speedup X] [--opt NAME] [--ref NAME]"
+         [--min-speedup X] [--opt NAME] [--ref NAME] [--max-median NAME=NS]..."
     );
     std::process::exit(2);
 }
@@ -103,6 +108,7 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut opt_name = DEFAULT_OPT.to_string();
     let mut ref_name = DEFAULT_REF.to_string();
+    let mut max_medians: Vec<(String, f64)> = Vec::new();
 
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -122,6 +128,12 @@ fn main() {
             }
             "--opt" => opt_name = val("--opt"),
             "--ref" => ref_name = val("--ref"),
+            "--max-median" => {
+                let spec = val("--max-median");
+                let Some((name, ns)) = spec.split_once('=') else { usage() };
+                let ns: f64 = ns.parse().unwrap_or_else(|_| usage());
+                max_medians.push((name.to_string(), ns));
+            }
             "--help" | "-h" => usage(),
             p if !p.starts_with('-') && report_path.is_none() => report_path = Some(p.to_string()),
             _ => usage(),
@@ -161,6 +173,24 @@ fn main() {
         if compared == 0 {
             eprintln!("bench_check: no bench names shared with baseline {base_path}");
             failed = true;
+        }
+    }
+
+    for (name, ceiling_ns) in &max_medians {
+        match current.get(name) {
+            Some(&m) if m <= *ceiling_ns => {
+                println!("bench_check: {name}: {m:.1} ns ≤ ceiling {ceiling_ns:.1} ns");
+            }
+            Some(&m) => {
+                eprintln!(
+                    "bench_check: CEILING {name}: {m:.1} ns > allowed {ceiling_ns:.1} ns"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("bench_check: report lacks {name} (required by --max-median)");
+                failed = true;
+            }
         }
     }
 

@@ -554,139 +554,27 @@ fn decode_optimized(
     };
 
     frontier.push((grid.index_of(start) as u32, 0.0));
-    let nx = grid.nx as i64;
-    let ny = grid.ny as i64;
 
     for obs in steps {
-        stats.total_frontier += frontier.len() as u64;
-        stats.max_frontier = stats.max_frontier.max(frontier.len());
-
-        let max_r = obs.region.max_dist.max(grid.cell_m);
-        let dmax = max_r;
-        let target = obs.target_dist.min(obs.region.max_dist);
-        // Outlier suppression: a candidate well below the (already
-        // noise-compensated) lower bound is rejected outright — Eq. 8's
-        // hard annulus with generous quantization slack.
-        let hard_min = obs.region.min_dist - 2.0 * grid.cell_m;
-        // The exact membership rule `neighbourhood` applies, plus the
-        // ULP-safe prefilter bound on the ideal offset distance.
-        let exact_reach = max_r + 1e-12;
-        let prefilter_reach = exact_reach + STENCIL_MARGIN_M;
-
-        let si = cached_stencil(stencils, grid.cell_m, grid.radius_cells(max_r));
-        // Trim the stencil to this step's radius once, so the per-pair
-        // loop carries no prefilter branch.
-        step_offsets.clear();
-        step_offsets.extend(
-            stencils[si].offsets().iter().filter(|o| o.ideal_dist_m <= prefilter_reach),
+        advance_frontier(
+            grid,
+            antennas,
+            config,
+            beam_width,
+            obs,
+            emission,
+            scores,
+            preds,
+            touched,
+            step_offsets,
+            stencils,
+            frontier,
+            next,
+            bp_cells,
+            bp_prevs,
+            frame_ends,
+            &mut stats,
         );
-
-        for &(from, s_from) in frontier.iter() {
-            let from_us = from as usize;
-            let ix0 = (from_us % grid.nx) as i64;
-            let iy0 = (from_us / grid.nx) as i64;
-            // Same formula `Grid::center` uses, with the (ix, iy) we
-            // already hold — identical bits, no div/mod per pair.
-            let c_from = Vec2::new(
-                grid.min.x + (ix0 as f64 + 0.5) * grid.cell_m,
-                grid.min.y + (iy0 as f64 + 0.5) * grid.cell_m,
-            );
-            for off in step_offsets.iter() {
-                let ix = ix0 + off.dx as i64;
-                let iy = iy0 + off.dy as i64;
-                if ix < 0 || iy < 0 || ix >= nx || iy >= ny {
-                    continue;
-                }
-                let to = iy as usize * grid.nx + ix as usize;
-                let c_to = Vec2::new(
-                    grid.min.x + (ix as f64 + 0.5) * grid.cell_m,
-                    grid.min.y + (iy as f64 + 0.5) * grid.cell_m,
-                );
-                let delta = c_to - c_from;
-                let d = delta.norm();
-                if d > exact_reach {
-                    continue;
-                }
-                stats.expansions += 1;
-                if d < hard_min {
-                    stats.pruned_below_min += 1;
-                    continue;
-                }
-                let mut s = s_from;
-                // Hyperbola term (Fig. 12(c)).
-                if let Some(meas) = obs.dtheta21 {
-                    let expected = match emission {
-                        Some(table) => table.expected(to),
-                        None => expected_dtheta21(c_to, antennas, config.wavelength_m),
-                    };
-                    let err = wrap_pi(meas - expected).abs() / std::f64::consts::PI;
-                    s -= config.hyperbola_weight * err;
-                }
-                // Distance-consistency term: decoded step length should
-                // match the phase-measured displacement.
-                let (d_along, w_dist) = match obs.direction {
-                    Some(dir) => (dir.dot(delta), config.distance_weight),
-                    None => (d, config.distance_weight_still),
-                };
-                s -= w_dist * ((d_along - target).abs() / dmax).min(2.0);
-                // Direction-line term (Fig. 12(b)).
-                if let Some(dir) = obs.direction {
-                    if d > 1e-12 {
-                        let perp = dir.cross(delta).abs();
-                        s -= config.direction_weight * (perp / dmax).min(2.0);
-                        if dir.dot(delta) < 0.0 {
-                            s -= config.backward_penalty;
-                        }
-                    }
-                }
-                // Scores are always finite, so NEG_INFINITY marks
-                // "untouched" on its own (same outcome as the
-                // reference's joint (score, pred) sentinel check).
-                let best = &mut scores[to];
-                if *best == f64::NEG_INFINITY {
-                    touched.push(to as u32);
-                }
-                if s > *best {
-                    *best = s;
-                    preds[to] = from;
-                }
-            }
-        }
-
-        if touched.is_empty() {
-            // Inconsistent step: carry the frontier through unchanged.
-            stats.carried_steps += 1;
-            for &(c, _) in frontier.iter() {
-                bp_cells.push(c);
-                bp_prevs.push(c);
-            }
-            frame_ends.push(bp_cells.len() as u32);
-            continue;
-        }
-        stats.touched_cells += touched.len() as u64;
-
-        next.clear();
-        next.extend(touched.iter().map(|&c| (c, scores[c as usize])));
-        // Keep the top `beam_width` states under the canonical order:
-        // an O(n) partition instead of the reference's full sort.
-        if next.len() > beam_width {
-            stats.pruned_beam += (next.len() - beam_width) as u64;
-            next.select_nth_unstable_by(beam_width - 1, beam_order);
-            next.truncate(beam_width);
-        }
-        next.sort_unstable_by(beam_order);
-        // Flat backpointer frame, in frontier order.
-        for &(c, _) in next.iter() {
-            bp_cells.push(c);
-            bp_prevs.push(preds[c as usize]);
-        }
-        frame_ends.push(bp_cells.len() as u32);
-        for &c in touched.iter() {
-            scores[c as usize] = f64::NEG_INFINITY;
-            preds[c as usize] = u32::MAX;
-        }
-        touched.clear();
-        std::mem::swap(frontier, next);
     }
 
     // Backtrack from the best final state.
@@ -707,6 +595,448 @@ fn decode_optimized(
     }
     rev.reverse();
     (rev, stats)
+}
+
+/// One Viterbi step over the sparse beam frontier: scores every
+/// (frontier × stencil) candidate, truncates to the beam under the
+/// canonical order, appends exactly one flat backpointer frame to
+/// `bp_cells`/`bp_prevs`/`frame_ends`, and swaps the new frontier into
+/// `frontier`. This is *the* hot loop; both the batch decoder
+/// ([`decode_optimized`]) and the streaming [`FixedLagDecoder`] call
+/// it, which is what keeps their outputs bit-for-bit identical.
+///
+/// Does not touch `stats.steps` — callers own the step count.
+#[allow(clippy::too_many_arguments)]
+fn advance_frontier(
+    grid: &Grid,
+    antennas: [Vec3; 2],
+    config: &HmmConfig,
+    beam_width: usize,
+    obs: &StepObservation,
+    emission: Option<&EmissionTable>,
+    scores: &mut Vec<f64>,
+    preds: &mut Vec<u32>,
+    touched: &mut Vec<u32>,
+    step_offsets: &mut Vec<StencilOffset>,
+    stencils: &mut Vec<AnnulusStencil>,
+    frontier: &mut Vec<(u32, f64)>,
+    next: &mut Vec<(u32, f64)>,
+    bp_cells: &mut Vec<u32>,
+    bp_prevs: &mut Vec<u32>,
+    frame_ends: &mut Vec<u32>,
+    stats: &mut DecodeStats,
+) {
+    let n = grid.len();
+    if scores.len() < n {
+        scores.resize(n, f64::NEG_INFINITY);
+        preds.resize(n, u32::MAX);
+    }
+    let nx = grid.nx as i64;
+    let ny = grid.ny as i64;
+
+    stats.total_frontier += frontier.len() as u64;
+    stats.max_frontier = stats.max_frontier.max(frontier.len());
+
+    let max_r = obs.region.max_dist.max(grid.cell_m);
+    let dmax = max_r;
+    let target = obs.target_dist.min(obs.region.max_dist);
+    // Outlier suppression: a candidate well below the (already
+    // noise-compensated) lower bound is rejected outright — Eq. 8's
+    // hard annulus with generous quantization slack.
+    let hard_min = obs.region.min_dist - 2.0 * grid.cell_m;
+    // The exact membership rule `neighbourhood` applies, plus the
+    // ULP-safe prefilter bound on the ideal offset distance.
+    let exact_reach = max_r + 1e-12;
+    let prefilter_reach = exact_reach + STENCIL_MARGIN_M;
+
+    let si = cached_stencil(stencils, grid.cell_m, grid.radius_cells(max_r));
+    // Trim the stencil to this step's radius once, so the per-pair
+    // loop carries no prefilter branch.
+    step_offsets.clear();
+    step_offsets
+        .extend(stencils[si].offsets().iter().filter(|o| o.ideal_dist_m <= prefilter_reach));
+
+    for &(from, s_from) in frontier.iter() {
+        let from_us = from as usize;
+        let ix0 = (from_us % grid.nx) as i64;
+        let iy0 = (from_us / grid.nx) as i64;
+        // Same formula `Grid::center` uses, with the (ix, iy) we
+        // already hold — identical bits, no div/mod per pair.
+        let c_from = Vec2::new(
+            grid.min.x + (ix0 as f64 + 0.5) * grid.cell_m,
+            grid.min.y + (iy0 as f64 + 0.5) * grid.cell_m,
+        );
+        for off in step_offsets.iter() {
+            let ix = ix0 + off.dx as i64;
+            let iy = iy0 + off.dy as i64;
+            if ix < 0 || iy < 0 || ix >= nx || iy >= ny {
+                continue;
+            }
+            let to = iy as usize * grid.nx + ix as usize;
+            let c_to = Vec2::new(
+                grid.min.x + (ix as f64 + 0.5) * grid.cell_m,
+                grid.min.y + (iy as f64 + 0.5) * grid.cell_m,
+            );
+            let delta = c_to - c_from;
+            let d = delta.norm();
+            if d > exact_reach {
+                continue;
+            }
+            stats.expansions += 1;
+            if d < hard_min {
+                stats.pruned_below_min += 1;
+                continue;
+            }
+            let mut s = s_from;
+            // Hyperbola term (Fig. 12(c)).
+            if let Some(meas) = obs.dtheta21 {
+                let expected = match emission {
+                    Some(table) => table.expected(to),
+                    None => expected_dtheta21(c_to, antennas, config.wavelength_m),
+                };
+                let err = wrap_pi(meas - expected).abs() / std::f64::consts::PI;
+                s -= config.hyperbola_weight * err;
+            }
+            // Distance-consistency term: decoded step length should
+            // match the phase-measured displacement.
+            let (d_along, w_dist) = match obs.direction {
+                Some(dir) => (dir.dot(delta), config.distance_weight),
+                None => (d, config.distance_weight_still),
+            };
+            s -= w_dist * ((d_along - target).abs() / dmax).min(2.0);
+            // Direction-line term (Fig. 12(b)).
+            if let Some(dir) = obs.direction {
+                if d > 1e-12 {
+                    let perp = dir.cross(delta).abs();
+                    s -= config.direction_weight * (perp / dmax).min(2.0);
+                    if dir.dot(delta) < 0.0 {
+                        s -= config.backward_penalty;
+                    }
+                }
+            }
+            // Scores are always finite, so NEG_INFINITY marks
+            // "untouched" on its own (same outcome as the
+            // reference's joint (score, pred) sentinel check).
+            let best = &mut scores[to];
+            if *best == f64::NEG_INFINITY {
+                touched.push(to as u32);
+            }
+            if s > *best {
+                *best = s;
+                preds[to] = from;
+            }
+        }
+    }
+
+    if touched.is_empty() {
+        // Inconsistent step: carry the frontier through unchanged.
+        stats.carried_steps += 1;
+        for &(c, _) in frontier.iter() {
+            bp_cells.push(c);
+            bp_prevs.push(c);
+        }
+        frame_ends.push(bp_cells.len() as u32);
+        return;
+    }
+    stats.touched_cells += touched.len() as u64;
+
+    next.clear();
+    next.extend(touched.iter().map(|&c| (c, scores[c as usize])));
+    // Keep the top `beam_width` states under the canonical order:
+    // an O(n) partition instead of the reference's full sort.
+    if next.len() > beam_width {
+        stats.pruned_beam += (next.len() - beam_width) as u64;
+        next.select_nth_unstable_by(beam_width - 1, beam_order);
+        next.truncate(beam_width);
+    }
+    next.sort_unstable_by(beam_order);
+    // Flat backpointer frame, in frontier order.
+    for &(c, _) in next.iter() {
+        bp_cells.push(c);
+        bp_prevs.push(preds[c as usize]);
+    }
+    frame_ends.push(bp_cells.len() as u32);
+    for &c in touched.iter() {
+        scores[c as usize] = f64::NEG_INFINITY;
+        preds[c as usize] = u32::MAX;
+    }
+    touched.clear();
+    std::mem::swap(frontier, next);
+}
+
+/// One retained backpointer frame of a [`FixedLagDecoder`]: the beam
+/// cells of one step (canonically ordered) and, parallel to them, each
+/// cell's best-predecessor *grid cell* in the previous frame (for
+/// carried frames, the identity).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BeamFrame {
+    /// Beam cells after this step.
+    pub cells: Vec<u32>,
+    /// Best predecessor cell of each beam cell.
+    pub prevs: Vec<u32>,
+}
+
+/// Streaming Viterbi with a fixed decision lag and bounded memory.
+///
+/// Feed one [`StepObservation`] at a time with [`step`](Self::step);
+/// the decoder retains at most `lag` backpointer frames. Whenever a
+/// step would exceed the lag, the *oldest* frame is resolved — the
+/// current best path is traced back to it and its cell centre is
+/// committed — and the frame is freed (recycled into an internal
+/// pool). [`finish`](Self::finish) backtracks over the still-retained
+/// frames exactly like the batch decoder and appends that tail to the
+/// committed prefix.
+///
+/// With `lag ≥ steps` nothing commits early and the output is
+/// **bit-for-bit identical** to [`viterbi_beam`] / [`viterbi_reference`]:
+/// each step runs the same [`advance_frontier`] hot loop (same
+/// [`EmissionTable`] / [`AnnulusStencil`] machinery, same canonical
+/// beam order) and the final backtrack is the same code shape over the
+/// same frames. With a finite lag the decoder trades a bounded amount
+/// of hindsight for O(lag × beam) memory — the online operating mode.
+///
+/// Unlike the batch entry points this struct *owns* its buffers (it
+/// must be checkpointable and survive across calls), so it does not
+/// use the thread-local [`DecoderScratch`].
+#[derive(Debug)]
+pub struct FixedLagDecoder {
+    grid: Grid,
+    antennas: [Vec3; 2],
+    config: HmmConfig,
+    beam_width: usize,
+    lag: usize,
+    // Logical (checkpointed) state.
+    frontier: Vec<(u32, f64)>,
+    frames: std::collections::VecDeque<BeamFrame>,
+    committed: Vec<Vec2>,
+    stats: DecodeStats,
+    // Scratch (reconstructible) state.
+    scores: Vec<f64>,
+    preds: Vec<u32>,
+    touched: Vec<u32>,
+    step_offsets: Vec<StencilOffset>,
+    stencils: Vec<AnnulusStencil>,
+    next: Vec<(u32, f64)>,
+    bp_cells: Vec<u32>,
+    bp_prevs: Vec<u32>,
+    frame_ends: Vec<u32>,
+    pool: Vec<BeamFrame>,
+    emissions: Option<EmissionTable>,
+}
+
+impl FixedLagDecoder {
+    /// New decoder starting at `start`, with `lag` retained frames
+    /// (`usize::MAX` = never commit early, i.e. exact batch behaviour).
+    pub fn new(
+        grid: Grid,
+        antennas: [Vec3; 2],
+        start: Vec2,
+        config: HmmConfig,
+        beam_width: usize,
+        lag: usize,
+    ) -> FixedLagDecoder {
+        let frontier = vec![(grid.index_of(start) as u32, 0.0)];
+        FixedLagDecoder::from_parts(
+            grid,
+            antennas,
+            config,
+            beam_width,
+            lag,
+            frontier,
+            Vec::new(),
+            Vec::new(),
+            DecodeStats::default(),
+        )
+    }
+
+    /// Rebuild a decoder from checkpointed logical state (scratch state
+    /// is reconstructed lazily, bit-identically, on the next step).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        grid: Grid,
+        antennas: [Vec3; 2],
+        config: HmmConfig,
+        beam_width: usize,
+        lag: usize,
+        frontier: Vec<(u32, f64)>,
+        frames: Vec<BeamFrame>,
+        committed: Vec<Vec2>,
+        stats: DecodeStats,
+    ) -> FixedLagDecoder {
+        FixedLagDecoder {
+            grid,
+            antennas,
+            config,
+            beam_width: beam_width.max(8),
+            lag: lag.max(1),
+            frontier,
+            frames: frames.into(),
+            committed,
+            stats,
+            scores: Vec::new(),
+            preds: Vec::new(),
+            touched: Vec::new(),
+            step_offsets: Vec::new(),
+            stencils: Vec::new(),
+            next: Vec::new(),
+            bp_cells: Vec::new(),
+            bp_prevs: Vec::new(),
+            frame_ends: Vec::new(),
+            pool: Vec::new(),
+            emissions: None,
+        }
+    }
+
+    /// Consume one observation; returns how many points were committed
+    /// (0 while within the lag, 1 once the pipeline is full).
+    pub fn step(&mut self, obs: &StepObservation) -> usize {
+        // Build (or reuse) the emission table only when the step
+        // carries a hyperbola measurement — same laziness rule as the
+        // batch decoder, same bits either way (the table caches the
+        // exact values `expected_dtheta21` returns).
+        let emission: Option<&EmissionTable> = if obs.dtheta21.is_some() {
+            let stale = self
+                .emissions
+                .as_ref()
+                .map_or(true, |t| !t.matches(&self.grid, self.antennas, self.config.wavelength_m));
+            if stale {
+                self.emissions =
+                    Some(EmissionTable::build(&self.grid, self.antennas, self.config.wavelength_m));
+            }
+            self.emissions.as_ref()
+        } else {
+            None
+        };
+
+        self.stats.steps += 1;
+        self.bp_cells.clear();
+        self.bp_prevs.clear();
+        self.frame_ends.clear();
+        advance_frontier(
+            &self.grid,
+            self.antennas,
+            &self.config,
+            self.beam_width,
+            obs,
+            emission,
+            &mut self.scores,
+            &mut self.preds,
+            &mut self.touched,
+            &mut self.step_offsets,
+            &mut self.stencils,
+            &mut self.frontier,
+            &mut self.next,
+            &mut self.bp_cells,
+            &mut self.bp_prevs,
+            &mut self.frame_ends,
+            &mut self.stats,
+        );
+        // Move the single new flat frame into the retained deque,
+        // recycling a pooled frame's buffers when available.
+        let mut frame = self.pool.pop().unwrap_or_default();
+        frame.cells.clear();
+        frame.cells.extend_from_slice(&self.bp_cells);
+        frame.prevs.clear();
+        frame.prevs.extend_from_slice(&self.bp_prevs);
+        self.frames.push_back(frame);
+
+        let mut newly_committed = 0;
+        while self.frames.len() > self.lag {
+            self.commit_oldest();
+            newly_committed += 1;
+        }
+        newly_committed
+    }
+
+    /// Resolve and free the oldest retained frame: trace the current
+    /// best path back to it and commit its cell centre. Mirrors one
+    /// ring of the batch backtrack; the `None` arm matches the batch
+    /// `break` (which silently truncates the earliest points) and is
+    /// unreachable for frames this decoder built itself.
+    fn commit_oldest(&mut self) {
+        let mut idx = self
+            .frontier
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(c, _)| c)
+            .unwrap_or(0);
+        let mut reached = true;
+        for f in (1..self.frames.len()).rev() {
+            match self.frames[f].cells.iter().position(|&c| c == idx) {
+                Some(k) => idx = self.frames[f].prevs[k],
+                None => {
+                    reached = false;
+                    break;
+                }
+            }
+        }
+        if reached {
+            self.committed.push(self.grid.center(idx as usize));
+        }
+        if let Some(frame) = self.frames.pop_front() {
+            self.pool.push(frame);
+        }
+    }
+
+    /// Backtrack the retained frames (identical code shape to the batch
+    /// decoders) and return `committed ++ tail`; the decoder is left
+    /// empty. With `lag ≥ steps` this is the whole batch output.
+    pub fn finish(&mut self) -> Vec<Vec2> {
+        let mut idx = self
+            .frontier
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(c, _)| c)
+            .unwrap_or(0);
+        let mut rev = Vec::with_capacity(self.frames.len());
+        for f in (0..self.frames.len()).rev() {
+            rev.push(self.grid.center(idx as usize));
+            match self.frames[f].cells.iter().position(|&c| c == idx) {
+                Some(k) => idx = self.frames[f].prevs[k],
+                None => break,
+            }
+        }
+        rev.reverse();
+        let mut out = std::mem::take(&mut self.committed);
+        out.extend(rev);
+        self.frames.clear();
+        out
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> DecodeStats {
+        self.stats
+    }
+
+    /// Points already committed (beyond the lag horizon).
+    pub fn committed(&self) -> &[Vec2] {
+        &self.committed
+    }
+
+    /// Current frontier, canonically ordered.
+    pub fn frontier(&self) -> &[(u32, f64)] {
+        &self.frontier
+    }
+
+    /// Retained (uncommitted) backpointer frames, oldest first.
+    pub fn frames(&self) -> impl Iterator<Item = &BeamFrame> {
+        self.frames.iter()
+    }
+
+    /// Number of retained frames (≤ lag).
+    pub fn retained(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The decision lag, in steps.
+    pub fn lag(&self) -> usize {
+        self.lag
+    }
+
+    /// The beam width.
+    pub fn beam_width(&self) -> usize {
+        self.beam_width
+    }
 }
 
 /// The retained naive reference decoder: per-frontier-cell
@@ -1149,6 +1479,125 @@ mod tests {
                 viterbi_with_scratch(g, r, start, &steps, &cfg, 128, &mut DecoderScratch::new());
             assert_eq!(warm, cold);
             assert_eq!(warm, viterbi_reference(g, r, start, &steps, &cfg, 128));
+        }
+    }
+
+    /// Mixed scenario steps for streaming tests: direction priors,
+    /// hyperbola measurements, a still step, and an impossible annulus.
+    fn mixed_steps() -> Vec<StepObservation> {
+        let g = small_grid();
+        let meas = expected_dtheta21(Vec2::new(0.06, 0.05), rig(), 0.3276);
+        let mut steps: Vec<StepObservation> = (0..9)
+            .map(|i| StepObservation {
+                region: FeasibleRegion { min_dist: 0.004, max_dist: 0.014 },
+                direction: if i % 3 == 0 { Some(Vec2::from_angle(i as f64 * 0.7)) } else { None },
+                dtheta21: if i % 2 == 0 { Some(meas) } else { None },
+                target_dist: 0.006,
+            })
+            .collect();
+        steps.insert(
+            4,
+            StepObservation {
+                region: FeasibleRegion { min_dist: 0.09, max_dist: 0.01 },
+                direction: None,
+                dtheta21: None,
+                target_dist: 0.01,
+            },
+        );
+        let _ = g;
+        steps
+    }
+
+    #[test]
+    fn fixed_lag_with_infinite_lag_matches_batch_bitwise() {
+        let g = small_grid();
+        let start = Vec2::new(0.02, 0.05);
+        let cfg = HmmConfig::default();
+        let steps = mixed_steps();
+        for beam in [4usize, 64, 2500] {
+            let (batch, batch_stats) =
+                viterbi_with_stats(&g, rig(), start, &steps, &cfg, beam);
+            let mut dec = FixedLagDecoder::new(g, rig(), start, cfg, beam, usize::MAX);
+            for obs in &steps {
+                assert_eq!(dec.step(obs), 0, "infinite lag must never commit early");
+            }
+            let stream_stats = dec.stats();
+            let stream = dec.finish();
+            assert_eq!(stream.len(), batch.len());
+            for (a, b) in stream.iter().zip(&batch) {
+                assert!(
+                    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits(),
+                    "beam {beam}: {a:?} vs {b:?}"
+                );
+            }
+            assert_eq!(stream_stats, batch_stats, "work counters must agree");
+        }
+    }
+
+    #[test]
+    fn fixed_lag_commits_incrementally_with_bounded_frames() {
+        let g = small_grid();
+        let start = Vec2::new(0.02, 0.05);
+        let cfg = HmmConfig::default();
+        let steps = mixed_steps();
+        let lag = 3;
+        let mut dec = FixedLagDecoder::new(g, rig(), start, cfg, 64, lag);
+        let mut committed = 0;
+        for (i, obs) in steps.iter().enumerate() {
+            committed += dec.step(obs);
+            assert!(dec.retained() <= lag, "frames bounded by lag");
+            let expect = (i + 1).saturating_sub(lag);
+            assert_eq!(committed, expect, "one commit per step past the lag");
+            assert_eq!(dec.committed().len(), committed);
+        }
+        let track = dec.finish();
+        assert_eq!(track.len(), steps.len());
+        // The committed prefix is frozen: finish() must not rewrite it.
+        let (batch, _) = viterbi_with_stats(&g, rig(), start, &steps, &cfg, 64);
+        assert_eq!(track.len(), batch.len());
+    }
+
+    #[test]
+    fn fixed_lag_restores_from_parts_and_continues_bitwise() {
+        let g = small_grid();
+        let start = Vec2::new(0.02, 0.05);
+        let cfg = HmmConfig::default();
+        let steps = mixed_steps();
+        let lag = 4;
+        // Uninterrupted run.
+        let mut full = FixedLagDecoder::new(g, rig(), start, cfg, 32, lag);
+        for obs in &steps {
+            full.step(obs);
+        }
+        let want = full.finish();
+        // Cut at every point, clone logical state through from_parts.
+        for cut in 0..=steps.len() {
+            let mut a = FixedLagDecoder::new(g, rig(), start, cfg, 32, lag);
+            for obs in &steps[..cut] {
+                a.step(obs);
+            }
+            let mut b = FixedLagDecoder::from_parts(
+                g,
+                rig(),
+                cfg,
+                32,
+                lag,
+                a.frontier().to_vec(),
+                a.frames().cloned().collect(),
+                a.committed().to_vec(),
+                a.stats(),
+            );
+            for obs in &steps[cut..] {
+                b.step(obs);
+            }
+            let got = b.finish();
+            assert_eq!(got.len(), want.len(), "cut {cut}");
+            for (p, q) in got.iter().zip(&want) {
+                assert!(
+                    p.x.to_bits() == q.x.to_bits() && p.y.to_bits() == q.y.to_bits(),
+                    "cut {cut}: {p:?} vs {q:?}"
+                );
+            }
         }
     }
 

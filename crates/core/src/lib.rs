@@ -41,6 +41,7 @@
 pub mod distance;
 pub mod hmm;
 pub mod model;
+pub mod online;
 pub mod preprocess;
 pub mod rotation;
 pub mod smoother;
@@ -48,4 +49,5 @@ pub mod translation;
 
 mod pipeline;
 
+pub use online::{OnlineOptions, OnlineTracker};
 pub use pipeline::{DegradationReport, PolarDraw, PolarDrawConfig, StepEstimate, StepKind, TrackOutput};

@@ -5,17 +5,13 @@
 //! distance bounds → HMM Viterbi decoding → trajectory rotation
 //! correction, and exposes it all as a [`rfid_sim::TrajectoryTracker`].
 
-use crate::distance::{feasible_region, DistanceConfig};
-use crate::hmm::{
-    rotate_trajectory, viterbi_with_stats, DecodeStats, Grid, HmmConfig, StepObservation,
-    DEFAULT_BEAM_WIDTH,
-};
-use crate::model::{direction_from_azimuth, rotation_angle, Cardinal, Rotation, Sector};
-use crate::preprocess::{preprocess_with_stats, PreprocessConfig, PreprocessStats, Windowed};
-use crate::rotation::{AzimuthTracker, RotationConfig};
-use crate::translation::{estimate_translation, TranslationConfig};
-use rf_core::angle::phase_diff;
-use rf_core::{wrap_pi, Vec2, Vec3};
+use crate::distance::DistanceConfig;
+use crate::hmm::{DecodeStats, HmmConfig};
+use crate::model::{Cardinal, Rotation, Sector};
+use crate::preprocess::{PreprocessConfig, PreprocessStats, Windowed};
+use crate::rotation::RotationConfig;
+use crate::translation::TranslationConfig;
+use rf_core::{Vec2, Vec3};
 use rfid_sim::tracking::{Trail, TrajectoryTracker};
 use rfid_sim::TagReport;
 
@@ -203,7 +199,7 @@ impl DegradationReport {
             || self.gaps_bridged > 0
     }
 
-    fn from_preprocess(stats: &PreprocessStats) -> DegradationReport {
+    pub(crate) fn from_preprocess(stats: &PreprocessStats) -> DegradationReport {
         DegradationReport {
             input_reports: stats.input_reports,
             input_unsorted: stats.input_unsorted,
@@ -242,203 +238,17 @@ impl PolarDraw {
     }
 
     /// Run the full pipeline, keeping diagnostics.
+    ///
+    /// Batch mode is a thin wrapper over the streaming engine: an
+    /// [`OnlineTracker`](crate::online::OnlineTracker) with infinite
+    /// lag and infinite hold, fed the whole stream, then finalized.
+    /// `crate::online`'s module docs carry the stage-by-stage
+    /// equivalence argument; the decoder-level contract is pinned by
+    /// the golden-trace and equivalence test suites.
     pub fn track_with_diagnostics(&self, reports: &[TagReport]) -> TrackOutput {
-        let cfg = &self.config;
-        let (windows, pre_stats) = preprocess_with_stats(reports, &cfg.preprocess);
-        let mut degradation = DegradationReport::from_preprocess(&pre_stats);
-
-        // Gap bridging: long interior runs of totally-empty windows are
-        // collapsed so the decoder sees one step spanning the outage.
-        // `feasible_region`'s max bound is `v_max · dt`, so the widened
-        // annulus over the bridged step is automatic; a per-window chain
-        // of blind steps would instead let the beam wander and then
-        // teleport on re-acquisition.
-        let kept = {
-            let min_run = cfg.gap_bridge_min_windows.max(1);
-            let mut kept: Vec<usize> = Vec::with_capacity(windows.len());
-            let mut i = 0;
-            while i < windows.len() {
-                if windows[i].flags.empty {
-                    let mut j = i;
-                    while j < windows.len() && windows[j].flags.empty {
-                        j += 1;
-                    }
-                    // Only interior runs can be bridged: there is nothing
-                    // to anchor a step before the first read or after the
-                    // last.
-                    if j - i >= min_run && !kept.is_empty() && j < windows.len() {
-                        degradation.gaps_bridged += 1;
-                        let gap_s = windows[j].t - windows[*kept.last().unwrap()].t;
-                        degradation.largest_gap_bridged_s =
-                            degradation.largest_gap_bridged_s.max(gap_s);
-                        i = j;
-                        continue;
-                    }
-                }
-                kept.push(i);
-                i += 1;
-            }
-            kept
-        };
-
-        let mut steps: Vec<StepEstimate> = Vec::new();
-        let mut observations: Vec<StepObservation> = Vec::new();
-        let mut azimuth_tracker = AzimuthTracker::new(cfg.rotation);
-
-        // Calibrate the inter-antenna phase difference against the
-        // bootstrap position at the first window where both antennas
-        // reported (cable phases make the raw difference meaningless).
-        let mut offset21: Option<f64> = None;
-        let mut pos_est = cfg.start_hint;
-
-        for pair in kept.windows(2) {
-            let (prev, cur) = (&windows[pair[0]], &windows[pair[1]]);
-            let dt = (cur.t - prev.t).max(1e-6);
-
-            let ds = [delta(prev.rssi[0], cur.rssi[0]), delta(prev.rssi[1], cur.rssi[1])];
-            let dth = [
-                delta_phase(prev.phase[0], cur.phase[0]),
-                delta_phase(prev.phase[1], cur.phase[1]),
-            ];
-
-            let region = feasible_region(dth, dt, &cfg.distance);
-
-            // Movement-type detection (§3.3): RSS trend above δ ⇒
-            // rotational (only meaningful with polarization enabled).
-            let max_ds = ds.iter().flatten().map(|d| d.abs()).fold(0.0, f64::max);
-            let rotational = cfg.use_polarization && max_ds > cfg.movement_rss_threshold_db;
-
-            let (kind, direction, azimuth, alpha_r) = if rotational {
-                match (ds[0], ds[1]) {
-                    (Some(d1), Some(d2)) => match azimuth_tracker.step(d1, d2) {
-                        Some(step) => {
-                            let ar = rotation_angle(step.azimuth, cfg.alpha_e_rad);
-                            let dir = direction_from_azimuth(step.azimuth, step.rotation);
-                            (
-                                StepKind::Rotational {
-                                    rotation: step.rotation,
-                                    sector: step.sector,
-                                },
-                                Some(dir),
-                                Some(step.azimuth),
-                                Some(ar),
-                            )
-                        }
-                        None => (StepKind::Still, None, azimuth_tracker.azimuth(), None),
-                    },
-                    _ => (StepKind::Still, None, azimuth_tracker.azimuth(), None),
-                }
-            } else {
-                match (dth[0], dth[1]) {
-                    (Some(d1), Some(d2)) => {
-                        match estimate_translation([d1, d2], cfg.antennas, pos_est, &cfg.translation)
-                        {
-                            Some(tr) => {
-                                let dir = if cfg.refine_translation {
-                                    tr.direction
-                                } else {
-                                    tr.cardinal.unit()
-                                };
-                                (
-                                    StepKind::Translational(tr.cardinal),
-                                    Some(dir),
-                                    azimuth_tracker.azimuth(),
-                                    None,
-                                )
-                            }
-                            None => (StepKind::Still, None, azimuth_tracker.azimuth(), None),
-                        }
-                    }
-                    _ => (StepKind::Still, None, azimuth_tracker.azimuth(), None),
-                }
-            };
-
-            // Calibrated inter-antenna phase difference at the current
-            // window.
-            let dtheta21 = match (cur.phase[0], cur.phase[1]) {
-                (Some(p1), Some(p2)) => {
-                    let raw = wrap_pi(p2 - p1);
-                    let off = *offset21.get_or_insert_with(|| {
-                        raw - crate::distance::expected_dtheta21(
-                            cfg.start_hint,
-                            cfg.antennas,
-                            cfg.distance.wavelength_m,
-                        )
-                    });
-                    Some(wrap_pi(raw - off))
-                }
-                _ => None,
-            };
-
-            // Displacement along the estimated direction (Fig. 12(b)×(c)
-            // intersection); plain lower bound when direction is unknown.
-            let target_dist = match direction {
-                Some(dir) => crate::distance::directional_displacement(
-                    dth,
-                    cfg.antennas,
-                    pos_est,
-                    dir,
-                    &cfg.distance,
-                )
-                .min(region.max_dist),
-                None => region.min_dist,
-            };
-
-            // Dead-reckon a coarse position for the next step's
-            // translational geometry.
-            if let Some(dir) = direction {
-                pos_est += dir * target_dist;
-            }
-
-            steps.push(StepEstimate {
-                t: cur.t,
-                kind,
-                direction,
-                azimuth,
-                alpha_r,
-                bounds: (region.min_dist, region.max_dist),
-            });
-            observations.push(StepObservation { region, direction, dtheta21, target_dist });
-        }
-
-        let grid = Grid::covering(cfg.board_min, cfg.board_max, cfg.hmm.cell_m);
-        let (mut points, decode_stats) = viterbi_with_stats(
-            &grid,
-            cfg.antennas,
-            cfg.start_hint,
-            &observations,
-            &cfg.hmm,
-            DEFAULT_BEAM_WIDTH,
-        );
-
-        let raw_error = azimuth_tracker.initial_error_estimate();
-        let initial_azimuth_error = raw_error
-            .clamp(-cfg.max_rotation_correction_rad, cfg.max_rotation_correction_rad);
-        if cfg.apply_rotation_correction && initial_azimuth_error != 0.0 {
-            points = rotate_trajectory(&points, initial_azimuth_error);
-        }
-
-        let times: Vec<f64> = steps.iter().map(|s| s.t).take(points.len()).collect();
-        if cfg.smooth_output {
-            points = crate::smoother::smooth(&times, &points, &cfg.smoother);
-        }
-        let trail = Trail::new(times, points);
-        degradation.carried_steps = decode_stats.carried_steps;
-        TrackOutput { trail, steps, windows, initial_azimuth_error, decode_stats, degradation }
-    }
-}
-
-fn delta(prev: Option<f64>, cur: Option<f64>) -> Option<f64> {
-    match (prev, cur) {
-        (Some(a), Some(b)) => Some(b - a),
-        _ => None,
-    }
-}
-
-fn delta_phase(prev: Option<f64>, cur: Option<f64>) -> Option<f64> {
-    match (prev, cur) {
-        (Some(a), Some(b)) => Some(phase_diff(b, a)),
-        _ => None,
+        let mut online = crate::online::OnlineTracker::batch(self.config);
+        online.extend(reports);
+        online.finalize()
     }
 }
 

@@ -203,6 +203,32 @@ fn reject_spurious(windows: &mut [Windowed], threshold: f64) -> usize {
     rejected
 }
 
+/// Build one window from its (already normalized) reports: the exact
+/// accumulation, averaging, and flagging the batch path performs,
+/// factored out so the online engine produces bit-identical windows.
+/// Returns the window and how many reports were ignored for being on
+/// `antenna >= 2`.
+pub(crate) fn build_window(t: f64, reports: &[TagReport]) -> (Windowed, usize) {
+    let mut acc: [WindowAcc; 2] = Default::default();
+    let mut ignored = 0;
+    for r in reports {
+        if r.antenna >= 2 {
+            ignored += 1;
+            continue; // PolarDraw is strictly two-antenna
+        }
+        acc[r.antenna].push(r.rssi_dbm, r.phase_rad);
+    }
+    let mut w = Windowed { t, ..Default::default() };
+    for ant in 0..2 {
+        w.reads[ant] = acc[ant].n;
+        w.rssi[ant] = acc[ant].mean_rssi();
+        w.phase[ant] = acc[ant].mean_phase();
+    }
+    w.flags.empty = w.reads == [0, 0];
+    w.flags.single_antenna = (w.reads[0] == 0) != (w.reads[1] == 0);
+    (w, ignored)
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct WindowAcc {
     n: usize,

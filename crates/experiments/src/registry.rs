@@ -116,6 +116,12 @@ pub fn all_experiments() -> Vec<ExperimentDef> {
             title: "Robustness under injected reader faults (not in paper)",
             run: crate::exp::faults::run,
         },
+        ExperimentDef {
+            id: "streaming",
+            produces: &["streaming"],
+            title: "Online fixed-lag decoding: lag × disconnect intensity (not in paper)",
+            run: crate::exp::streaming::run,
+        },
     ]
 }
 
@@ -137,7 +143,7 @@ mod tests {
         for id in [
             "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14",
             "fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5",
-            "table6", "table7", "table8", "faults",
+            "table6", "table7", "table8", "faults", "streaming",
         ] {
             assert!(produced.contains(&id), "missing {id}");
         }

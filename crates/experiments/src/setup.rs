@@ -269,8 +269,13 @@ pub fn to_tag_poses(poses: &[PenPose]) -> Vec<TagPose> {
         .collect()
 }
 
-/// Run one full trial: write, propagate, read, track.
-pub fn run_trial(setup: &TrialSetup, seed: u64) -> TrialRun {
+/// Simulate the trial's report stream without tracking it: write,
+/// propagate, read, inject faults. This is the front half of
+/// [`run_trial`], split out so streaming/session consumers (the
+/// `streaming` experiment, session tests, `examples/live_session.rs`)
+/// can feed the same stream to an `OnlineTracker` or a supervised
+/// session instead of the batch tracker. Returns `(truth, reports)`.
+pub fn simulate_reports(setup: &TrialSetup, seed: u64) -> (Vec<Vec2>, Vec<TagReport>) {
     let session: Session = pen_sim::scene::write_text(
         &setup.scene,
         &setup.profile,
@@ -286,9 +291,15 @@ pub fn run_trial(setup: &TrialSetup, seed: u64) -> TrialRun {
         // intensity-0 column is bit-identical to faults-off.
         reports = FaultInjector::new(plan.clone(), derive_seed(seed, "faults")).inject(&reports);
     }
+    (session.truth.points, reports)
+}
+
+/// Run one full trial: write, propagate, read, track.
+pub fn run_trial(setup: &TrialSetup, seed: u64) -> TrialRun {
+    let (truth, reports) = simulate_reports(setup, seed);
     let tracker = tracker_for(setup);
     let trail = tracker.track(&reports);
-    TrialRun { truth: session.truth.points, trail, reports }
+    TrialRun { truth, trail, reports }
 }
 
 #[cfg(test)]

@@ -155,6 +155,43 @@ impl FaultPlan {
             && self.channel_phase.is_none()
     }
 
+    /// A benign lab bench: clean power, short cables, idle spectrum.
+    /// Identical to [`FaultPlan::identity`] — named so scenario code
+    /// reads as a scenario, and pinned to stay a provable no-op.
+    pub fn clean_lab() -> FaultPlan {
+        FaultPlan::identity()
+    }
+
+    /// A realistic office deployment: light burst loss from people and
+    /// Wi-Fi, occasional LLRP redelivery and reordering, mild clock
+    /// jitter, per-channel phase steps. No port outages — cabling is
+    /// fine, the RF environment is merely busy.
+    pub fn flaky_office() -> FaultPlan {
+        FaultPlan {
+            dropouts: Some(GilbertElliott {
+                p_enter: 0.04,
+                p_exit: 0.30,
+                p_drop_bad: 0.80,
+                p_drop_good: 0.01,
+            }),
+            outages: Vec::new(),
+            duplication: Some(Duplication { p_duplicate: 0.03, max_copies: 1 }),
+            reordering: Some(Reordering { p_displace: 0.08, max_shift_s: 0.02 }),
+            clock: Some(ClockFaults { jitter_std_s: 0.0005, drift_ppm: 50.0 }),
+            channel_phase: Some(ChannelPhaseFaults { max_offset_rad: 0.15 }),
+        }
+    }
+
+    /// A hostile session: heavy correlated loss, a mid-stream
+    /// single-port outage (the degraded-mode trigger), aggressive
+    /// duplication/reordering, and strong clock + channel-phase faults.
+    /// Equivalent to [`FaultPlan::at_intensity`]`(1.0)` and pinned to
+    /// stay so — the session tests' worst case is the sweep's worst
+    /// case.
+    pub fn hostile() -> FaultPlan {
+        FaultPlan::at_intensity(1.0)
+    }
+
     /// A composite plan with every fault model scaled by one intensity
     /// knob `x ∈ [0, 1]` — the axis the `faults` experiment sweeps.
     ///
@@ -391,6 +428,22 @@ mod tests {
         );
         // The seed must be irrelevant for the identity plan.
         assert_eq!(FaultInjector::new(FaultPlan::identity(), 9999).inject(&reports), out);
+    }
+
+    #[test]
+    fn presets_have_their_pinned_shapes() {
+        assert!(FaultPlan::clean_lab().is_identity());
+        assert_eq!(FaultPlan::hostile(), FaultPlan::at_intensity(1.0));
+        let office = FaultPlan::flaky_office();
+        assert!(!office.is_identity());
+        assert!(office.outages.is_empty(), "the office has working cables");
+        // Office is strictly gentler than hostile on the loss axis.
+        let reports = stream(2000, 2);
+        let lost = |plan: FaultPlan| {
+            let (out, _) = FaultInjector::new(plan, 31).inject_with_log(&reports);
+            reports.len() as i64 - out.len() as i64
+        };
+        assert!(lost(FaultPlan::flaky_office()) < lost(FaultPlan::hostile()));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod llrp;
 pub mod modselect;
 pub mod modulation;
 pub mod reader;
+pub mod session;
 pub mod tracking;
 
 pub use faults::{FaultInjector, FaultLog, FaultPlan};

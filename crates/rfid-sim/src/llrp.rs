@@ -28,6 +28,12 @@ pub const MSG_RO_ACCESS_REPORT: u16 = 61;
 pub const HEADER_LEN: usize = 10;
 /// Bytes per tag report record.
 pub const RECORD_LEN: usize = 24;
+/// Largest frame we accept: 16 Ki records (~384 KiB) plus the header.
+/// Several seconds of reports at the reader's maximum rate fit with an
+/// order of magnitude to spare; the header's u32 length field can claim
+/// up to 4 GiB, and a hostile or corrupted length must never be able to
+/// size an allocation.
+pub const MAX_FRAME_LEN: usize = HEADER_LEN + 16_384 * RECORD_LEN;
 
 /// Errors from decoding a report frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +51,12 @@ pub enum DecodeError {
     BadHeader,
     /// Payload is not a whole number of records.
     RaggedPayload,
+    /// Header claims a frame larger than [`MAX_FRAME_LEN`] — rejected
+    /// before any allocation is sized from it.
+    Oversized {
+        /// Length claimed by the header.
+        claimed: usize,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -56,6 +68,9 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::BadHeader => write!(f, "unsupported LLRP version or message type"),
             DecodeError::RaggedPayload => write!(f, "payload is not a whole number of records"),
+            DecodeError::Oversized { claimed } => {
+                write!(f, "header claims {claimed} bytes, limit is {MAX_FRAME_LEN}")
+            }
         }
     }
 }
@@ -63,6 +78,9 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Encode a report stream as one RO_ACCESS_REPORT frame.
+///
+/// Callers framing live streams should stay under [`MAX_FRAME_LEN`]
+/// (16 Ki records); [`decode_report`] rejects anything larger.
 pub fn encode_report(reports: &[TagReport], message_id: u32) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_LEN + reports.len() * RECORD_LEN);
     // Version (3 bits) + message type (13 bits), as LLRP packs them.
@@ -98,6 +116,9 @@ pub fn decode_report(buf: &[u8]) -> Result<(u32, Vec<TagReport>), DecodeError> {
         return Err(DecodeError::BadHeader);
     }
     let claimed = u32::from_be_bytes([buf[2], buf[3], buf[4], buf[5]]) as usize;
+    if claimed > MAX_FRAME_LEN {
+        return Err(DecodeError::Oversized { claimed });
+    }
     if claimed != buf.len() {
         return Err(DecodeError::LengthMismatch { claimed, actual: buf.len() });
     }
@@ -214,5 +235,98 @@ mod tests {
     fn error_messages_render() {
         let e = DecodeError::LengthMismatch { claimed: 10, actual: 11 };
         assert!(e.to_string().contains("10"));
+        let e = DecodeError::Oversized { claimed: 1 << 30 };
+        assert!(e.to_string().contains("limit"));
+    }
+
+    #[test]
+    fn oversized_length_claim_is_rejected_before_any_allocation() {
+        // A tiny buffer whose header claims 4 GiB: must fail Oversized,
+        // not LengthMismatch, and certainly not size anything from it.
+        let mut frame = encode_report(&[], 1);
+        frame[2..6].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            decode_report(&frame),
+            Err(DecodeError::Oversized { claimed: u32::MAX as usize })
+        );
+        // Largest accepted claim is exactly MAX_FRAME_LEN.
+        let mut frame = encode_report(&[], 1);
+        frame[2..6].copy_from_slice(&((MAX_FRAME_LEN + 1) as u32).to_be_bytes());
+        assert_eq!(
+            decode_report(&frame),
+            Err(DecodeError::Oversized { claimed: MAX_FRAME_LEN + 1 })
+        );
+    }
+
+    /// Property sweep: mutate valid frames every way the wire can —
+    /// bit flips, truncation, garbage extension, length-field and
+    /// header patches, random noise — and require that decode either
+    /// returns a clean `Ok` or a `DecodeError`. No panics (the sweep
+    /// would abort), and no allocation sized beyond what the actual
+    /// buffer can hold.
+    #[test]
+    fn decode_survives_mutated_frames() {
+        use rf_core::rng::{derive_seed_indexed, rng_from_seed};
+
+        let base_reports: Vec<TagReport> = (0..40)
+            .map(|i| TagReport {
+                t: i as f64 * 0.013,
+                antenna: i % 2,
+                rssi_dbm: -45.0 + (i % 9) as f64,
+                phase_rad: (i as f64 * 0.41).rem_euclid(std::f64::consts::TAU),
+                channel: i % 16,
+                epc: 0xE280_0000 + i as u64,
+            })
+            .collect();
+        let valid = encode_report(&base_reports, 99);
+
+        for case in 0..2000u64 {
+            let mut rng = rng_from_seed(derive_seed_indexed(0x11F0, "llrp.mutate", case));
+            let mut frame = valid.clone();
+            match rng.gen_index(6) {
+                // Flip 1–8 random bytes anywhere (header or payload).
+                0 => {
+                    for _ in 0..(1 + rng.gen_index(8)) {
+                        let i = rng.gen_index(frame.len());
+                        frame[i] ^= 1 << rng.gen_index(8);
+                    }
+                }
+                // Truncate to a random prefix.
+                1 => frame.truncate(rng.gen_index(frame.len() + 1)),
+                // Append 1–64 garbage bytes.
+                2 => {
+                    for _ in 0..(1 + rng.gen_index(64)) {
+                        frame.push((rng.next_u64() & 0xFF) as u8);
+                    }
+                }
+                // Patch the length field with an arbitrary u32.
+                3 => {
+                    let claim = (rng.next_u64() & 0xFFFF_FFFF) as u32;
+                    frame[2..6].copy_from_slice(&claim.to_be_bytes());
+                }
+                // Patch the version/type word.
+                4 => {
+                    let vt = (rng.next_u64() & 0xFFFF) as u16;
+                    frame[0..2].copy_from_slice(&vt.to_be_bytes());
+                }
+                // Pure noise of random length (0–2·frame).
+                5 => {
+                    let n = rng.gen_index(2 * valid.len() + 1);
+                    frame = (0..n).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+                }
+                _ => unreachable!(),
+            }
+            match decode_report(&frame) {
+                Ok((_, reports)) => {
+                    // Any accepted frame's record count must be backed
+                    // by actual buffer bytes — nothing header-sized.
+                    assert!(reports.len() <= frame.len() / RECORD_LEN);
+                }
+                Err(e) => {
+                    // Errors must render without panicking too.
+                    let _ = e.to_string();
+                }
+            }
+        }
     }
 }

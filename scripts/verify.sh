@@ -41,6 +41,18 @@ echo "== verify: golden traces + fault layer =="
 cargo test -q --offline --release --test golden
 cargo test -q --offline --release -p rfid-sim faults
 
+echo "== verify: online engine + supervised sessions =="
+# Explicit tier-1 gates for the streaming layer:
+# - tests/online_equivalence.rs pins batch == online bit-for-bit (lag ≥
+#   horizon) and the checkpoint → restore → resume cut-point sweep,
+# - tests/session.rs pins supervised recovery: reconnect within the
+#   backoff schedule, checkpoint resume through the session layer, and
+#   bounded accuracy loss under the fault presets,
+# - the supervisor/link/backoff unit tests live in rfid-sim.
+cargo test -q --offline --release --test online_equivalence
+cargo test -q --offline --release --test session
+cargo test -q --offline --release -p rfid-sim session
+
 echo "== verify: dependency graph is workspace-only =="
 # Every line of `cargo tree` that names a crate must carry the marker of
 # a local path dependency: "(/…)" pointing into this repo. Registry
@@ -64,6 +76,18 @@ if [ "$QUICK_BENCH" = 1 ]; then
     cargo run --release --offline -p polardraw-bench --bin bench_check -- \
         results/quickbench/bench_decode.json \
         --baseline BENCH_decode.json --max-regression 1.5
+
+    echo "== verify: online step latency gate =="
+    # The per-window online decode step, measured for real (not --quick:
+    # a full warmup + 11-sample median takes well under a second) and
+    # gated at an absolute 10 ms — the fixed-lag decoder must beat the
+    # stream's window period, or live sessions fall behind their reader.
+    mkdir -p results/quickbench_online
+    cargo bench --offline -p polardraw-bench --bench decode -- \
+        --filter decode/online --out "$(pwd)/results/quickbench_online"
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        results/quickbench_online/bench_decode.json \
+        --max-median "decode/online/step/cell2.5mm/beam2500/lag64=10000000"
 fi
 
 echo "verify: OK"
