@@ -26,7 +26,10 @@
 //!   only on the cell centre, the antennas, and the wavelength, so one
 //!   table (two 3-D norms per cell, built once) serves every
 //!   (frontier × candidate) pair of every step of every decode on the
-//!   same rig.
+//!   same rig. [`DecodeArtifacts`] lifts the table (and the stencil
+//!   store) to a process-wide `Arc` cache keyed by the rig fingerprint,
+//!   so N concurrent sessions on one rig pay one row-parallel build and
+//!   one table's memory (see DESIGN.md "Multi-session serving").
 //! * [`AnnulusStencil`] replaces the per-frontier-cell
 //!   [`Grid::neighbourhood`] `Vec` allocation with a radius-keyed table
 //!   of `(dx, dy, ideal distance)` offsets; boundary clipping is pure
@@ -50,6 +53,7 @@ use crate::distance::{expected_dtheta21, FeasibleRegion};
 use rf_core::{wrap_pi, Vec2, Vec3};
 use std::cell::RefCell;
 use std::cmp::Ordering;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A uniform cell grid over the board region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -297,6 +301,36 @@ impl EmissionTable {
         EmissionTable { grid: *grid, antennas, wavelength_m, values }
     }
 
+    /// [`build`](Self::build) with the per-cell trig fanned out across
+    /// grid rows on up to `threads` scoped workers
+    /// ([`rf_core::parallel_map`]). Every cell's value is computed by
+    /// the same call on the same inputs and rows are merged back in
+    /// row-major order, so the result is **bit-for-bit identical** to
+    /// the sequential build at any thread count — only the first
+    /// session's cold-start wall time changes.
+    pub fn build_parallel(
+        grid: &Grid,
+        antennas: [Vec3; 2],
+        wavelength_m: f64,
+        threads: usize,
+    ) -> EmissionTable {
+        if threads.max(1) == 1 || grid.ny < 2 {
+            return EmissionTable::build(grid, antennas, wavelength_m);
+        }
+        let nx = grid.nx;
+        let rows: Vec<Vec<f64>> =
+            rf_core::parallel_map((0..grid.ny).collect(), threads, |&iy| {
+                (0..nx)
+                    .map(|ix| expected_dtheta21(grid.center(iy * nx + ix), antennas, wavelength_m))
+                    .collect()
+            });
+        let mut values = Vec::with_capacity(grid.len());
+        for row in rows {
+            values.extend(row);
+        }
+        EmissionTable { grid: *grid, antennas, wavelength_m, values }
+    }
+
     /// Whether this table was built for exactly this rig.
     pub fn matches(&self, grid: &Grid, antennas: [Vec3; 2], wavelength_m: f64) -> bool {
         self.grid == *grid && self.antennas == antennas && self.wavelength_m == wavelength_m
@@ -317,6 +351,137 @@ impl EmissionTable {
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
+}
+
+/// Shared decode artifacts for one rig — the process-wide unit of
+/// sharing behind multi-session serving.
+///
+/// Keyed by the config fingerprint that determines every cached value:
+/// the grid (board extent + cell size), the two antenna positions, and
+/// the wavelength — exactly the fields [`EmissionTable::matches`]
+/// checks, and a subset of the fingerprint `polardraw.online.checkpoint.v1`
+/// stores, so any checkpoint that restores against a config resolves to
+/// the same artifact entry the original session used. The emission
+/// table itself is built lazily (first step that carries a Δθ²¹
+/// measurement) via `OnceLock`, row-parallel, and then shared by every
+/// decoder on the rig through `Arc` — N sessions pay one build and one
+/// table's memory instead of N.
+#[derive(Debug)]
+pub struct DecodeArtifacts {
+    grid: Grid,
+    antennas: [Vec3; 2],
+    wavelength_m: f64,
+    emission: OnceLock<Arc<EmissionTable>>,
+}
+
+impl DecodeArtifacts {
+    /// Whether this entry was built for exactly this rig (same
+    /// equality rule as [`EmissionTable::matches`]).
+    pub fn matches(&self, grid: &Grid, antennas: [Vec3; 2], wavelength_m: f64) -> bool {
+        self.grid == *grid && self.antennas == antennas && self.wavelength_m == wavelength_m
+    }
+
+    /// The shared emission table, building it (row-parallel, bit-identical
+    /// to the sequential build) on first use. Concurrent first callers
+    /// race benignly: `OnceLock` keeps exactly one winner's table.
+    pub fn emission(&self) -> &Arc<EmissionTable> {
+        self.emission.get_or_init(|| {
+            Arc::new(EmissionTable::build_parallel(
+                &self.grid,
+                self.antennas,
+                self.wavelength_m,
+                auto_build_threads(self.grid.len()),
+            ))
+        })
+    }
+
+    /// The shared emission table if some decoder already built it.
+    pub fn emission_if_built(&self) -> Option<&Arc<EmissionTable>> {
+        self.emission.get()
+    }
+
+    /// The grid this entry is keyed on.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+}
+
+/// Worker count for the row-parallel emission-table build: the host's
+/// available parallelism, capped (the build is a few ms of trig — more
+/// than 8 workers is all spawn overhead) and clamped to 1 for grids too
+/// small to amortize a thread spawn.
+fn auto_build_threads(cells: usize) -> usize {
+    if cells < 32_768 {
+        return 1;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Cap on distinct rigs retained by the process-wide artifact cache.
+/// Real deployments see one rig (or a handful); experiment sweeps churn
+/// through reduced-fidelity grids, so eviction first drops entries no
+/// session holds anymore.
+const ARTIFACT_CACHE_CAP: usize = 32;
+
+fn artifact_cache() -> &'static Mutex<Vec<Arc<DecodeArtifacts>>> {
+    static CACHE: OnceLock<Mutex<Vec<Arc<DecodeArtifacts>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The process-wide [`DecodeArtifacts`] entry for a rig, creating it on
+/// first sight. Every decoder (batch scratch, [`FixedLagDecoder`],
+/// every serve-pool session) resolves its rig through here, so all of
+/// them end up holding the *same* `Arc` — `Arc::strong_count` on the
+/// returned entry counts the sessions sharing it (plus the cache's own
+/// reference), which is what `tests/serve.rs` asserts for the
+/// memory-sublinearity guarantee.
+pub fn artifacts_for(grid: &Grid, antennas: [Vec3; 2], wavelength_m: f64) -> Arc<DecodeArtifacts> {
+    let mut cache = artifact_cache().lock().expect("artifact cache poisoned");
+    if let Some(entry) = cache.iter().find(|a| a.matches(grid, antennas, wavelength_m)) {
+        return Arc::clone(entry);
+    }
+    if cache.len() >= ARTIFACT_CACHE_CAP {
+        // Drop rigs nobody references anymore; live sessions keep their
+        // entries alive through their own Arcs either way.
+        cache.retain(|a| Arc::strong_count(a) > 1);
+        if cache.len() >= ARTIFACT_CACHE_CAP {
+            cache.remove(0);
+        }
+    }
+    let entry = Arc::new(DecodeArtifacts {
+        grid: *grid,
+        antennas,
+        wavelength_m,
+        emission: OnceLock::new(),
+    });
+    cache.push(Arc::clone(&entry));
+    entry
+}
+
+fn stencil_store() -> &'static Mutex<Vec<Arc<AnnulusStencil>>> {
+    static STORE: OnceLock<Mutex<Vec<Arc<AnnulusStencil>>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The process-wide shared stencil for `(cell_m, r_cells)`, building it
+/// on first sight. Stencils are pure functions of their key, so every
+/// scratch and every session on every thread shares one copy per radius
+/// key instead of rebuilding (and separately storing) it per scratch.
+pub fn shared_stencil(cell_m: f64, r_cells: i32) -> Arc<AnnulusStencil> {
+    let r_cells = r_cells.max(0);
+    let mut store = stencil_store().lock().expect("stencil store poisoned");
+    if let Some(s) = store.iter().find(|s| s.cell_m() == cell_m && s.r_cells() == r_cells) {
+        return Arc::clone(s);
+    }
+    if store.len() >= STENCIL_CACHE_CAP {
+        store.retain(|s| Arc::strong_count(s) > 1);
+        if store.len() >= STENCIL_CACHE_CAP {
+            store.remove(0);
+        }
+    }
+    let s = Arc::new(AnnulusStencil::new(cell_m, r_cells));
+    store.push(Arc::clone(&s));
+    s
 }
 
 /// Work counters from one decode, returned by [`viterbi_with_stats`]:
@@ -353,8 +518,9 @@ impl DecodeStats {
     }
 }
 
-/// Cap on cached stencils per scratch; decodes see a handful of
-/// distinct radii, so this is only a guard against pathological inputs.
+/// Cap on the process-wide shared stencil store (and on each scratch's
+/// local memo of `Arc`s into it); decodes see a handful of distinct
+/// radii, so this is only a guard against pathological inputs.
 const STENCIL_CACHE_CAP: usize = 64;
 
 /// Reusable decode buffers and caches. [`viterbi_beam`] keeps one per
@@ -381,10 +547,11 @@ pub struct DecoderScratch {
     bp_prevs: Vec<u32>,
     /// … and each step's exclusive end offset into the two above.
     frame_ends: Vec<u32>,
-    /// Radius-keyed stencil cache.
-    stencils: Vec<AnnulusStencil>,
-    /// Rig-keyed emission table cache.
-    emissions: Option<EmissionTable>,
+    /// Radius-keyed local memo of [`shared_stencil`] handles — the hot
+    /// loop resolves a radius without touching the global mutex.
+    stencils: Vec<Arc<AnnulusStencil>>,
+    /// Shared artifacts of the rig this scratch last decoded.
+    artifacts: Option<Arc<DecodeArtifacts>>,
 }
 
 impl DecoderScratch {
@@ -394,8 +561,11 @@ impl DecoderScratch {
     }
 }
 
-/// Find (or build) the cached stencil for `(cell_m, r_cells)`.
-fn cached_stencil(stencils: &mut Vec<AnnulusStencil>, cell_m: f64, r_cells: i32) -> usize {
+/// Find the locally memoized handle for `(cell_m, r_cells)`, going to
+/// the process-wide [`shared_stencil`] store on a local miss — repeated
+/// radius keys across sessions and trials are deduplicated once, not
+/// per scratch.
+fn cached_stencil(stencils: &mut Vec<Arc<AnnulusStencil>>, cell_m: f64, r_cells: i32) -> usize {
     if let Some(i) =
         stencils.iter().position(|s| s.cell_m() == cell_m && s.r_cells() == r_cells)
     {
@@ -404,7 +574,7 @@ fn cached_stencil(stencils: &mut Vec<AnnulusStencil>, cell_m: f64, r_cells: i32)
     if stencils.len() >= STENCIL_CACHE_CAP {
         stencils.clear();
     }
-    stencils.push(AnnulusStencil::new(cell_m, r_cells));
+    stencils.push(shared_stencil(cell_m, r_cells));
     stencils.len() - 1
 }
 
@@ -525,7 +695,7 @@ fn decode_optimized(
         bp_prevs,
         frame_ends,
         stencils,
-        emissions,
+        artifacts,
     } = scratch;
 
     if scores.len() < n {
@@ -539,16 +709,17 @@ fn decode_optimized(
     bp_prevs.clear();
     frame_ends.clear();
 
-    // Build (or reuse) the emission table only when a step carries a
-    // hyperbola measurement.
+    // Resolve (or reuse) the rig's shared emission table only when a
+    // step carries a hyperbola measurement; the table is built once
+    // process-wide and shared by Arc, not rebuilt per scratch.
     let emission: Option<&EmissionTable> = if steps.iter().any(|o| o.dtheta21.is_some()) {
-        let stale = emissions
+        let stale = artifacts
             .as_ref()
-            .map_or(true, |t| !t.matches(grid, antennas, config.wavelength_m));
+            .map_or(true, |a| !a.matches(grid, antennas, config.wavelength_m));
         if stale {
-            *emissions = Some(EmissionTable::build(grid, antennas, config.wavelength_m));
+            *artifacts = Some(artifacts_for(grid, antennas, config.wavelength_m));
         }
-        emissions.as_ref().map(|t| &*t)
+        artifacts.as_ref().map(|a| a.emission().as_ref())
     } else {
         None
     };
@@ -618,7 +789,7 @@ fn advance_frontier(
     preds: &mut Vec<u32>,
     touched: &mut Vec<u32>,
     step_offsets: &mut Vec<StencilOffset>,
-    stencils: &mut Vec<AnnulusStencil>,
+    stencils: &mut Vec<Arc<AnnulusStencil>>,
     frontier: &mut Vec<(u32, f64)>,
     next: &mut Vec<(u32, f64)>,
     bp_cells: &mut Vec<u32>,
@@ -815,13 +986,13 @@ pub struct FixedLagDecoder {
     preds: Vec<u32>,
     touched: Vec<u32>,
     step_offsets: Vec<StencilOffset>,
-    stencils: Vec<AnnulusStencil>,
+    stencils: Vec<Arc<AnnulusStencil>>,
     next: Vec<(u32, f64)>,
     bp_cells: Vec<u32>,
     bp_prevs: Vec<u32>,
     frame_ends: Vec<u32>,
     pool: Vec<BeamFrame>,
-    emissions: Option<EmissionTable>,
+    artifacts: Option<Arc<DecodeArtifacts>>,
 }
 
 impl FixedLagDecoder {
@@ -883,27 +1054,28 @@ impl FixedLagDecoder {
             bp_prevs: Vec::new(),
             frame_ends: Vec::new(),
             pool: Vec::new(),
-            emissions: None,
+            artifacts: None,
         }
     }
 
     /// Consume one observation; returns how many points were committed
     /// (0 while within the lag, 1 once the pipeline is full).
     pub fn step(&mut self, obs: &StepObservation) -> usize {
-        // Build (or reuse) the emission table only when the step
-        // carries a hyperbola measurement — same laziness rule as the
-        // batch decoder, same bits either way (the table caches the
-        // exact values `expected_dtheta21` returns).
+        // Resolve (or reuse) the rig's shared emission table only when
+        // the step carries a hyperbola measurement — same laziness rule
+        // as the batch decoder, same bits either way (the table caches
+        // the exact values `expected_dtheta21` returns). N concurrent
+        // sessions on one rig resolve to one process-wide table.
         let emission: Option<&EmissionTable> = if obs.dtheta21.is_some() {
             let stale = self
-                .emissions
+                .artifacts
                 .as_ref()
-                .map_or(true, |t| !t.matches(&self.grid, self.antennas, self.config.wavelength_m));
+                .map_or(true, |a| !a.matches(&self.grid, self.antennas, self.config.wavelength_m));
             if stale {
-                self.emissions =
-                    Some(EmissionTable::build(&self.grid, self.antennas, self.config.wavelength_m));
+                self.artifacts =
+                    Some(artifacts_for(&self.grid, self.antennas, self.config.wavelength_m));
             }
-            self.emissions.as_ref()
+            self.artifacts.as_ref().map(|a| a.emission().as_ref())
         } else {
             None
         };
@@ -1036,6 +1208,18 @@ impl FixedLagDecoder {
     /// The beam width.
     pub fn beam_width(&self) -> usize {
         self.beam_width
+    }
+
+    /// The shared rig artifacts this decoder resolved, if any step has
+    /// needed them yet (tests use this to assert N sessions share one
+    /// entry).
+    pub fn artifacts(&self) -> Option<&Arc<DecodeArtifacts>> {
+        self.artifacts.as_ref()
+    }
+
+    /// The shared emission table this decoder decodes against, if built.
+    pub fn emission_table(&self) -> Option<&Arc<EmissionTable>> {
+        self.artifacts.as_ref().and_then(|a| a.emission_if_built())
     }
 }
 
@@ -1288,6 +1472,51 @@ mod tests {
         }
         assert!(table.matches(&g, rig(), 0.3276));
         assert!(!table.matches(&g, rig(), 0.33));
+    }
+
+    #[test]
+    fn parallel_table_build_is_bit_identical() {
+        let g = small_grid();
+        let seq = EmissionTable::build(&g, rig(), 0.3276);
+        for threads in [1, 2, 3, 8] {
+            let par = EmissionTable::build_parallel(&g, rig(), 0.3276, threads);
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            for idx in 0..g.len() {
+                assert_eq!(
+                    par.expected(idx).to_bits(),
+                    seq.expected(idx).to_bits(),
+                    "cell {idx}, threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn artifacts_cache_shares_one_entry_per_rig() {
+        let g = small_grid();
+        let a = artifacts_for(&g, rig(), 0.3276);
+        let b = artifacts_for(&g, rig(), 0.3276);
+        assert!(Arc::ptr_eq(&a, &b), "same rig resolves to the same entry");
+        // The emission table is built once and shared by pointer.
+        assert!(Arc::ptr_eq(a.emission(), b.emission()));
+        assert_eq!(
+            a.emission().expected(3).to_bits(),
+            expected_dtheta21(g.center(3), rig(), 0.3276).to_bits()
+        );
+        // A different rig gets its own entry.
+        let other = artifacts_for(&g, rig(), 0.33);
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert!(other.matches(&g, rig(), 0.33) && !other.matches(&g, rig(), 0.3276));
+    }
+
+    #[test]
+    fn shared_stencils_deduplicate_across_callers() {
+        let a = shared_stencil(0.01, 3);
+        let b = shared_stencil(0.01, 3);
+        assert!(Arc::ptr_eq(&a, &b), "same key resolves to the same stencil");
+        assert_eq!(a.offsets(), AnnulusStencil::new(0.01, 3).offsets());
+        let c = shared_stencil(0.01, 4);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     fn moving_step(min_dist: f64, max_dist: f64, dir: Option<Vec2>) -> StepObservation {

@@ -44,10 +44,12 @@ pub mod model;
 pub mod online;
 pub mod preprocess;
 pub mod rotation;
+pub mod serve;
 pub mod smoother;
 pub mod translation;
 
 mod pipeline;
 
 pub use online::{OnlineOptions, OnlineTracker};
+pub use serve::{ServePool, SupervisedFleet};
 pub use pipeline::{DegradationReport, PolarDraw, PolarDrawConfig, StepEstimate, StepKind, TrackOutput};

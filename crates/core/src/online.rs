@@ -272,6 +272,13 @@ impl OnlineTracker {
         self.decoder.stats()
     }
 
+    /// The underlying fixed-lag decoder (read-only) — lets serving
+    /// tests assert that N sessions on one rig share one
+    /// [`hmm::DecodeArtifacts`](crate::hmm::DecodeArtifacts) entry.
+    pub fn decoder(&self) -> &FixedLagDecoder {
+        &self.decoder
+    }
+
     /// The degradation census as of now (same accounting the final
     /// [`TrackOutput`] carries, minus not-yet-closed windows).
     pub fn degradation_so_far(&self) -> DegradationReport {

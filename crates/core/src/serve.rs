@@ -1,0 +1,475 @@
+//! Multi-session serving: many pens, one rig, one process.
+//!
+//! The paper's §3.5 real-time claim covers one pen on one reader; the
+//! serving layer scales that to a fleet. Two pieces:
+//!
+//! * [`ServePool`] — a worker pool that owns many [`OnlineTracker`]
+//!   sessions and drives them with the workspace fan-out primitive
+//!   ([`rf_core::par::parallel_for_each_mut`]). Reports are *enqueued*
+//!   per session at any time; a [`drain`](ServePool::drain) round wakes
+//!   only the sessions that actually have pending reports and advances
+//!   each one on some worker thread.
+//! * [`SupervisedFleet`] — glue between [`SessionSupervisor`] reader
+//!   links and the pool: each pen has its own supervised LLRP link
+//!   (watchdog, backoff, degraded modes); the fleet runs all links over
+//!   a virtual-time slice, fans the captured reports into the pool, and
+//!   drains once per slice.
+//!
+//! ## Why pool output is bitwise-identical to sequential
+//!
+//! Parallelism is *across* sessions, never within one. A drain visits
+//! each woken session exactly once, on exactly one worker, and feeds it
+//! its own queue in enqueue order — so every session observes precisely
+//! the `push` sequence it would observe running alone, and
+//! [`OnlineTracker`] is deterministic given its input sequence. Thread
+//! count, work stealing, and wake order can change *when* a session
+//! advances relative to the others, but never *what* any session
+//! computes. `tests/serve.rs` enforces this bit-for-bit at
+//! `threads ∈ {1, 2, 8}` across mixed fault presets.
+//!
+//! Memory stays sublinear in session count because every session on one
+//! rig resolves the same [`hmm::DecodeArtifacts`](crate::hmm::DecodeArtifacts)
+//! entry: one `EmissionTable` build (row-parallel) and one copy of the
+//! table/stencils serve the whole fleet (see DESIGN.md "Multi-session
+//! serving").
+
+use crate::online::{OnlineOptions, OnlineTracker};
+use crate::{PolarDrawConfig, TrackOutput};
+use rf_core::par::parallel_for_each_mut;
+use rfid_sim::session::{LlrpLink, SessionConfig, SessionStats, SessionSupervisor};
+use rfid_sim::TagReport;
+
+/// Handle to one session in a [`ServePool`] (its slot index; stable for
+/// the pool's lifetime).
+pub type SessionId = usize;
+
+/// Per-session serving counters (cumulative over the pool's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionServeStats {
+    /// Reports enqueued for this session.
+    pub reports_enqueued: usize,
+    /// Enqueue calls (batch or single) that delivered ≥ 1 report.
+    pub batches_enqueued: usize,
+    /// Drain rounds that actually woke this session.
+    pub wakes: usize,
+    /// Reports the session has consumed.
+    pub reports_processed: usize,
+    /// Trail points the session has committed (beyond its decoder lag).
+    pub points_committed: usize,
+}
+
+/// What one [`ServePool::drain`] round did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DrainReport {
+    /// Sessions woken (had pending reports).
+    pub woken: usize,
+    /// Live sessions left asleep (empty queue) — the wake model's whole
+    /// point: idle pens cost nothing per round.
+    pub skipped: usize,
+    /// Reports consumed this round, summed over woken sessions.
+    pub reports: usize,
+    /// Trail points committed this round, summed over woken sessions.
+    pub newly_committed: usize,
+}
+
+/// Pool-lifetime counters (sums of every [`DrainReport`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PoolStats {
+    /// Drain rounds run.
+    pub drains: usize,
+    /// Session wakes, summed over rounds.
+    pub wakes: usize,
+    /// Reports consumed.
+    pub reports: usize,
+    /// Trail points committed.
+    pub committed: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// `None` once the session was finished individually.
+    tracker: Option<OnlineTracker>,
+    queue: Vec<TagReport>,
+    stats: SessionServeStats,
+    /// Per-drain deltas, written by the worker that visited the slot
+    /// and folded into the [`DrainReport`] after the round joins.
+    last_reports: usize,
+    last_committed: usize,
+}
+
+/// A work-stealing worker pool over many [`OnlineTracker`] sessions.
+///
+/// ```
+/// use polardraw_core::serve::ServePool;
+/// use polardraw_core::{OnlineOptions, PolarDrawConfig};
+///
+/// let mut pool = ServePool::new(4);
+/// let pen = pool.add_session(PolarDrawConfig::default(), OnlineOptions::default());
+/// // … enqueue reports as they arrive, then periodically:
+/// let round = pool.drain();
+/// assert_eq!(round.woken, 0, "no reports yet — the pen stayed asleep");
+/// let trails = pool.finish();
+/// assert_eq!(trails.len(), 1);
+/// # let _ = pen;
+/// ```
+#[derive(Debug)]
+pub struct ServePool {
+    slots: Vec<Slot>,
+    threads: usize,
+    stats: PoolStats,
+}
+
+impl ServePool {
+    /// Empty pool draining on up to `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> ServePool {
+        ServePool { slots: Vec::new(), threads: threads.max(1), stats: PoolStats::default() }
+    }
+
+    /// Worker count used by [`drain`](Self::drain) / [`finish`](Self::finish).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Change the worker count (takes effect next drain). Thread count
+    /// never affects any session's output, only wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Add a fresh session; returns its handle.
+    pub fn add_session(&mut self, config: PolarDrawConfig, options: OnlineOptions) -> SessionId {
+        self.adopt(OnlineTracker::new(config, options))
+    }
+
+    /// Adopt an existing tracker (e.g. one restored from a
+    /// `polardraw.online.checkpoint.v1` checkpoint) as a pool session.
+    pub fn adopt(&mut self, tracker: OnlineTracker) -> SessionId {
+        self.slots.push(Slot {
+            tracker: Some(tracker),
+            queue: Vec::new(),
+            stats: SessionServeStats::default(),
+            last_reports: 0,
+            last_committed: 0,
+        });
+        self.slots.len() - 1
+    }
+
+    /// Number of sessions ever added (including finished ones — handles
+    /// are stable slot indices).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool has no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Queue one report for a session (consumed at the next drain).
+    pub fn enqueue(&mut self, id: SessionId, report: TagReport) {
+        let slot = &mut self.slots[id];
+        assert!(slot.tracker.is_some(), "session {id} already finished");
+        slot.queue.push(report);
+        slot.stats.reports_enqueued += 1;
+        slot.stats.batches_enqueued += 1;
+    }
+
+    /// Queue a batch of reports for a session.
+    pub fn enqueue_batch(&mut self, id: SessionId, reports: &[TagReport]) {
+        if reports.is_empty() {
+            return;
+        }
+        let slot = &mut self.slots[id];
+        assert!(slot.tracker.is_some(), "session {id} already finished");
+        slot.queue.extend_from_slice(reports);
+        slot.stats.reports_enqueued += reports.len();
+        slot.stats.batches_enqueued += 1;
+    }
+
+    /// Reports queued (not yet consumed) for a session.
+    pub fn pending(&self, id: SessionId) -> usize {
+        self.slots[id].queue.len()
+    }
+
+    /// One serving round: wake every session with pending reports and
+    /// advance it on the worker pool; sessions with empty queues are
+    /// left untouched. Output is independent of thread count (see the
+    /// module docs for why).
+    pub fn drain(&mut self) -> DrainReport {
+        self.stats.drains += 1;
+        let live = self.slots.iter().filter(|s| s.tracker.is_some()).count();
+        let mut woken: Vec<&mut Slot> = self
+            .slots
+            .iter_mut()
+            .filter(|s| s.tracker.is_some() && !s.queue.is_empty())
+            .collect();
+        let mut round =
+            DrainReport { woken: woken.len(), skipped: live - woken.len(), ..DrainReport::default() };
+        parallel_for_each_mut(&mut woken, self.threads, |slot| {
+            let tracker = slot.tracker.as_mut().expect("woken slots hold a tracker");
+            let before = tracker.committed().len();
+            let n = slot.queue.len();
+            for r in slot.queue.drain(..) {
+                tracker.push(r);
+            }
+            let committed = tracker.committed().len();
+            slot.last_reports = n;
+            slot.last_committed = committed - before;
+            slot.stats.wakes += 1;
+            slot.stats.reports_processed += n;
+            slot.stats.points_committed = committed;
+        });
+        for slot in woken {
+            round.reports += slot.last_reports;
+            round.newly_committed += slot.last_committed;
+        }
+        self.stats.wakes += round.woken;
+        self.stats.reports += round.reports;
+        self.stats.committed += round.newly_committed;
+        round
+    }
+
+    /// Read-only access to a live session's tracker (checkpointing,
+    /// committed-trail peeking, artifact-sharing assertions).
+    ///
+    /// # Panics
+    /// If the session was already finished.
+    pub fn tracker(&self, id: SessionId) -> &OnlineTracker {
+        self.slots[id].tracker.as_ref().expect("session already finished")
+    }
+
+    /// Cumulative serving counters for one session.
+    pub fn session_stats(&self, id: SessionId) -> SessionServeStats {
+        self.slots[id].stats
+    }
+
+    /// Pool-lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Finish one session now: drain its queue (sequentially — one
+    /// session needs no pool) and finalize its trail. Its handle stays
+    /// allocated; the slot is empty afterwards.
+    pub fn finish_session(&mut self, id: SessionId) -> TrackOutput {
+        let slot = &mut self.slots[id];
+        let mut tracker = slot.tracker.take().expect("session already finished");
+        let n = slot.queue.len();
+        for r in slot.queue.drain(..) {
+            tracker.push(r);
+        }
+        slot.stats.reports_processed += n;
+        slot.stats.points_committed = tracker.committed().len();
+        tracker.finalize()
+    }
+
+    /// Drain any remaining reports, then finalize every live session in
+    /// parallel. Returns trails in session-id order (sessions finished
+    /// earlier via [`finish_session`](Self::finish_session) are
+    /// omitted).
+    pub fn finish(mut self) -> Vec<TrackOutput> {
+        self.drain();
+        let threads = self.threads;
+        let mut cells: Vec<(Option<OnlineTracker>, Option<TrackOutput>)> =
+            self.slots.into_iter().map(|s| (s.tracker, None)).collect();
+        parallel_for_each_mut(&mut cells, threads, |cell| {
+            if let Some(tracker) = cell.0.take() {
+                cell.1 = Some(tracker.finalize());
+            }
+        });
+        cells.into_iter().filter_map(|c| c.1).collect()
+    }
+}
+
+/// Per-pen handle inside a [`SupervisedFleet`].
+#[derive(Debug)]
+struct Pen<L: LlrpLink> {
+    id: SessionId,
+    supervisor: SessionSupervisor<L>,
+    capture: Vec<TagReport>,
+}
+
+/// A fleet of supervised reader sessions fanned into one [`ServePool`].
+///
+/// Each pen owns a [`SessionSupervisor`] over its own LLRP link; the
+/// fleet advances all links over one virtual-time slice, captures the
+/// reports each supervisor delivers, enqueues them into the pool, and
+/// drains once per slice. Link-layer failure handling (reconnect
+/// backoff, watchdog recycles, dead-port degraded mode) stays entirely
+/// inside each pen's supervisor — the pool only ever sees clean decoded
+/// reports.
+#[derive(Debug)]
+pub struct SupervisedFleet<L: LlrpLink> {
+    pool: ServePool,
+    pens: Vec<Pen<L>>,
+}
+
+impl<L: LlrpLink> SupervisedFleet<L> {
+    /// Empty fleet serving on up to `threads` workers.
+    pub fn new(threads: usize) -> SupervisedFleet<L> {
+        SupervisedFleet { pool: ServePool::new(threads), pens: Vec::new() }
+    }
+
+    /// Add a pen: a tracker session in the pool plus a supervised link
+    /// feeding it.
+    pub fn add_pen(
+        &mut self,
+        config: PolarDrawConfig,
+        options: OnlineOptions,
+        session: SessionConfig,
+        link: L,
+    ) -> SessionId {
+        let id = self.pool.add_session(config, options);
+        self.pens.push(Pen { id, supervisor: SessionSupervisor::new(session, link), capture: Vec::new() });
+        id
+    }
+
+    /// Drive every pen from `t_start` to `t_end` in slices of
+    /// `slice_s` virtual seconds, draining the pool once per slice.
+    /// Returns the number of drain rounds run.
+    pub fn run(&mut self, t_start: f64, t_end: f64, slice_s: f64) -> usize {
+        let slice = slice_s.max(1e-3);
+        let mut rounds = 0;
+        let mut t = t_start;
+        while t < t_end {
+            let t1 = (t + slice).min(t_end);
+            for pen in &mut self.pens {
+                pen.capture.clear();
+                pen.supervisor.run(&mut pen.capture, t, t1);
+                self.pool.enqueue_batch(pen.id, &pen.capture);
+            }
+            self.pool.drain();
+            rounds += 1;
+            t = t1;
+        }
+        rounds
+    }
+
+    /// The underlying pool (stats, trackers, checkpoints).
+    pub fn pool(&self) -> &ServePool {
+        &self.pool
+    }
+
+    /// A pen's supervisor (events, stats, degraded-mode flags).
+    pub fn supervisor(&self, id: SessionId) -> &SessionSupervisor<L> {
+        &self.pens.iter().find(|p| p.id == id).expect("unknown pen").supervisor
+    }
+
+    /// Link-layer counters for every pen, in pen order.
+    pub fn link_stats(&self) -> Vec<(SessionId, SessionStats)> {
+        self.pens.iter().map(|p| (p.id, p.supervisor.stats())).collect()
+    }
+
+    /// Finalize every session; trails in session-id order.
+    pub fn finish(self) -> Vec<TrackOutput> {
+        self.pool.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_sim::session::SimulatedLink;
+
+    /// A tiny synthetic report stream: two antennas alternating at
+    /// 10 ms, constant RSS, slowly advancing phase. Enough to push
+    /// windows through the tracker without caring about the trail.
+    fn stream(n: usize, t0: f64) -> Vec<TagReport> {
+        (0..n)
+            .map(|i| TagReport {
+                t: t0 + i as f64 * 0.01,
+                antenna: i % 2,
+                rssi_dbm: -55.0,
+                phase_rad: rf_core::wrap_tau(0.02 * i as f64),
+                channel: 0,
+                epc: 0xB00C,
+            })
+            .collect()
+    }
+
+    fn coarse_config() -> PolarDrawConfig {
+        let mut cfg = PolarDrawConfig::default();
+        cfg.hmm.cell_m *= 8.0;
+        cfg
+    }
+
+    #[test]
+    fn empty_queues_stay_asleep() {
+        let mut pool = ServePool::new(4);
+        let a = pool.add_session(coarse_config(), OnlineOptions::default());
+        let b = pool.add_session(coarse_config(), OnlineOptions::default());
+        pool.enqueue_batch(a, &stream(40, 0.0));
+        let round = pool.drain();
+        assert_eq!(round.woken, 1, "only the session with reports wakes");
+        assert_eq!(round.skipped, 1);
+        assert_eq!(round.reports, 40);
+        assert_eq!(pool.session_stats(b).wakes, 0);
+        assert_eq!(pool.pending(a), 0, "queue consumed");
+        let round2 = pool.drain();
+        assert_eq!((round2.woken, round2.reports), (0, 0), "nothing pending → no wakes");
+    }
+
+    #[test]
+    fn pool_matches_sequential_tracker() {
+        let reports = stream(300, 0.0);
+        // Sequential reference.
+        let mut solo = OnlineTracker::new(coarse_config(), OnlineOptions::default());
+        solo.extend(&reports);
+        let want = solo.finalize();
+        // Pool, chunked enqueue, several threads.
+        for threads in [1, 3] {
+            let mut pool = ServePool::new(threads);
+            let id = pool.add_session(coarse_config(), OnlineOptions::default());
+            for chunk in reports.chunks(37) {
+                pool.enqueue_batch(id, chunk);
+                pool.drain();
+            }
+            let got = pool.finish().remove(0);
+            assert_eq!(got.trail.points, want.trail.points, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn finish_session_removes_slot_and_finish_skips_it() {
+        let mut pool = ServePool::new(2);
+        let a = pool.add_session(coarse_config(), OnlineOptions::default());
+        let b = pool.add_session(coarse_config(), OnlineOptions::default());
+        pool.enqueue_batch(a, &stream(60, 0.0));
+        pool.enqueue_batch(b, &stream(60, 0.0));
+        let first = pool.finish_session(a);
+        let rest = pool.finish();
+        assert_eq!(rest.len(), 1, "only b remains");
+        assert_eq!(first.trail.points, rest[0].trail.points, "same stream, same trail");
+    }
+
+    #[test]
+    fn fleet_runs_supervised_links_through_the_pool() {
+        let reports = stream(400, 0.0);
+        let mut fleet: SupervisedFleet<SimulatedLink> = SupervisedFleet::new(2);
+        let session = SessionConfig::default();
+        let a = fleet.add_pen(
+            coarse_config(),
+            OnlineOptions::default(),
+            session,
+            SimulatedLink::from_reports(&reports, 0.05),
+        );
+        let b = fleet.add_pen(
+            coarse_config(),
+            OnlineOptions::default(),
+            session,
+            SimulatedLink::from_reports(&reports, 0.05),
+        );
+        let rounds = fleet.run(0.0, 4.0, 0.5);
+        assert_eq!(rounds, 8);
+        assert!(fleet.pool().stats().reports > 0, "links delivered into the pool");
+        assert_eq!(
+            fleet.pool().session_stats(a).reports_processed,
+            fleet.pool().session_stats(b).reports_processed,
+            "identical links deliver identically"
+        );
+        assert!(!fleet.supervisor(a).degraded_single_antenna());
+        let trails = fleet.finish();
+        assert_eq!(trails.len(), 2);
+        assert_eq!(trails[0].trail.points, trails[1].trail.points, "identical pens, identical trails");
+    }
+}

@@ -122,6 +122,12 @@ pub fn all_experiments() -> Vec<ExperimentDef> {
             title: "Online fixed-lag decoding: lag × disconnect intensity (not in paper)",
             run: crate::exp::streaming::run,
         },
+        ExperimentDef {
+            id: "fleet",
+            produces: &["fleet"],
+            title: "Multi-session serving: fleet size vs pool behaviour (not in paper)",
+            run: crate::exp::fleet::run,
+        },
     ]
 }
 
@@ -143,7 +149,7 @@ mod tests {
         for id in [
             "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14",
             "fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5",
-            "table6", "table7", "table8", "faults", "streaming",
+            "table6", "table7", "table8", "faults", "streaming", "fleet",
         ] {
             assert!(produced.contains(&id), "missing {id}");
         }

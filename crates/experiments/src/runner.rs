@@ -32,50 +32,11 @@ impl Default for RunOpts {
     }
 }
 
-/// Map `jobs` through `f` on `threads` workers, preserving order.
-///
-/// Work is still claimed job-by-job from a shared atomic counter (so a
-/// slow trial doesn't idle the other workers), but each worker keeps
-/// its results in a thread-local buffer; the buffers are merged into
-/// the output only after the scope joins. No lock is taken anywhere on
-/// the completion path, so short jobs on many threads no longer
-/// serialize on a results mutex.
-pub fn parallel_map<T, R, F>(jobs: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = threads.max(1);
-    let n = jobs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads.min(n))
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(&jobs[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in buffers.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots.into_iter().map(|s| s.expect("every job produces a result")).collect()
-}
+/// The workspace fan-out primitive, re-exported from `rf_core::par` so
+/// existing experiment code (and external callers) keep their import
+/// path. One implementation serves trial sweeps, the emission-table
+/// row build, and the serve pool alike.
+pub use rf_core::par::parallel_map;
 
 /// Result of one recognition trial.
 #[derive(Debug, Clone)]

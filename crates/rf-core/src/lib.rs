@@ -17,6 +17,10 @@
 //! * [`rng`] — the workspace-standard seeded PRNG (xoshiro256++) and
 //!   seed derivation so that every experiment in the workspace is
 //!   reproducible from a single `u64`.
+//! * [`par`] — the workspace's scoped-thread fan-out primitives
+//!   ([`parallel_map`] and [`par::parallel_for_each_mut`]), shared by
+//!   experiment trial sweeps, the emission-table row build, and the
+//!   multi-session serve pool.
 //! * [`json`] — a minimal JSON writer/parser so result dumps and
 //!   scenario configs need no external serialization crate.
 //!
@@ -33,6 +37,7 @@ pub mod complex;
 pub mod db;
 pub mod json;
 pub mod mat;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod vec;
@@ -42,6 +47,7 @@ pub use complex::Complex;
 pub use db::{db_to_ratio, dbm_to_mw, mw_to_dbm, ratio_to_db};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use mat::Mat2;
+pub use par::{parallel_for_each_mut, parallel_map};
 pub use rng::Rng64;
 pub use vec::{Vec2, Vec3};
 

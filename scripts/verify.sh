@@ -53,6 +53,19 @@ cargo test -q --offline --release --test online_equivalence
 cargo test -q --offline --release --test session
 cargo test -q --offline --release -p rfid-sim session
 
+echo "== verify: multi-session serving =="
+# Explicit tier-1 gates for the serving layer:
+# - tests/serve.rs pins pool == sequential bit-for-bit (32 mixed-fault
+#   sessions at threads 1/2/8), the 2-thread single-report stress run,
+#   checkpoint/restore through the pool at swept cuts, and the
+#   shared-decode-artifact memory gate (one emission table per rig,
+#   however many sessions),
+# - the pool/fan-in unit tests live in polardraw-core (serve), the
+#   claim-order fan-out primitives in rf-core (par).
+cargo test -q --offline --release --test serve
+cargo test -q --offline --release -p polardraw-core serve
+cargo test -q --offline --release -p rf-core par
+
 echo "== verify: dependency graph is workspace-only =="
 # Every line of `cargo tree` that names a crate must carry the marker of
 # a local path dependency: "(/…)" pointing into this repo. Registry
@@ -88,6 +101,19 @@ if [ "$QUICK_BENCH" = 1 ]; then
     cargo run --release --offline -p polardraw-bench --bin bench_check -- \
         results/quickbench_online/bench_decode.json \
         --max-median "decode/online/step/cell2.5mm/beam2500/lag64=10000000"
+
+    echo "== verify: contended serve step gate =="
+    # The serving pool's contended regime, measured for real: one drain
+    # advancing 8 paper-fidelity sessions one pre-processing window
+    # each, gated at an absolute 80 ms — 8 × the single-session 10 ms
+    # guarantee above, so no session falls behind its reader even when
+    # the whole fleet is busy.
+    mkdir -p results/quickbench_serve
+    cargo bench --offline -p polardraw-bench --bench throughput -- \
+        --filter serve/step --out "$(pwd)/results/quickbench_serve"
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        results/quickbench_serve/bench_throughput.json \
+        --max-median "serve/step/sessions8/threads8=80000000"
 fi
 
 echo "verify: OK"

@@ -70,7 +70,7 @@ fn every_experiment_runs_on_reduced_config() {
     for id in [
         "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14", "fig15",
         "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5", "table6", "table7",
-        "table8", "faults",
+        "table8", "faults", "streaming", "fleet",
     ] {
         assert!(produced.contains(id), "artifact {id} was never produced");
     }
