@@ -10,13 +10,23 @@
 //! times. `decode/opt/cell2.5mm/beam2500/steps100` versus
 //! `decode/ref/cell2.5mm/beam2500/steps100` is the headline pair the
 //! committed `BENCH_decode.json` tracks (`scripts/bench.sh` regenerates
-//! it; `bench_check --min-speedup` enforces the ≥3× floor).
+//! it; `bench_check --min-speedup` enforces the speedup floor).
+//!
+//! Kernel rows (see `KernelOptions` in `polardraw_core::hmm`):
+//!
+//! * `decode/opt/…` — the fast kernel (`KernelOptions::fast()`: f32
+//!   tables + adaptive beam), the headline the speedup floor gates.
+//! * `decode/exact/…` — the bit-exact f64 SoA path (what every
+//!   correctness-critical caller runs by default).
+//! * `decode/f32/…` — f32 tables *without* the adaptive beam, so the
+//!   adaptive contribution is `f32 / opt` and cannot silently regress
+//!   (`scripts/bench.sh` gates it).
 
 use polardraw_bench::harness::Bench;
 use polardraw_core::distance::FeasibleRegion;
 use polardraw_core::hmm::{
-    viterbi_beam, viterbi_reference, viterbi_with_stats, FixedLagDecoder, Grid, HmmConfig,
-    StepObservation,
+    viterbi_beam, viterbi_reference, viterbi_with_kernel, viterbi_with_stats, FixedLagDecoder,
+    Grid, HmmConfig, KernelOptions, StepObservation,
 };
 use polardraw_core::PolarDrawConfig;
 use rf_core::Vec2;
@@ -41,16 +51,49 @@ fn main() {
     let cfg = PolarDrawConfig::default();
     let hmm = HmmConfig::default();
 
-    // Optimized decoder: cell × beam matrix at the repro step count.
+    // Fast-kernel decoder: cell × beam matrix at the repro step count.
     let steps100 = make_steps(100);
+    let fast = KernelOptions::fast();
     for (cell_label, cell_m) in [("cell2.5mm", 0.0025), ("cell5mm", 0.005), ("cell10mm", 0.01)] {
         let grid = Grid::covering(cfg.board_min, cfg.board_max, cell_m);
         let config = HmmConfig { cell_m, ..hmm };
         for beam in [500usize, 2500] {
             bench.bench(&format!("decode/opt/{cell_label}/beam{beam}/steps100"), || {
-                viterbi_beam(&grid, cfg.antennas, cfg.start_hint, &steps100, &config, beam)
+                viterbi_with_kernel(
+                    &grid,
+                    cfg.antennas,
+                    cfg.start_hint,
+                    &steps100,
+                    &config,
+                    beam,
+                    fast,
+                )
             });
         }
+    }
+
+    // Kernel layers in isolation at the headline workload: the exact
+    // f64 SoA path (the default every correctness-critical caller
+    // runs) and the f32 path without the adaptive beam (so the
+    // adaptive contribution is measurable as `f32 / opt`).
+    {
+        let grid = Grid::covering(cfg.board_min, cfg.board_max, 0.0025);
+        let config = HmmConfig { cell_m: 0.0025, ..hmm };
+        bench.bench("decode/exact/cell2.5mm/beam2500/steps100", || {
+            viterbi_beam(&grid, cfg.antennas, cfg.start_hint, &steps100, &config, 2500)
+        });
+        let f32_only = KernelOptions::fast().with_adaptive(None);
+        bench.bench("decode/f32/cell2.5mm/beam2500/steps100", || {
+            viterbi_with_kernel(
+                &grid,
+                cfg.antennas,
+                cfg.start_hint,
+                &steps100,
+                &config,
+                2500,
+                f32_only,
+            )
+        });
     }
 
     // Step-count axis (decode cost is linear in steps; this guards it).
@@ -61,7 +104,15 @@ fn main() {
         for n in [25usize, 400] {
             let steps = make_steps(n);
             bench.bench(&format!("decode/opt/cell5mm/beam2500/steps{n}"), || {
-                viterbi_beam(&grid, cfg.antennas, cfg.start_hint, &steps, &config, 2500)
+                viterbi_with_kernel(
+                    &grid,
+                    cfg.antennas,
+                    cfg.start_hint,
+                    &steps,
+                    &config,
+                    2500,
+                    fast,
+                )
             });
         }
     }
@@ -85,6 +136,19 @@ fn main() {
             i += 1;
             committed
         });
+
+        // The same live-session step on the fast kernel: what a
+        // throughput-first deployment (OnlineOptions::with_kernel)
+        // actually pays per window.
+        let mut fast_decoder =
+            FixedLagDecoder::new(grid, cfg.antennas, cfg.start_hint, config, 2500, 64);
+        fast_decoder.set_kernel(fast);
+        let mut j = 0usize;
+        bench.bench("decode/online/step/fast/cell2.5mm/beam2500/lag64", || {
+            let committed = fast_decoder.step(&steps100[j % steps100.len()]);
+            j += 1;
+            committed
+        });
     }
 
     // Retained naive reference at the two headline workloads.
@@ -103,7 +167,7 @@ fn main() {
         let (_, stats) =
             viterbi_with_stats(&grid, cfg.antennas, cfg.start_hint, &steps100, &hmm, 2500);
         bench.note(format!(
-            "decode/opt/cell2.5mm/beam2500/steps100 work: {} expansions, {} touched cells, \
+            "decode/exact/cell2.5mm/beam2500/steps100 work: {} expansions, {} touched cells, \
              {} beam-pruned, {} below-min, mean frontier {:.0}, max frontier {}, \
              {} carried of {} steps",
             stats.expansions,
@@ -114,6 +178,26 @@ fn main() {
             stats.max_frontier,
             stats.carried_steps,
             stats.steps,
+        ));
+        let (_, fstats) = viterbi_with_kernel(
+            &grid,
+            cfg.antennas,
+            cfg.start_hint,
+            &steps100,
+            &hmm,
+            2500,
+            fast,
+        );
+        bench.note(format!(
+            "decode/opt (fast kernel) work: {} expansions, {} touched cells, {} beam-pruned, \
+             mean frontier {:.0}, max frontier {}, adaptive shrank {} of {} steps",
+            fstats.expansions,
+            fstats.touched_cells,
+            fstats.pruned_beam,
+            fstats.mean_frontier(),
+            fstats.max_frontier,
+            fstats.adaptive_shrunk_steps,
+            fstats.steps,
         ));
         bench.note(format!(
             "grid {}x{} = {} cells; board {:?}..{:?}",

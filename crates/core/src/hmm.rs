@@ -48,6 +48,20 @@
 //! bit-for-bit identical tracks. `cargo bench -p polardraw-bench
 //! --bench decode` (or `scripts/bench.sh`) measures the speedup;
 //! DESIGN.md's "Decoder performance" section keeps the numbers.
+//!
+//! Beyond the bit-exact default, [`KernelOptions`] opts into three
+//! throughput levers: a fused `f32` inner loop driven by a per-step
+//! transition plan and a cast [`EmissionTableF32`]
+//! ([`KernelPrecision::F32Tolerance`]), a frontier-adaptive beam that
+//! shrinks the kept beam on steps where the score mass concentrates
+//! ([`AdaptiveBeam`]), and chunked intra-step frontier expansion over
+//! `rf_core::par`'s claim-order fan-out. The frontier itself is stored
+//! structure-of-arrays (cell and score vectors, not candidate tuples)
+//! so the hot loops stream over flat `u32`/score lanes. The f64 path is
+//! bit-identical to [`viterbi_reference`] at *any* thread count (chunks
+//! are contiguous frontier ranges merged in chunk order under the same
+//! first-wins tie rule); the f32/adaptive paths are instead gated by
+//! the quantitative tolerance oracle in `tests/kernel_equivalence.rs`.
 
 use crate::distance::{expected_dtheta21, FeasibleRegion};
 use rf_core::{wrap_pi, Vec2, Vec3};
@@ -308,18 +322,45 @@ impl EmissionTable {
     /// row-major order, so the result is **bit-for-bit identical** to
     /// the sequential build at any thread count — only the first
     /// session's cold-start wall time changes.
+    ///
+    /// The requested worker count is a *ceiling*, not a contract: it is
+    /// clamped through [`build_threads_for`], so on a low-core host (or
+    /// for a table too small to amortize thread spawns) the build falls
+    /// back to the plain sequential loop instead of paying scope-spawn
+    /// overhead for no parallelism — the cold-start regression
+    /// BENCH_throughput.json used to carry (0.62× @8 threads on 1
+    /// core). Benches that want to measure the fan-out itself use
+    /// [`build_with_workers`](Self::build_with_workers).
     pub fn build_parallel(
         grid: &Grid,
         antennas: [Vec3; 2],
         wavelength_m: f64,
         threads: usize,
     ) -> EmissionTable {
-        if threads.max(1) == 1 || grid.ny < 2 {
+        let available =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let workers = build_threads_for(threads, available, grid.len());
+        EmissionTable::build_with_workers(grid, antennas, wavelength_m, workers)
+    }
+
+    /// The row-parallel build with an *exact* worker count — no
+    /// host-parallelism or table-size fallback. This is the primitive
+    /// [`build_parallel`](Self::build_parallel) dispatches to after its
+    /// [`build_threads_for`] clamp; tests use it to pin bit-identity at
+    /// forced worker counts and benches to measure the true fan-out
+    /// cost on any host.
+    pub fn build_with_workers(
+        grid: &Grid,
+        antennas: [Vec3; 2],
+        wavelength_m: f64,
+        workers: usize,
+    ) -> EmissionTable {
+        if workers.max(1) == 1 || grid.ny < 2 {
             return EmissionTable::build(grid, antennas, wavelength_m);
         }
         let nx = grid.nx;
         let rows: Vec<Vec<f64>> =
-            rf_core::parallel_map((0..grid.ny).collect(), threads, |&iy| {
+            rf_core::parallel_map((0..grid.ny).collect(), workers, |&iy| {
                 (0..nx)
                     .map(|ix| expected_dtheta21(grid.center(iy * nx + ix), antennas, wavelength_m))
                     .collect()
@@ -353,6 +394,39 @@ impl EmissionTable {
     }
 }
 
+/// [`EmissionTable`] cast to `f32` for the tolerance kernel: same grid,
+/// same per-cell expected Δθ²¹, one rounding per cell. Always derived
+/// from the exact table — the cast *is* the spec
+/// (`table32[c] == table64[c] as f32`), so the f32 kernel's emission
+/// error is exactly one rounding, never a different computation.
+#[derive(Debug, Clone)]
+pub struct EmissionTableF32 {
+    values: Vec<f32>,
+}
+
+impl EmissionTableF32 {
+    /// Cast every cell of an exact table.
+    pub fn from_table(table: &EmissionTable) -> EmissionTableF32 {
+        EmissionTableF32 { values: table.values.iter().map(|&v| v as f32).collect() }
+    }
+
+    /// The cast `expected_dtheta21` of a cell.
+    #[inline]
+    pub fn expected(&self, cell: usize) -> f32 {
+        self.values[cell]
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
 /// Shared decode artifacts for one rig — the process-wide unit of
 /// sharing behind multi-session serving.
 ///
@@ -372,6 +446,7 @@ pub struct DecodeArtifacts {
     antennas: [Vec3; 2],
     wavelength_m: f64,
     emission: OnceLock<Arc<EmissionTable>>,
+    emission32: OnceLock<Arc<EmissionTableF32>>,
 }
 
 impl DecodeArtifacts {
@@ -400,21 +475,47 @@ impl DecodeArtifacts {
         self.emission.get()
     }
 
+    /// The shared f32 cast of the emission table (the tolerance
+    /// kernel's lookup), building the exact table first if needed.
+    /// Cast once process-wide, shared by `Arc` like the exact table.
+    pub fn emission_f32(&self) -> &Arc<EmissionTableF32> {
+        self.emission32.get_or_init(|| Arc::new(EmissionTableF32::from_table(self.emission())))
+    }
+
     /// The grid this entry is keyed on.
     pub fn grid(&self) -> &Grid {
         &self.grid
     }
 }
 
-/// Worker count for the row-parallel emission-table build: the host's
-/// available parallelism, capped (the build is a few ms of trig — more
-/// than 8 workers is all spawn overhead) and clamped to 1 for grids too
-/// small to amortize a thread spawn.
-fn auto_build_threads(cells: usize) -> usize {
-    if cells < 32_768 {
+/// Cells below which the row-parallel emission build cannot amortize
+/// its scoped thread spawns: a ~33k-cell letter-rig table builds in
+/// well under a millisecond sequentially, the same order as spawning a
+/// worker.
+pub const PARALLEL_BUILD_MIN_CELLS: usize = 32_768;
+
+/// The worker count the emission-table build actually uses, given a
+/// `requested` thread budget, a host with `available` parallelism, and
+/// a `cells`-cell table. Sequential (1) whenever the table is too small
+/// to amortize a spawn; otherwise the request, clamped to the host —
+/// fanning out past the hardware only adds spawn overhead, which is the
+/// cold-start regression BENCH_throughput.json recorded before this
+/// clamp (parallel build 0.62× sequential at 8 requested threads on a
+/// 1-core host). Unit-tested directly; [`EmissionTable::build_parallel`]
+/// feeds it the live `available_parallelism`.
+pub fn build_threads_for(requested: usize, available: usize, cells: usize) -> usize {
+    if cells < PARALLEL_BUILD_MIN_CELLS {
         return 1;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    requested.max(1).min(available.max(1))
+}
+
+/// Worker count for the auto-built (artifact-cache) emission table: up
+/// to 8 — the build is a few ms of trig, more workers is all spawn
+/// overhead — clamped by host parallelism and table size.
+fn auto_build_threads(cells: usize) -> usize {
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    build_threads_for(8, available, cells)
 }
 
 /// Cap on distinct rigs retained by the process-wide artifact cache.
@@ -453,6 +554,7 @@ pub fn artifacts_for(grid: &Grid, antennas: [Vec3; 2], wavelength_m: f64) -> Arc
         antennas,
         wavelength_m,
         emission: OnceLock::new(),
+        emission32: OnceLock::new(),
     });
     cache.push(Arc::clone(&entry));
     entry
@@ -505,6 +607,10 @@ pub struct DecodeStats {
     pub max_frontier: usize,
     /// Frontier sizes entering each step, summed.
     pub total_frontier: u64,
+    /// Steps where the frontier-adaptive beam kept fewer cells than the
+    /// plain beam truncation would have (0 unless [`AdaptiveBeam`] is
+    /// enabled and actually engaged).
+    pub adaptive_shrunk_steps: usize,
 }
 
 impl DecodeStats {
@@ -523,41 +629,218 @@ impl DecodeStats {
 /// radii, so this is only a guard against pathological inputs.
 const STENCIL_CACHE_CAP: usize = 64;
 
-/// Reusable decode buffers and caches. [`viterbi_beam`] keeps one per
-/// thread automatically; long-running callers (benches, servers) can
-/// hold their own via [`viterbi_with_scratch`] so steady-state decodes
-/// allocate nothing but the returned track.
+/// Numeric precision of the beam kernel's inner loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPrecision {
+    /// The bit-exact kernel: per-candidate `f64` scoring identical to
+    /// [`viterbi_reference`], operation for operation. The default.
+    F64Exact,
+    /// The fused `f32` kernel: per-step transition scores are
+    /// precomputed per stencil offset in `f64` and cast once (they
+    /// depend only on the offset, not on the frontier cell), emissions
+    /// come from a cast [`EmissionTableF32`], and the inner loop is
+    /// pure `f32` adds/compares — no `hypot`, no division, no exact
+    /// angle wrap. Output is *not* bitwise-comparable to the reference;
+    /// `tests/kernel_equivalence.rs` gates it with a quantitative
+    /// tolerance oracle instead.
+    F32Tolerance,
+}
+
+/// Frontier-adaptive beam: shrink the kept beam below the configured
+/// width on steps where the score mass concentrates.
+///
+/// After scoring, only cells within `margin` of the step's best score
+/// are kept (never fewer than `min_keep`, never more than the
+/// configured beam). On well-conditioned steps the posterior is sharply
+/// unimodal — the surviving path rides near the top of the beam and the
+/// tail the full beam drags along is pure decode cost; `margin` is the
+/// log-score deficit at which a cell is considered unrecoverable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveBeam {
+    /// Keep cells scoring within this log-score distance of the best.
+    pub margin: f64,
+    /// Never shrink the kept beam below this many cells.
+    pub min_keep: usize,
+}
+
+impl Default for AdaptiveBeam {
+    fn default() -> Self {
+        AdaptiveBeam { margin: 8.0, min_keep: 128 }
+    }
+}
+
+/// Beam-kernel configuration: inner-loop precision, adaptive beam, and
+/// intra-step parallelism. The default is the bit-exact contract
+/// (`F64Exact`, no adaptive shrink, single-threaded); every other
+/// combination is an explicit opt-in that trades bitwise
+/// reproducibility or beam completeness for speed, gated by the
+/// tolerance harness in `tests/kernel_equivalence.rs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelOptions {
+    /// Inner-loop precision.
+    pub precision: KernelPrecision,
+    /// Frontier-adaptive beam shrink, off by default.
+    pub adaptive: Option<AdaptiveBeam>,
+    /// Worker threads for chunked frontier expansion *within* one step
+    /// (1 = sequential). Any value produces bit-identical output for a
+    /// given precision: chunks are contiguous frontier ranges
+    /// ([`rf_core::chunk_bounds`]) merged in chunk order under the same
+    /// first-wins tie rule the sequential scan applies.
+    pub threads: usize,
+}
+
+impl Default for KernelOptions {
+    fn default() -> Self {
+        KernelOptions { precision: KernelPrecision::F64Exact, adaptive: None, threads: 1 }
+    }
+}
+
+impl KernelOptions {
+    /// The bit-exact default kernel.
+    pub fn exact() -> KernelOptions {
+        KernelOptions::default()
+    }
+
+    /// The tolerance-gated fast kernel: `f32` inner loop plus the
+    /// default adaptive beam, single-threaded.
+    pub fn fast() -> KernelOptions {
+        KernelOptions {
+            precision: KernelPrecision::F32Tolerance,
+            adaptive: Some(AdaptiveBeam::default()),
+            threads: 1,
+        }
+    }
+
+    /// This kernel with `threads` intra-step workers.
+    pub fn with_threads(mut self, threads: usize) -> KernelOptions {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// This kernel with the given adaptive-beam setting.
+    pub fn with_adaptive(mut self, adaptive: Option<AdaptiveBeam>) -> KernelOptions {
+        self.adaptive = adaptive;
+        self
+    }
+}
+
+/// One stencil offset of the f32 kernel's per-step plan: everything
+/// about the transition score that does not depend on the frontier cell
+/// — the distance-consistency term, the direction-line term, and the
+/// backward penalty are all functions of `(dx, dy)` alone — collapsed
+/// into one fused `f32` addend computed once per step in `f64`.
+#[derive(Debug, Clone, Copy)]
+struct TransOffset32 {
+    dx: i32,
+    dy: i32,
+    trans: f32,
+}
+
+/// `wrap_pi` for the f32 kernel: valid for inputs in `(−2π, 2π)` — the
+/// range a difference of two wrapped angles can reach — using one
+/// compare-and-subtract per side instead of the exact path's
+/// `rem_euclid`. Maps onto `(−π, π]` like the exact wrap.
+#[inline]
+fn wrap_pi_f32(mut w: f32) -> f32 {
+    if w > std::f32::consts::PI {
+        w -= std::f32::consts::TAU;
+    }
+    if w <= -std::f32::consts::PI {
+        w += std::f32::consts::TAU;
+    }
+    w
+}
+
+/// One worker's private buffers for chunked frontier expansion: a
+/// contiguous frontier range plus chunk-local dense maps, a touched
+/// list, and work counters. After the parallel scan the chunks are
+/// merged in chunk index order under the same first-wins
+/// strict-improvement rule the sequential scan applies, which makes the
+/// chunked expansion bit-identical to the sequential one (see
+/// `advance_frontier`).
 #[derive(Debug, Default)]
-pub struct DecoderScratch {
-    /// Dense per-cell best score this step, reset via `touched`.
+struct ChunkScratch {
+    lo: usize,
+    hi: usize,
     scores: Vec<f64>,
+    scores32: Vec<f32>,
+    preds: Vec<u32>,
+    touched: Vec<u32>,
+    expansions: u64,
+    pruned_below_min: u64,
+}
+
+/// Buffers of one beam step, shared by the batch scratch and the
+/// streaming decoder (each owns one). Split out so `advance_frontier`
+/// can borrow the whole kit in one piece alongside its owner's frontier
+/// and backpointer buffers.
+#[derive(Debug, Default)]
+struct KernelScratch {
+    /// Dense per-cell best score this step (`F64Exact`), reset via
+    /// `touched`.
+    scores: Vec<f64>,
+    /// Dense per-cell best score this step (`F32Tolerance`).
+    scores32: Vec<f32>,
     /// Dense per-cell best predecessor this step.
     preds: Vec<u32>,
     /// Cells written this step (the reset list).
     touched: Vec<u32>,
     /// Stencil offsets trimmed to the current step's radius.
     step_offsets: Vec<StencilOffset>,
-    /// Current frontier, canonically ordered.
-    frontier: Vec<(u32, f64)>,
-    /// Next frontier under construction.
-    next: Vec<(u32, f64)>,
+    /// Fused per-offset transition scores of the f32 step plan.
+    trans32: Vec<TransOffset32>,
+    /// Offsets inside the annulus hard lower bound (f32 plan), kept so
+    /// the work counters keep the exact kernel's meaning.
+    rejected32: Vec<(i32, i32)>,
+    /// Next beam under construction — cells only; their scores stay in
+    /// the dense map until the beam is final (the SoA shape).
+    next_cells: Vec<u32>,
+    /// Per-chunk buffers for intra-step parallel expansion.
+    chunks: Vec<ChunkScratch>,
+    /// Radius-keyed local memo of [`shared_stencil`] handles — the hot
+    /// loop resolves a radius without touching the global mutex.
+    stencils: Vec<Arc<AnnulusStencil>>,
+}
+
+/// Reusable decode buffers and caches. [`viterbi_beam`] keeps one per
+/// thread automatically; long-running callers (benches, servers) can
+/// hold their own via [`viterbi_with_scratch`] so steady-state decodes
+/// allocate nothing but the returned track. Also carries the scratch's
+/// sticky [`KernelOptions`] selection (see [`set_kernel`](Self::set_kernel)).
+#[derive(Debug, Default)]
+pub struct DecoderScratch {
+    /// Kernel configuration decodes through this scratch use.
+    kernel: KernelOptions,
+    /// Step-kernel buffers (dense maps, stencil trims, chunk slots).
+    ks: KernelScratch,
+    /// Current frontier, canonically ordered: cells …
+    frontier_cells: Vec<u32>,
+    /// … and their path scores, index-parallel (SoA).
+    frontier_scores: Vec<f64>,
     /// Flat backpointer frames: cells …
     bp_cells: Vec<u32>,
     /// … their best predecessors …
     bp_prevs: Vec<u32>,
     /// … and each step's exclusive end offset into the two above.
     frame_ends: Vec<u32>,
-    /// Radius-keyed local memo of [`shared_stencil`] handles — the hot
-    /// loop resolves a radius without touching the global mutex.
-    stencils: Vec<Arc<AnnulusStencil>>,
     /// Shared artifacts of the rig this scratch last decoded.
     artifacts: Option<Arc<DecodeArtifacts>>,
 }
 
 impl DecoderScratch {
-    /// Fresh, empty scratch.
+    /// Fresh, empty scratch (bit-exact default kernel).
     pub fn new() -> DecoderScratch {
         DecoderScratch::default()
+    }
+
+    /// The kernel decodes through this scratch use.
+    pub fn kernel(&self) -> KernelOptions {
+        self.kernel
+    }
+
+    /// Select the kernel for subsequent decodes through this scratch.
+    pub fn set_kernel(&mut self, kernel: KernelOptions) {
+        self.kernel = kernel;
     }
 }
 
@@ -660,6 +943,30 @@ pub fn viterbi_with_scratch(
     decode_optimized(grid, antennas, start, steps, config, beam_width, scratch)
 }
 
+/// [`viterbi_with_stats`] under an explicit [`KernelOptions`] — the
+/// entry point for the tolerance kernels (benches, ablations, the
+/// equivalence harness). Uses the per-thread scratch; its sticky kernel
+/// selection is restored afterwards, so interleaved default-kernel
+/// decodes on the same thread keep their bit-exact contract.
+pub fn viterbi_with_kernel(
+    grid: &Grid,
+    antennas: [Vec3; 2],
+    start: Vec2,
+    steps: &[StepObservation],
+    config: &HmmConfig,
+    beam_width: usize,
+    kernel: KernelOptions,
+) -> (Vec<Vec2>, DecodeStats) {
+    THREAD_SCRATCH.with(|s| {
+        let mut scratch = s.borrow_mut();
+        let saved = scratch.kernel();
+        scratch.set_kernel(kernel);
+        let out = decode_optimized(grid, antennas, start, steps, config, beam_width, &mut scratch);
+        scratch.set_kernel(saved);
+        out
+    })
+}
+
 /// The optimized decoder core. Performs, per candidate, the *same*
 /// floating-point operations in the *same* order as
 /// [`viterbi_reference`] (the emission lookup returns the exact bits the
@@ -682,49 +989,46 @@ fn decode_optimized(
         return (Vec::new(), stats);
     }
     let beam_width = beam_width.max(8);
-    let n = grid.len();
 
     let DecoderScratch {
-        scores,
-        preds,
-        touched,
-        step_offsets,
-        frontier,
-        next,
+        kernel,
+        ks,
+        frontier_cells,
+        frontier_scores,
         bp_cells,
         bp_prevs,
         frame_ends,
-        stencils,
         artifacts,
     } = scratch;
+    let kernel = *kernel;
 
-    if scores.len() < n {
-        scores.resize(n, f64::NEG_INFINITY);
-        preds.resize(n, u32::MAX);
-    }
-    touched.clear();
-    frontier.clear();
-    next.clear();
+    frontier_cells.clear();
+    frontier_scores.clear();
     bp_cells.clear();
     bp_prevs.clear();
     frame_ends.clear();
 
-    // Resolve (or reuse) the rig's shared emission table only when a
-    // step carries a hyperbola measurement; the table is built once
+    // Resolve (or reuse) the rig's shared emission table(s) only when a
+    // step carries a hyperbola measurement; the tables are built once
     // process-wide and shared by Arc, not rebuilt per scratch.
-    let emission: Option<&EmissionTable> = if steps.iter().any(|o| o.dtheta21.is_some()) {
+    let mut emission: Option<&EmissionTable> = None;
+    let mut emission32: Option<&EmissionTableF32> = None;
+    if steps.iter().any(|o| o.dtheta21.is_some()) {
         let stale = artifacts
             .as_ref()
             .map_or(true, |a| !a.matches(grid, antennas, config.wavelength_m));
         if stale {
             *artifacts = Some(artifacts_for(grid, antennas, config.wavelength_m));
         }
-        artifacts.as_ref().map(|a| a.emission().as_ref())
-    } else {
-        None
-    };
+        let arts = artifacts.as_ref().expect("artifacts resolved above");
+        emission = Some(arts.emission().as_ref());
+        if kernel.precision == KernelPrecision::F32Tolerance {
+            emission32 = Some(arts.emission_f32().as_ref());
+        }
+    }
 
-    frontier.push((grid.index_of(start) as u32, 0.0));
+    frontier_cells.push(grid.index_of(start) as u32);
+    frontier_scores.push(0.0);
 
     for obs in steps {
         advance_frontier(
@@ -732,15 +1036,13 @@ fn decode_optimized(
             antennas,
             config,
             beam_width,
+            &kernel,
             obs,
             emission,
-            scores,
-            preds,
-            touched,
-            step_offsets,
-            stencils,
-            frontier,
-            next,
+            emission32,
+            ks,
+            frontier_cells,
+            frontier_scores,
             bp_cells,
             bp_prevs,
             frame_ends,
@@ -749,11 +1051,7 @@ fn decode_optimized(
     }
 
     // Backtrack from the best final state.
-    let mut idx = frontier
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .map(|&(c, _)| c)
-        .unwrap_or(0);
+    let mut idx = best_frontier_cell(frontier_cells, frontier_scores);
     let mut rev = Vec::with_capacity(steps.len());
     for f in (0..frame_ends.len()).rev() {
         let lo = if f == 0 { 0 } else { frame_ends[f - 1] as usize };
@@ -768,66 +1066,60 @@ fn decode_optimized(
     (rev, stats)
 }
 
-/// One Viterbi step over the sparse beam frontier: scores every
-/// (frontier × stencil) candidate, truncates to the beam under the
-/// canonical order, appends exactly one flat backpointer frame to
-/// `bp_cells`/`bp_prevs`/`frame_ends`, and swaps the new frontier into
-/// `frontier`. This is *the* hot loop; both the batch decoder
-/// ([`decode_optimized`]) and the streaming [`FixedLagDecoder`] call
-/// it, which is what keeps their outputs bit-for-bit identical.
-///
-/// Does not touch `stats.steps` — callers own the step count.
-#[allow(clippy::too_many_arguments)]
-fn advance_frontier(
-    grid: &Grid,
-    antennas: [Vec3; 2],
-    config: &HmmConfig,
-    beam_width: usize,
-    obs: &StepObservation,
-    emission: Option<&EmissionTable>,
-    scores: &mut Vec<f64>,
-    preds: &mut Vec<u32>,
-    touched: &mut Vec<u32>,
-    step_offsets: &mut Vec<StencilOffset>,
-    stencils: &mut Vec<Arc<AnnulusStencil>>,
-    frontier: &mut Vec<(u32, f64)>,
-    next: &mut Vec<(u32, f64)>,
-    bp_cells: &mut Vec<u32>,
-    bp_prevs: &mut Vec<u32>,
-    frame_ends: &mut Vec<u32>,
-    stats: &mut DecodeStats,
-) {
-    let n = grid.len();
-    if scores.len() < n {
-        scores.resize(n, f64::NEG_INFINITY);
-        preds.resize(n, u32::MAX);
+/// The backtrack root: the frontier cell with the maximal score,
+/// resolving exact score ties to the *last* entry in canonical order —
+/// the element `Iterator::max_by` returned on the historical
+/// `(cell, score)` pair representation, preserved bit-for-bit.
+fn best_frontier_cell(cells: &[u32], scores: &[f64]) -> u32 {
+    let mut best: Option<(u32, f64)> = None;
+    for (i, &c) in cells.iter().enumerate() {
+        let s = scores[i];
+        match best {
+            Some((_, bs)) if bs.total_cmp(&s) == Ordering::Greater => {}
+            _ => best = Some((c, s)),
+        }
     }
+    best.map(|(c, _)| c).unwrap_or(0)
+}
+
+/// Read-only scoring context of one step, shared by every expansion
+/// variant (sequential or chunked).
+struct StepCtx<'a> {
+    grid: &'a Grid,
+    antennas: [Vec3; 2],
+    config: &'a HmmConfig,
+    obs: &'a StepObservation,
+    emission: Option<&'a EmissionTable>,
+    exact_reach: f64,
+    hard_min: f64,
+    target: f64,
+    dmax: f64,
+}
+
+/// The bit-exact `f64` expansion of one contiguous frontier range:
+/// per-candidate arithmetic identical to [`viterbi_reference`],
+/// operation for operation, writing dense maps under the first-wins
+/// strict-improvement rule. Runs over the whole frontier (sequential)
+/// or one chunk's range with chunk-local maps (parallel).
+#[allow(clippy::too_many_arguments)]
+fn expand_f64(
+    ctx: &StepCtx<'_>,
+    step_offsets: &[StencilOffset],
+    frontier_cells: &[u32],
+    frontier_scores: &[f64],
+    scores: &mut [f64],
+    preds: &mut [u32],
+    touched: &mut Vec<u32>,
+    expansions: &mut u64,
+    pruned_below_min: &mut u64,
+) {
+    let grid = ctx.grid;
+    let config = ctx.config;
+    let obs = ctx.obs;
     let nx = grid.nx as i64;
     let ny = grid.ny as i64;
-
-    stats.total_frontier += frontier.len() as u64;
-    stats.max_frontier = stats.max_frontier.max(frontier.len());
-
-    let max_r = obs.region.max_dist.max(grid.cell_m);
-    let dmax = max_r;
-    let target = obs.target_dist.min(obs.region.max_dist);
-    // Outlier suppression: a candidate well below the (already
-    // noise-compensated) lower bound is rejected outright — Eq. 8's
-    // hard annulus with generous quantization slack.
-    let hard_min = obs.region.min_dist - 2.0 * grid.cell_m;
-    // The exact membership rule `neighbourhood` applies, plus the
-    // ULP-safe prefilter bound on the ideal offset distance.
-    let exact_reach = max_r + 1e-12;
-    let prefilter_reach = exact_reach + STENCIL_MARGIN_M;
-
-    let si = cached_stencil(stencils, grid.cell_m, grid.radius_cells(max_r));
-    // Trim the stencil to this step's radius once, so the per-pair
-    // loop carries no prefilter branch.
-    step_offsets.clear();
-    step_offsets
-        .extend(stencils[si].offsets().iter().filter(|o| o.ideal_dist_m <= prefilter_reach));
-
-    for &(from, s_from) in frontier.iter() {
+    for (i, &from) in frontier_cells.iter().enumerate() {
+        let s_from = frontier_scores[i];
         let from_us = from as usize;
         let ix0 = (from_us % grid.nx) as i64;
         let iy0 = (from_us / grid.nx) as i64;
@@ -850,20 +1142,20 @@ fn advance_frontier(
             );
             let delta = c_to - c_from;
             let d = delta.norm();
-            if d > exact_reach {
+            if d > ctx.exact_reach {
                 continue;
             }
-            stats.expansions += 1;
-            if d < hard_min {
-                stats.pruned_below_min += 1;
+            *expansions += 1;
+            if d < ctx.hard_min {
+                *pruned_below_min += 1;
                 continue;
             }
             let mut s = s_from;
             // Hyperbola term (Fig. 12(c)).
             if let Some(meas) = obs.dtheta21 {
-                let expected = match emission {
+                let expected = match ctx.emission {
                     Some(table) => table.expected(to),
-                    None => expected_dtheta21(c_to, antennas, config.wavelength_m),
+                    None => expected_dtheta21(c_to, ctx.antennas, config.wavelength_m),
                 };
                 let err = wrap_pi(meas - expected).abs() / std::f64::consts::PI;
                 s -= config.hyperbola_weight * err;
@@ -874,12 +1166,12 @@ fn advance_frontier(
                 Some(dir) => (dir.dot(delta), config.distance_weight),
                 None => (d, config.distance_weight_still),
             };
-            s -= w_dist * ((d_along - target).abs() / dmax).min(2.0);
+            s -= w_dist * ((d_along - ctx.target).abs() / ctx.dmax).min(2.0);
             // Direction-line term (Fig. 12(b)).
             if let Some(dir) = obs.direction {
                 if d > 1e-12 {
                     let perp = dir.cross(delta).abs();
-                    s -= config.direction_weight * (perp / dmax).min(2.0);
+                    s -= config.direction_weight * (perp / ctx.dmax).min(2.0);
                     if dir.dot(delta) < 0.0 {
                         s -= config.backward_penalty;
                     }
@@ -898,11 +1190,378 @@ fn advance_frontier(
             }
         }
     }
+}
+
+/// Build the f32 kernel's per-step plan: for each prefilter-trimmed
+/// stencil offset, either the fused transition score (distance +
+/// direction + backward terms, none of which depend on the frontier
+/// cell — computed once in `f64` on the *ideal* offset geometry, cast
+/// once) or a rejection entry for offsets inside the annulus hard
+/// lower bound. Offsets beyond the step's reach are dropped entirely,
+/// mirroring the exact kernel's pre-count skip.
+#[allow(clippy::too_many_arguments)]
+fn build_f32_plan(
+    config: &HmmConfig,
+    obs: &StepObservation,
+    cell_m: f64,
+    step_offsets: &[StencilOffset],
+    exact_reach: f64,
+    hard_min: f64,
+    target: f64,
+    dmax: f64,
+    trans32: &mut Vec<TransOffset32>,
+    rejected32: &mut Vec<(i32, i32)>,
+) {
+    trans32.clear();
+    rejected32.clear();
+    for off in step_offsets.iter() {
+        let d = off.ideal_dist_m;
+        if d > exact_reach {
+            continue;
+        }
+        if d < hard_min {
+            rejected32.push((off.dx, off.dy));
+            continue;
+        }
+        let delta = Vec2::new(off.dx as f64 * cell_m, off.dy as f64 * cell_m);
+        let mut s = 0.0f64;
+        let (d_along, w_dist) = match obs.direction {
+            Some(dir) => (dir.dot(delta), config.distance_weight),
+            None => (d, config.distance_weight_still),
+        };
+        s -= w_dist * ((d_along - target).abs() / dmax).min(2.0);
+        if let Some(dir) = obs.direction {
+            if d > 1e-12 {
+                let perp = dir.cross(delta).abs();
+                s -= config.direction_weight * (perp / dmax).min(2.0);
+                if dir.dot(delta) < 0.0 {
+                    s -= config.backward_penalty;
+                }
+            }
+        }
+        trans32.push(TransOffset32 { dx: off.dx, dy: off.dy, trans: s as f32 });
+    }
+}
+
+/// The fused `f32` expansion of one contiguous frontier range: per
+/// candidate, a bounds check, one table load, one add, and (for
+/// hyperbola steps) a cast-table lookup with the cheap `f32` wrap — no
+/// `hypot`, no division, no per-candidate geometry. The rejected-offset
+/// pass keeps `expansions`/`pruned_below_min` meaning what they mean in
+/// the exact kernel: in-bounds candidates seen, in-bounds candidates
+/// under the hard annulus bound.
+#[allow(clippy::too_many_arguments)]
+fn expand_f32(
+    grid: &Grid,
+    hyper: Option<(f32, f32, &EmissionTableF32)>,
+    trans32: &[TransOffset32],
+    rejected32: &[(i32, i32)],
+    frontier_cells: &[u32],
+    frontier_scores: &[f64],
+    scores32: &mut [f32],
+    preds: &mut [u32],
+    touched: &mut Vec<u32>,
+    expansions: &mut u64,
+    pruned_below_min: &mut u64,
+) {
+    let nx = grid.nx as i64;
+    let ny = grid.ny as i64;
+    let nxu = grid.nx;
+    for (i, &from) in frontier_cells.iter().enumerate() {
+        let from_us = from as usize;
+        let ix0 = (from_us % nxu) as i64;
+        let iy0 = (from_us / nxu) as i64;
+        let s_from = frontier_scores[i] as f32;
+        let mut seen = 0u64;
+        for t in trans32.iter() {
+            let ix = ix0 + t.dx as i64;
+            let iy = iy0 + t.dy as i64;
+            if ix < 0 || iy < 0 || ix >= nx || iy >= ny {
+                continue;
+            }
+            seen += 1;
+            let to = iy as usize * nxu + ix as usize;
+            let mut s = s_from + t.trans;
+            if let Some((meas, weight, table)) = hyper {
+                let err = wrap_pi_f32(meas - table.expected(to)).abs()
+                    * std::f32::consts::FRAC_1_PI;
+                s -= weight * err;
+            }
+            let best = &mut scores32[to];
+            if *best == f32::NEG_INFINITY {
+                touched.push(to as u32);
+            }
+            if s > *best {
+                *best = s;
+                preds[to] = from;
+            }
+        }
+        *expansions += seen;
+        for &(dx, dy) in rejected32.iter() {
+            let ix = ix0 + dx as i64;
+            let iy = iy0 + dy as i64;
+            if ix >= 0 && iy >= 0 && ix < nx && iy < ny {
+                *expansions += 1;
+                *pruned_below_min += 1;
+            }
+        }
+    }
+}
+
+/// One Viterbi step over the sparse beam frontier: scores every
+/// (frontier × stencil) candidate under the selected
+/// [`KernelOptions`], truncates to the (possibly adaptive) beam under
+/// the canonical order, appends exactly one flat backpointer frame to
+/// `bp_cells`/`bp_prevs`/`frame_ends`, and installs the new frontier
+/// into the SoA `frontier_cells`/`frontier_scores` pair. This is *the*
+/// hot loop; both the batch decoder ([`decode_optimized`]) and the
+/// streaming [`FixedLagDecoder`] call it, which is what keeps their
+/// outputs bit-for-bit identical.
+///
+/// With `kernel.threads > 1` the frontier is split into contiguous
+/// chunks ([`rf_core::chunk_bounds`]), expanded on scoped workers with
+/// chunk-local dense maps, and merged in chunk index order under the
+/// same strict-improvement (first-wins) rule the sequential scan
+/// applies — so the merged maps, the touched order, and every counter
+/// are bit-identical to the single-threaded expansion at any thread
+/// count.
+///
+/// Does not touch `stats.steps` — callers own the step count.
+#[allow(clippy::too_many_arguments)]
+fn advance_frontier(
+    grid: &Grid,
+    antennas: [Vec3; 2],
+    config: &HmmConfig,
+    beam_width: usize,
+    kernel: &KernelOptions,
+    obs: &StepObservation,
+    emission: Option<&EmissionTable>,
+    emission32: Option<&EmissionTableF32>,
+    ks: &mut KernelScratch,
+    frontier_cells: &mut Vec<u32>,
+    frontier_scores: &mut Vec<f64>,
+    bp_cells: &mut Vec<u32>,
+    bp_prevs: &mut Vec<u32>,
+    frame_ends: &mut Vec<u32>,
+    stats: &mut DecodeStats,
+) {
+    let n = grid.len();
+    let KernelScratch {
+        scores,
+        scores32,
+        preds,
+        touched,
+        step_offsets,
+        trans32,
+        rejected32,
+        next_cells,
+        chunks,
+        stencils,
+    } = ks;
+
+    stats.total_frontier += frontier_cells.len() as u64;
+    stats.max_frontier = stats.max_frontier.max(frontier_cells.len());
+
+    let max_r = obs.region.max_dist.max(grid.cell_m);
+    let dmax = max_r;
+    let target = obs.target_dist.min(obs.region.max_dist);
+    // Outlier suppression: a candidate well below the (already
+    // noise-compensated) lower bound is rejected outright — Eq. 8's
+    // hard annulus with generous quantization slack.
+    let hard_min = obs.region.min_dist - 2.0 * grid.cell_m;
+    // The exact membership rule `neighbourhood` applies, plus the
+    // ULP-safe prefilter bound on the ideal offset distance.
+    let exact_reach = max_r + 1e-12;
+    let prefilter_reach = exact_reach + STENCIL_MARGIN_M;
+
+    let si = cached_stencil(stencils, grid.cell_m, grid.radius_cells(max_r));
+    // Trim the stencil to this step's radius once, so the per-pair
+    // loop carries no prefilter branch.
+    step_offsets.clear();
+    step_offsets
+        .extend(stencils[si].offsets().iter().filter(|o| o.ideal_dist_m <= prefilter_reach));
+
+    let f32_kernel = kernel.precision == KernelPrecision::F32Tolerance;
+    let hyper32 = if f32_kernel {
+        build_f32_plan(
+            config,
+            obs,
+            grid.cell_m,
+            step_offsets,
+            exact_reach,
+            hard_min,
+            target,
+            dmax,
+            trans32,
+            rejected32,
+        );
+        obs.dtheta21.map(|m| {
+            let table = emission32
+                .expect("f32 kernel callers resolve the cast emission table for hyperbola steps");
+            (m as f32, config.hyperbola_weight as f32, table)
+        })
+    } else {
+        None
+    };
+    let ctx = StepCtx {
+        grid,
+        antennas,
+        config,
+        obs,
+        emission,
+        exact_reach,
+        hard_min,
+        target,
+        dmax,
+    };
+
+    // Size the main dense maps (only the lanes the precision uses).
+    if f32_kernel {
+        if scores32.len() < n {
+            scores32.resize(n, f32::NEG_INFINITY);
+        }
+    } else if scores.len() < n {
+        scores.resize(n, f64::NEG_INFINITY);
+    }
+    if preds.len() < n {
+        preds.resize(n, u32::MAX);
+    }
+
+    let workers = kernel.threads.max(1).min(frontier_cells.len().max(1));
+    if workers > 1 {
+        // Chunked intra-step expansion over scoped workers.
+        if chunks.len() < workers {
+            chunks.resize_with(workers, ChunkScratch::default);
+        }
+        for (i, chunk) in chunks.iter_mut().enumerate().take(workers) {
+            let (lo, hi) = rf_core::chunk_bounds(frontier_cells.len(), workers, i);
+            chunk.lo = lo;
+            chunk.hi = hi;
+            chunk.expansions = 0;
+            chunk.pruned_below_min = 0;
+            if f32_kernel {
+                if chunk.scores32.len() < n {
+                    chunk.scores32.resize(n, f32::NEG_INFINITY);
+                }
+            } else if chunk.scores.len() < n {
+                chunk.scores.resize(n, f64::NEG_INFINITY);
+            }
+            if chunk.preds.len() < n {
+                chunk.preds.resize(n, u32::MAX);
+            }
+        }
+        {
+            let fc: &[u32] = frontier_cells;
+            let fs: &[f64] = frontier_scores;
+            let so: &[StencilOffset] = step_offsets;
+            let t32: &[TransOffset32] = trans32;
+            let r32: &[(i32, i32)] = rejected32;
+            rf_core::parallel_for_each_mut(&mut chunks[..workers], workers, |chunk| {
+                let cells = &fc[chunk.lo..chunk.hi];
+                let cell_scores = &fs[chunk.lo..chunk.hi];
+                if f32_kernel {
+                    expand_f32(
+                        grid,
+                        hyper32,
+                        t32,
+                        r32,
+                        cells,
+                        cell_scores,
+                        &mut chunk.scores32,
+                        &mut chunk.preds,
+                        &mut chunk.touched,
+                        &mut chunk.expansions,
+                        &mut chunk.pruned_below_min,
+                    );
+                } else {
+                    expand_f64(
+                        &ctx,
+                        so,
+                        cells,
+                        cell_scores,
+                        &mut chunk.scores,
+                        &mut chunk.preds,
+                        &mut chunk.touched,
+                        &mut chunk.expansions,
+                        &mut chunk.pruned_below_min,
+                    );
+                }
+            });
+        }
+        // Deterministic merge: chunk index order with the strict `>`
+        // improvement rule — exactly the first-wins tie behaviour of
+        // the sequential frontier scan over the same contiguous
+        // ranges, so maps, touched order, and counters all match the
+        // single-threaded expansion bit-for-bit. Chunk entries are
+        // reset during the merge, leaving every chunk clean.
+        for chunk in chunks.iter_mut().take(workers) {
+            stats.expansions += chunk.expansions;
+            stats.pruned_below_min += chunk.pruned_below_min;
+            if f32_kernel {
+                for &c in chunk.touched.iter() {
+                    let cu = c as usize;
+                    let s = chunk.scores32[cu];
+                    let best = &mut scores32[cu];
+                    if *best == f32::NEG_INFINITY {
+                        touched.push(c);
+                    }
+                    if s > *best {
+                        *best = s;
+                        preds[cu] = chunk.preds[cu];
+                    }
+                    chunk.scores32[cu] = f32::NEG_INFINITY;
+                    chunk.preds[cu] = u32::MAX;
+                }
+            } else {
+                for &c in chunk.touched.iter() {
+                    let cu = c as usize;
+                    let s = chunk.scores[cu];
+                    let best = &mut scores[cu];
+                    if *best == f64::NEG_INFINITY {
+                        touched.push(c);
+                    }
+                    if s > *best {
+                        *best = s;
+                        preds[cu] = chunk.preds[cu];
+                    }
+                    chunk.scores[cu] = f64::NEG_INFINITY;
+                    chunk.preds[cu] = u32::MAX;
+                }
+            }
+            chunk.touched.clear();
+        }
+    } else if f32_kernel {
+        expand_f32(
+            grid,
+            hyper32,
+            trans32,
+            rejected32,
+            frontier_cells,
+            frontier_scores,
+            scores32,
+            preds,
+            touched,
+            &mut stats.expansions,
+            &mut stats.pruned_below_min,
+        );
+    } else {
+        expand_f64(
+            &ctx,
+            step_offsets,
+            frontier_cells,
+            frontier_scores,
+            scores,
+            preds,
+            touched,
+            &mut stats.expansions,
+            &mut stats.pruned_below_min,
+        );
+    }
 
     if touched.is_empty() {
         // Inconsistent step: carry the frontier through unchanged.
         stats.carried_steps += 1;
-        for &(c, _) in frontier.iter() {
+        for &c in frontier_cells.iter() {
             bp_cells.push(c);
             bp_prevs.push(c);
         }
@@ -911,28 +1570,88 @@ fn advance_frontier(
     }
     stats.touched_cells += touched.len() as u64;
 
-    next.clear();
-    next.extend(touched.iter().map(|&c| (c, scores[c as usize])));
-    // Keep the top `beam_width` states under the canonical order:
-    // an O(n) partition instead of the reference's full sort.
-    if next.len() > beam_width {
-        stats.pruned_beam += (next.len() - beam_width) as u64;
-        next.select_nth_unstable_by(beam_width - 1, beam_order);
-        next.truncate(beam_width);
+    next_cells.clear();
+    next_cells.extend_from_slice(touched);
+
+    // Effective beam: the configured width, shrunk to the within-margin
+    // set when the adaptive beam is on and the score mass concentrates.
+    let mut eff_beam = beam_width;
+    if let Some(adaptive) = kernel.adaptive {
+        let within = if f32_kernel {
+            let best = next_cells
+                .iter()
+                .map(|&c| scores32[c as usize])
+                .fold(f32::NEG_INFINITY, f32::max);
+            let floor = best - adaptive.margin as f32;
+            next_cells.iter().filter(|&&c| scores32[c as usize] >= floor).count()
+        } else {
+            let best = next_cells
+                .iter()
+                .map(|&c| scores[c as usize])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let floor = best - adaptive.margin;
+            next_cells.iter().filter(|&&c| scores[c as usize] >= floor).count()
+        };
+        let kept = within.max(adaptive.min_keep).min(beam_width);
+        if kept < next_cells.len().min(beam_width) {
+            stats.adaptive_shrunk_steps += 1;
+        }
+        eff_beam = kept;
     }
-    next.sort_unstable_by(beam_order);
-    // Flat backpointer frame, in frontier order.
-    for &(c, _) in next.iter() {
+
+    // Keep the top `eff_beam` states under the canonical order (score
+    // descending via the dense map, cell index ascending): an O(n)
+    // partition plus a sort of the kept beam. The comparator reads the
+    // dense score lanes directly — the SoA shape; for f32 the compare
+    // happens on the f32 lane (`total_cmp` over the cast scores orders
+    // identically to comparing their exact f64 embeddings).
+    if f32_kernel {
+        let lane: &[f32] = scores32;
+        let cmp = |a: &u32, b: &u32| {
+            lane[*b as usize].total_cmp(&lane[*a as usize]).then_with(|| a.cmp(b))
+        };
+        if next_cells.len() > eff_beam {
+            stats.pruned_beam += (next_cells.len() - eff_beam) as u64;
+            next_cells.select_nth_unstable_by(eff_beam - 1, cmp);
+            next_cells.truncate(eff_beam);
+        }
+        next_cells.sort_unstable_by(cmp);
+    } else {
+        let lane: &[f64] = scores;
+        let cmp = |a: &u32, b: &u32| {
+            lane[*b as usize].total_cmp(&lane[*a as usize]).then_with(|| a.cmp(b))
+        };
+        if next_cells.len() > eff_beam {
+            stats.pruned_beam += (next_cells.len() - eff_beam) as u64;
+            next_cells.select_nth_unstable_by(eff_beam - 1, cmp);
+            next_cells.truncate(eff_beam);
+        }
+        next_cells.sort_unstable_by(cmp);
+    }
+
+    // Flat backpointer frame in canonical beam order; install the new
+    // SoA frontier from the dense lanes, then reset the lanes.
+    frontier_cells.clear();
+    frontier_scores.clear();
+    for &c in next_cells.iter() {
+        let cu = c as usize;
         bp_cells.push(c);
-        bp_prevs.push(preds[c as usize]);
+        bp_prevs.push(preds[cu]);
+        frontier_cells.push(c);
+        frontier_scores.push(if f32_kernel { scores32[cu] as f64 } else { scores[cu] });
     }
     frame_ends.push(bp_cells.len() as u32);
     for &c in touched.iter() {
-        scores[c as usize] = f64::NEG_INFINITY;
-        preds[c as usize] = u32::MAX;
+        let cu = c as usize;
+        if f32_kernel {
+            scores32[cu] = f32::NEG_INFINITY;
+        } else {
+            scores[cu] = f64::NEG_INFINITY;
+        }
+        preds[cu] = u32::MAX;
     }
     touched.clear();
-    std::mem::swap(frontier, next);
+    next_cells.clear();
 }
 
 /// One retained backpointer frame of a [`FixedLagDecoder`]: the beam
@@ -976,18 +1695,15 @@ pub struct FixedLagDecoder {
     config: HmmConfig,
     beam_width: usize,
     lag: usize,
-    // Logical (checkpointed) state.
-    frontier: Vec<(u32, f64)>,
+    kernel: KernelOptions,
+    // Logical (checkpointed) state: the SoA frontier …
+    frontier_cells: Vec<u32>,
+    frontier_scores: Vec<f64>,
     frames: std::collections::VecDeque<BeamFrame>,
     committed: Vec<Vec2>,
     stats: DecodeStats,
     // Scratch (reconstructible) state.
-    scores: Vec<f64>,
-    preds: Vec<u32>,
-    touched: Vec<u32>,
-    step_offsets: Vec<StencilOffset>,
-    stencils: Vec<Arc<AnnulusStencil>>,
-    next: Vec<(u32, f64)>,
+    ks: KernelScratch,
     bp_cells: Vec<u32>,
     bp_prevs: Vec<u32>,
     frame_ends: Vec<u32>,
@@ -1034,22 +1750,20 @@ impl FixedLagDecoder {
         committed: Vec<Vec2>,
         stats: DecodeStats,
     ) -> FixedLagDecoder {
+        let (frontier_cells, frontier_scores) = frontier.into_iter().unzip();
         FixedLagDecoder {
             grid,
             antennas,
             config,
             beam_width: beam_width.max(8),
             lag: lag.max(1),
-            frontier,
+            kernel: KernelOptions::default(),
+            frontier_cells,
+            frontier_scores,
             frames: frames.into(),
             committed,
             stats,
-            scores: Vec::new(),
-            preds: Vec::new(),
-            touched: Vec::new(),
-            step_offsets: Vec::new(),
-            stencils: Vec::new(),
-            next: Vec::new(),
+            ks: KernelScratch::default(),
             bp_cells: Vec::new(),
             bp_prevs: Vec::new(),
             frame_ends: Vec::new(),
@@ -1061,24 +1775,30 @@ impl FixedLagDecoder {
     /// Consume one observation; returns how many points were committed
     /// (0 while within the lag, 1 once the pipeline is full).
     pub fn step(&mut self, obs: &StepObservation) -> usize {
-        // Resolve (or reuse) the rig's shared emission table only when
-        // the step carries a hyperbola measurement — same laziness rule
-        // as the batch decoder, same bits either way (the table caches
-        // the exact values `expected_dtheta21` returns). N concurrent
-        // sessions on one rig resolve to one process-wide table.
-        let emission: Option<&EmissionTable> = if obs.dtheta21.is_some() {
-            let stale = self
-                .artifacts
-                .as_ref()
-                .map_or(true, |a| !a.matches(&self.grid, self.antennas, self.config.wavelength_m));
-            if stale {
-                self.artifacts =
-                    Some(artifacts_for(&self.grid, self.antennas, self.config.wavelength_m));
-            }
-            self.artifacts.as_ref().map(|a| a.emission().as_ref())
-        } else {
-            None
-        };
+        // Resolve (or reuse) the rig's shared emission table(s) only
+        // when the step carries a hyperbola measurement — same laziness
+        // rule as the batch decoder, same bits either way (the table
+        // caches the exact values `expected_dtheta21` returns). N
+        // concurrent sessions on one rig resolve to one process-wide
+        // table.
+        let f32_kernel = self.kernel.precision == KernelPrecision::F32Tolerance;
+        let (emission, emission32): (Option<&EmissionTable>, Option<&EmissionTableF32>) =
+            if obs.dtheta21.is_some() {
+                let stale = self.artifacts.as_ref().map_or(true, |a| {
+                    !a.matches(&self.grid, self.antennas, self.config.wavelength_m)
+                });
+                if stale {
+                    self.artifacts =
+                        Some(artifacts_for(&self.grid, self.antennas, self.config.wavelength_m));
+                }
+                let arts = self.artifacts.as_ref().expect("artifacts resolved above");
+                (
+                    Some(arts.emission().as_ref()),
+                    if f32_kernel { Some(arts.emission_f32().as_ref()) } else { None },
+                )
+            } else {
+                (None, None)
+            };
 
         self.stats.steps += 1;
         self.bp_cells.clear();
@@ -1089,15 +1809,13 @@ impl FixedLagDecoder {
             self.antennas,
             &self.config,
             self.beam_width,
+            &self.kernel,
             obs,
             emission,
-            &mut self.scores,
-            &mut self.preds,
-            &mut self.touched,
-            &mut self.step_offsets,
-            &mut self.stencils,
-            &mut self.frontier,
-            &mut self.next,
+            emission32,
+            &mut self.ks,
+            &mut self.frontier_cells,
+            &mut self.frontier_scores,
             &mut self.bp_cells,
             &mut self.bp_prevs,
             &mut self.frame_ends,
@@ -1126,12 +1844,7 @@ impl FixedLagDecoder {
     /// `break` (which silently truncates the earliest points) and is
     /// unreachable for frames this decoder built itself.
     fn commit_oldest(&mut self) {
-        let mut idx = self
-            .frontier
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|&(c, _)| c)
-            .unwrap_or(0);
+        let mut idx = best_frontier_cell(&self.frontier_cells, &self.frontier_scores);
         let mut reached = true;
         for f in (1..self.frames.len()).rev() {
             match self.frames[f].cells.iter().position(|&c| c == idx) {
@@ -1154,12 +1867,7 @@ impl FixedLagDecoder {
     /// decoders) and return `committed ++ tail`; the decoder is left
     /// empty. With `lag ≥ steps` this is the whole batch output.
     pub fn finish(&mut self) -> Vec<Vec2> {
-        let mut idx = self
-            .frontier
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|&(c, _)| c)
-            .unwrap_or(0);
+        let mut idx = best_frontier_cell(&self.frontier_cells, &self.frontier_scores);
         let mut rev = Vec::with_capacity(self.frames.len());
         for f in (0..self.frames.len()).rev() {
             rev.push(self.grid.center(idx as usize));
@@ -1185,9 +1893,27 @@ impl FixedLagDecoder {
         &self.committed
     }
 
-    /// Current frontier, canonically ordered.
-    pub fn frontier(&self) -> &[(u32, f64)] {
-        &self.frontier
+    /// Current frontier, canonically ordered, assembled from the SoA
+    /// lanes as `(cell, score)` pairs (the checkpoint shape).
+    pub fn frontier(&self) -> Vec<(u32, f64)> {
+        self.frontier_cells
+            .iter()
+            .copied()
+            .zip(self.frontier_scores.iter().copied())
+            .collect()
+    }
+
+    /// The kernel this decoder steps with.
+    pub fn kernel(&self) -> KernelOptions {
+        self.kernel
+    }
+
+    /// Select the kernel for subsequent steps. Safe at any step
+    /// boundary: the dense lanes are reset between steps, and the
+    /// frontier scores carry across precisions (f32 scores embed
+    /// exactly in the f64 lane).
+    pub fn set_kernel(&mut self, kernel: KernelOptions) {
+        self.kernel = kernel;
     }
 
     /// Retained (uncommitted) backpointer frames, oldest first.
@@ -1476,19 +2202,130 @@ mod tests {
 
     #[test]
     fn parallel_table_build_is_bit_identical() {
+        // `build_with_workers` pins the exact worker count (the small
+        // test grid is below `PARALLEL_BUILD_MIN_CELLS`, so
+        // `build_parallel` would silently run sequentially and make
+        // this vacuous).
         let g = small_grid();
         let seq = EmissionTable::build(&g, rig(), 0.3276);
-        for threads in [1, 2, 3, 8] {
-            let par = EmissionTable::build_parallel(&g, rig(), 0.3276, threads);
-            assert_eq!(par.len(), seq.len(), "threads={threads}");
+        for workers in [1, 2, 3, 8] {
+            let par = EmissionTable::build_with_workers(&g, rig(), 0.3276, workers);
+            assert_eq!(par.len(), seq.len(), "workers={workers}");
             for idx in 0..g.len() {
                 assert_eq!(
                     par.expected(idx).to_bits(),
                     seq.expected(idx).to_bits(),
-                    "cell {idx}, threads={threads}"
+                    "cell {idx}, workers={workers}"
                 );
             }
         }
+        // The clamped entry point stays bit-identical too (it resolves
+        // to the sequential build here).
+        let clamped = EmissionTable::build_parallel(&g, rig(), 0.3276, 8);
+        for idx in 0..g.len() {
+            assert_eq!(clamped.expected(idx).to_bits(), seq.expected(idx).to_bits());
+        }
+    }
+
+    /// Pins the cold-start fallback decision (BENCH_throughput.json
+    /// showed the 8-thread build at 0.62× sequential on a 1-core host):
+    /// small tables and low available parallelism must build
+    /// sequentially.
+    #[test]
+    fn build_threads_for_falls_back_when_parallelism_cannot_pay() {
+        let big = PARALLEL_BUILD_MIN_CELLS;
+        // Table below the threshold: always sequential, however many
+        // cores and threads are on offer.
+        assert_eq!(build_threads_for(8, 8, big - 1), 1);
+        assert_eq!(build_threads_for(64, 64, 231), 1);
+        // One hardware thread: spawning workers only adds overhead.
+        assert_eq!(build_threads_for(8, 1, big), 1);
+        // Plenty of cells and cores: the request is honoured…
+        assert_eq!(build_threads_for(8, 8, big), 8);
+        assert_eq!(build_threads_for(3, 8, big), 3);
+        // …but clamped to what the host actually has.
+        assert_eq!(build_threads_for(8, 2, big), 2);
+        // Degenerate requests clamp to 1, never 0.
+        assert_eq!(build_threads_for(0, 4, big), 1);
+        assert_eq!(build_threads_for(4, 0, big), 1);
+    }
+
+    #[test]
+    fn emission_table_f32_is_the_cast_of_the_f64_table() {
+        let g = small_grid();
+        let table = EmissionTable::build(&g, rig(), 0.3276);
+        let t32 = EmissionTableF32::from_table(&table);
+        assert_eq!(t32.len(), table.len());
+        assert!(!t32.is_empty());
+        for idx in 0..g.len() {
+            assert_eq!(t32.expected(idx).to_bits(), (table.expected(idx) as f32).to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_kernel_with_threads_matches_sequential_bitwise() {
+        let g = small_grid();
+        let start = Vec2::new(0.02, 0.05);
+        let cfg = HmmConfig::default();
+        let steps = mixed_steps();
+        for beam in [2usize, 64, 2500] {
+            let (want, want_stats) = viterbi_with_stats(&g, rig(), start, &steps, &cfg, beam);
+            for threads in [1usize, 2, 8] {
+                let kernel = KernelOptions::exact().with_threads(threads);
+                let (got, got_stats) =
+                    viterbi_with_kernel(&g, rig(), start, &steps, &cfg, beam, kernel);
+                assert_eq!(got.len(), want.len(), "beam {beam} threads {threads}");
+                for (a, b) in got.iter().zip(&want) {
+                    assert!(
+                        a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits(),
+                        "beam {beam} threads {threads}: {a:?} vs {b:?}"
+                    );
+                }
+                assert_eq!(got_stats, want_stats, "beam {beam} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernel_stays_on_the_board_and_near_the_exact_track() {
+        let g = small_grid();
+        let start = Vec2::new(0.02, 0.05);
+        let cfg = HmmConfig::default();
+        let steps = mixed_steps();
+        let (exact, _) = viterbi_with_stats(&g, rig(), start, &steps, &cfg, 256);
+        let kernel = KernelOptions {
+            precision: KernelPrecision::F32Tolerance,
+            adaptive: None,
+            threads: 1,
+        };
+        let (got, stats) = viterbi_with_kernel(&g, rig(), start, &steps, &cfg, 256, kernel);
+        assert_eq!(got.len(), exact.len());
+        assert_eq!(stats.steps, steps.len());
+        // Smoke-level closeness; the quantitative oracle lives in
+        // tests/kernel_equivalence.rs.
+        for (a, b) in got.iter().zip(&exact) {
+            assert!(a.distance(*b) < 0.03, "f32 drifted: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_beam_shrinks_concentrated_frontiers_and_reports_it() {
+        let g = small_grid();
+        let start = Vec2::new(0.02, 0.05);
+        let cfg = HmmConfig::default();
+        let steps: Vec<StepObservation> =
+            (0..10).map(|_| moving_step(0.008, 0.012, Some(Vec2::new(1.0, 0.0)))).collect();
+        let (want, base) = viterbi_with_stats(&g, rig(), start, &steps, &cfg, 2500);
+        let kernel = KernelOptions::exact()
+            .with_adaptive(Some(AdaptiveBeam { margin: 0.25, min_keep: 4 }));
+        let (got, stats) = viterbi_with_kernel(&g, rig(), start, &steps, &cfg, 2500, kernel);
+        assert!(stats.adaptive_shrunk_steps > 0, "tight margin must shrink: {stats:?}");
+        assert!(stats.max_frontier <= 2500);
+        assert!(stats.max_frontier < base.max_frontier, "shrink must be visible");
+        // A strong direction prior concentrates mass on the true path,
+        // so even an aggressive margin keeps the same track end.
+        assert_eq!(got.len(), want.len());
+        assert!(got.last().unwrap().distance(*want.last().unwrap()) < 0.02);
     }
 
     #[test]

@@ -49,8 +49,8 @@
 
 use crate::distance::{directional_displacement, expected_dtheta21, feasible_region};
 use crate::hmm::{
-    rotate_trajectory, BeamFrame, DecodeStats, FixedLagDecoder, Grid, StepObservation,
-    DEFAULT_BEAM_WIDTH,
+    rotate_trajectory, AdaptiveBeam, BeamFrame, DecodeStats, FixedLagDecoder, Grid,
+    KernelOptions, KernelPrecision, StepObservation, DEFAULT_BEAM_WIDTH,
 };
 use crate::model::{direction_from_azimuth, rotation_angle, Cardinal, Rotation, Sector};
 use crate::pipeline::{DegradationReport, PolarDrawConfig, StepEstimate, StepKind, TrackOutput};
@@ -63,7 +63,7 @@ use rfid_sim::tracking::Trail;
 use rfid_sim::TagReport;
 
 /// Streaming knobs for an [`OnlineTracker`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlineOptions {
     /// Decoder decision lag, in steps: how many backpointer frames the
     /// fixed-lag Viterbi retains before committing the oldest point.
@@ -75,6 +75,13 @@ pub struct OnlineOptions {
     /// for already-closed windows are dropped (and counted).
     /// `usize::MAX` closes nothing until [`OnlineTracker::finalize`].
     pub hold: usize,
+    /// Decode kernel configuration forwarded to the [`FixedLagDecoder`]:
+    /// precision ([`KernelPrecision::F64Exact`] keeps the bit-exact
+    /// batch-equivalence contract; `F32Tolerance` trades it for speed
+    /// under the tolerance oracle), intra-step expansion threads, and
+    /// the optional adaptive beam. Checkpoints carry it, so a restored
+    /// session keeps running the same kernel.
+    pub kernel: KernelOptions,
 }
 
 impl Default for OnlineOptions {
@@ -83,14 +90,20 @@ impl Default for OnlineOptions {
         // windows — glyph-scale, far beyond where the beam's survivor
         // paths merge in practice; hold 2 tolerates LLRP reorderings of
         // up to a full window without stalling commits.
-        OnlineOptions { lag: 64, hold: 2 }
+        OnlineOptions { lag: 64, hold: 2, kernel: KernelOptions::default() }
     }
 }
 
 impl OnlineOptions {
-    /// Batch-equivalent options: infinite lag, infinite hold.
+    /// Batch-equivalent options: infinite lag, infinite hold, exact
+    /// kernel.
     pub fn batch() -> OnlineOptions {
-        OnlineOptions { lag: usize::MAX, hold: usize::MAX }
+        OnlineOptions { lag: usize::MAX, hold: usize::MAX, kernel: KernelOptions::exact() }
+    }
+
+    /// Same options with a different decode kernel.
+    pub fn with_kernel(self, kernel: KernelOptions) -> OnlineOptions {
+        OnlineOptions { kernel, ..self }
     }
 }
 
@@ -135,7 +148,7 @@ impl OnlineTracker {
     /// New streaming tracker.
     pub fn new(config: PolarDrawConfig, options: OnlineOptions) -> OnlineTracker {
         let grid = Grid::covering(config.board_min, config.board_max, config.hmm.cell_m);
-        let decoder = FixedLagDecoder::new(
+        let mut decoder = FixedLagDecoder::new(
             grid,
             config.antennas,
             config.start_hint,
@@ -143,6 +156,7 @@ impl OnlineTracker {
             DEFAULT_BEAM_WIDTH,
             options.lag,
         );
+        decoder.set_kernel(options.kernel);
         OnlineTracker {
             config,
             options,
@@ -583,6 +597,7 @@ impl OnlineTracker {
                 Json::obj([
                     ("lag", usize_json(self.options.lag)),
                     ("hold", usize_json(self.options.hold)),
+                    ("kernel", kernel_options_json(&self.options.kernel)),
                 ]),
             ),
             (
@@ -700,8 +715,17 @@ impl OnlineTracker {
             ));
         }
         let opts = v.get("options").ok_or_else(|| jerr("missing `options`"))?;
-        let options =
-            OnlineOptions { lag: req_usize(opts, "lag")?, hold: req_usize(opts, "hold")? };
+        let options = OnlineOptions {
+            lag: req_usize(opts, "lag")?,
+            hold: req_usize(opts, "hold")?,
+            // Absent in pre-kernel checkpoints: those ran the default
+            // (exact, sequential) kernel, so default is the faithful
+            // reading, not just a lenient one.
+            kernel: match opts.get("kernel") {
+                None | Some(Json::Null) => KernelOptions::default(),
+                Some(k) => kernel_options_from(k)?,
+            },
+        };
 
         let mut tracker = OnlineTracker::new(config, options);
 
@@ -815,6 +839,7 @@ impl OnlineTracker {
             committed,
             stats,
         );
+        tracker.decoder.set_kernel(options.kernel);
         Ok(tracker)
     }
 
@@ -1101,6 +1126,7 @@ fn decode_stats_json(s: &DecodeStats) -> Json {
         ("touched_cells", Json::num(s.touched_cells as f64)),
         ("max_frontier", usize_json(s.max_frontier)),
         ("total_frontier", Json::num(s.total_frontier as f64)),
+        ("adaptive_shrunk_steps", usize_json(s.adaptive_shrunk_steps)),
     ])
 }
 
@@ -1114,7 +1140,53 @@ fn decode_stats_from(v: &Json) -> Result<DecodeStats, JsonError> {
         touched_cells: v.req_f64("touched_cells")? as u64,
         max_frontier: req_usize(v, "max_frontier")?,
         total_frontier: v.req_f64("total_frontier")? as u64,
+        // Absent in pre-kernel checkpoints (written before the adaptive
+        // beam existed, which implies it never shrank a step).
+        adaptive_shrunk_steps: match v.get("adaptive_shrunk_steps") {
+            None | Some(Json::Null) => 0,
+            Some(n) => n.as_f64().ok_or_else(|| jerr("non-numeric `adaptive_shrunk_steps`"))?
+                as usize,
+        },
     })
+}
+
+fn kernel_options_json(k: &KernelOptions) -> Json {
+    Json::obj([
+        (
+            "precision",
+            Json::str(match k.precision {
+                KernelPrecision::F64Exact => "f64",
+                KernelPrecision::F32Tolerance => "f32",
+            }),
+        ),
+        ("threads", usize_json(k.threads)),
+        (
+            "adaptive",
+            match &k.adaptive {
+                Some(a) => Json::obj([
+                    ("margin", Json::num(a.margin)),
+                    ("min_keep", usize_json(a.min_keep)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+fn kernel_options_from(v: &Json) -> Result<KernelOptions, JsonError> {
+    let precision = match v.get("precision").and_then(Json::as_str) {
+        Some("f64") => KernelPrecision::F64Exact,
+        Some("f32") => KernelPrecision::F32Tolerance,
+        other => return Err(jerr(format!("bad kernel precision {other:?}"))),
+    };
+    let adaptive = match v.get("adaptive") {
+        None | Some(Json::Null) => None,
+        Some(a) => Some(AdaptiveBeam {
+            margin: a.req_f64("margin")?,
+            min_keep: req_usize(a, "min_keep")?,
+        }),
+    };
+    Ok(KernelOptions { precision, adaptive, threads: req_usize(v, "threads")? })
 }
 
 #[cfg(test)]
@@ -1164,7 +1236,7 @@ mod tests {
         let cfg = PolarDrawConfig::default();
         let stream = downward_stream(30);
         let batch = PolarDraw::new(cfg).track_with_diagnostics(&stream);
-        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: usize::MAX, hold: 2 });
+        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: usize::MAX, hold: 2, ..OnlineOptions::default() });
         for &r in &stream {
             online.push(r);
         }
@@ -1181,7 +1253,7 @@ mod tests {
     fn finite_lag_commits_while_streaming() {
         let cfg = PolarDrawConfig::default();
         let stream = downward_stream(40);
-        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: 5, hold: 1 });
+        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: 5, hold: 1, ..OnlineOptions::default() });
         let mut saw_commit_mid_stream = false;
         for &r in &stream {
             online.push(r);
@@ -1200,7 +1272,7 @@ mod tests {
     fn checkpoint_round_trips_through_json_text() {
         let cfg = PolarDrawConfig::default();
         let stream = downward_stream(20);
-        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: 8, hold: 1 });
+        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: 8, hold: 1, ..OnlineOptions::default() });
         for &r in &stream[..70] {
             online.push(r);
         }
@@ -1225,7 +1297,7 @@ mod tests {
     #[test]
     fn late_reports_are_dropped_and_counted_in_streaming_mode() {
         let cfg = PolarDrawConfig::default();
-        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: 8, hold: 1 });
+        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: 8, hold: 1, ..OnlineOptions::default() });
         for &r in &downward_stream(20) {
             online.push(r);
         }

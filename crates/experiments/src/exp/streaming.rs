@@ -78,7 +78,7 @@ pub fn run(opts: &RunOpts) -> Vec<Report> {
             let dists = parallel_map(jobs, opts.threads, |(setup, seed)| {
                 let (truth, reports) = simulate_reports(setup, *seed);
                 let cfg = polardraw_config_for(setup);
-                let mut online = OnlineTracker::new(cfg, OnlineOptions { lag, hold: 2 });
+                let mut online = OnlineTracker::new(cfg, OnlineOptions { lag, hold: 2, ..OnlineOptions::default() });
                 online.extend(&reports);
                 let out = online.finalize();
                 procrustes_distance(&truth, &out.trail.points, 64)

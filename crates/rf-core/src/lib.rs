@@ -47,7 +47,7 @@ pub use complex::Complex;
 pub use db::{db_to_ratio, dbm_to_mw, mw_to_dbm, ratio_to_db};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use mat::Mat2;
-pub use par::{parallel_for_each_mut, parallel_map};
+pub use par::{chunk_bounds, parallel_for_each_mut, parallel_map};
 pub use rng::Rng64;
 pub use vec::{Vec2, Vec3};
 

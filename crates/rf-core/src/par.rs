@@ -87,6 +87,26 @@ where
     out
 }
 
+/// The `i`-th of `chunks` contiguous ranges evenly partitioning `0..n`,
+/// as a `[lo, hi)` pair: the first `n % chunks` ranges get one extra
+/// element, so sizes differ by at most one and the ranges jointly cover
+/// `0..n` in order, without gaps or overlap.
+///
+/// This is the fan-out geometry for work that must stay *ordered* while
+/// being claimed in parallel — the decoder's chunked frontier expansion
+/// splits its frontier with this and merges chunk results back in chunk
+/// index order, which is what makes the parallel expansion bit-identical
+/// to the sequential scan.
+pub fn chunk_bounds(n: usize, chunks: usize, i: usize) -> (usize, usize) {
+    let chunks = chunks.max(1);
+    assert!(i < chunks, "chunk index {i} out of {chunks}");
+    let base = n / chunks;
+    let rem = n % chunks;
+    let lo = i * base + i.min(rem);
+    let hi = lo + base + usize::from(i < rem);
+    (lo, hi)
+}
+
 /// Run `f` on every element of `slots` in place, on up to `threads`
 /// workers, claiming slots from the same kind of shared atomic counter
 /// as [`parallel_map`].
@@ -221,6 +241,44 @@ mod tests {
             }
         }
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for n in [0usize, 1, 2, 3, 7, 8, 9, 64, 257, 2500] {
+            for chunks in [1usize, 2, 3, 7, 8, 16] {
+                let mut expect_lo = 0;
+                let mut sizes = Vec::new();
+                for i in 0..chunks {
+                    let (lo, hi) = chunk_bounds(n, chunks, i);
+                    assert_eq!(lo, expect_lo, "n={n} chunks={chunks} i={i}: contiguous");
+                    assert!(hi >= lo, "n={n} chunks={chunks} i={i}: ordered");
+                    sizes.push(hi - lo);
+                    expect_lo = hi;
+                }
+                assert_eq!(expect_lo, n, "n={n} chunks={chunks}: covers 0..n");
+                let max = sizes.iter().copied().max().unwrap();
+                let min = sizes.iter().copied().min().unwrap();
+                assert!(max - min <= 1, "n={n} chunks={chunks}: even split, sizes {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_degenerate_inputs() {
+        // 0 chunks clamps to 1: one range holding everything.
+        assert_eq!(chunk_bounds(5, 0, 0), (0, 5));
+        // More chunks than elements: leading singletons, then empties.
+        assert_eq!(chunk_bounds(2, 4, 0), (0, 1));
+        assert_eq!(chunk_bounds(2, 4, 1), (1, 2));
+        assert_eq!(chunk_bounds(2, 4, 2), (2, 2));
+        assert_eq!(chunk_bounds(2, 4, 3), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn chunk_bounds_rejects_out_of_range_index() {
+        chunk_bounds(10, 2, 2);
     }
 
     #[test]

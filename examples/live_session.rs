@@ -43,7 +43,7 @@ fn main() {
 
     // ---- First leg: supervise until the process "dies" mid-glyph. ----
     let mut sup = SessionSupervisor::new(session_cfg, link.clone());
-    let mut tracker = OnlineTracker::new(cfg, OnlineOptions { lag: 64, hold: 2 });
+    let mut tracker = OnlineTracker::new(cfg, OnlineOptions { lag: 64, hold: 2, ..OnlineOptions::default() });
     let t_kill = 0.65 * t_hi;
     sup.run(&mut tracker, 0.0, t_kill);
     println!(

@@ -5,9 +5,16 @@
 # median-of-N — see crates/bench/src/harness.rs):
 #
 # * decode — the Viterbi hot path. Copies the report to
-#   BENCH_decode.json and enforces the optimized-vs-reference speedup
-#   floor at the paper-fidelity workload (cell 2.5 mm, beam 2500,
-#   100 steps).
+#   BENCH_decode.json and enforces three gates at the paper-fidelity
+#   workload (cell 2.5 mm, beam 2500, 100 steps):
+#   - the headline fast-kernel-vs-reference speedup floor
+#     (decode/opt vs decode/ref, default 8×: f32 tables + adaptive
+#     beam compound well past the old exact-path floor of 3×);
+#   - the adaptive beam must keep paying on top of the f32 tables
+#     (decode/opt vs decode/f32 ≥ 1.5×), so it cannot silently
+#     degenerate into a no-op;
+#   - the bit-exact f64 SoA path must keep beating the naive
+#     reference on its own (decode/exact vs decode/ref ≥ 2×).
 # * throughput — the multi-session serving engine. Copies the report
 #   to BENCH_throughput.json and enforces two gates:
 #   - a core-count-aware scaling floor on the 8-session drain,
@@ -23,11 +30,11 @@
 #
 # Usage: scripts/bench.sh [--suite decode|throughput|all] [--min-speedup X]
 #   --suite        which suite(s) to run (default all)
-#   --min-speedup  decode opt-vs-ref floor (default 3.0)
+#   --min-speedup  decode opt-vs-ref floor (default 8.0)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-MIN_SPEEDUP=3.0
+MIN_SPEEDUP=8.0
 SUITE=all
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -50,6 +57,18 @@ if [ "$SUITE" = decode ] || [ "$SUITE" = all ]; then
 
     cargo run --release --offline -p polardraw-bench --bin bench_check -- \
         BENCH_decode.json --min-speedup "$MIN_SPEEDUP"
+
+    # Kernel-layer gates (see crates/bench/benches/decode.rs): the
+    # adaptive beam on top of the f32 tables, and the exact f64 SoA
+    # path on its own.
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        BENCH_decode.json --min-speedup 1.5 \
+        --ref decode/f32/cell2.5mm/beam2500/steps100 \
+        --opt decode/opt/cell2.5mm/beam2500/steps100
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        BENCH_decode.json --min-speedup 2.0 \
+        --ref decode/ref/cell2.5mm/beam2500/steps100 \
+        --opt decode/exact/cell2.5mm/beam2500/steps100
 fi
 
 if [ "$SUITE" = throughput ] || [ "$SUITE" = all ]; then

@@ -19,8 +19,9 @@
 
 use polardraw_core::distance::{expected_dtheta21, FeasibleRegion};
 use polardraw_core::hmm::{
-    viterbi_beam, viterbi_reference, viterbi_with_scratch, viterbi_with_stats, DecoderScratch,
-    Grid, HmmConfig, StepObservation,
+    viterbi_beam, viterbi_reference, viterbi_with_kernel, viterbi_with_scratch,
+    viterbi_with_stats, DecoderScratch, Grid, HmmConfig, KernelOptions, KernelPrecision,
+    StepObservation,
 };
 use rf_core::rng::{derive_seed_indexed, Rng64};
 use rf_core::{Vec2, Vec3};
@@ -162,6 +163,58 @@ fn tiny_beam_widths_stay_equivalent() {
     sweep("viterbi_tiny_beam", 64, |rng, ctx| {
         let sc = random_scenario(rng, &[0, 1, 2, 7]);
         run_case(&sc, ctx);
+    });
+}
+
+/// Intra-step-parallel expansion (SoA frontier split into contiguous
+/// chunks, merged in chunk index order): threads 1/2/8 must be
+/// bit-identical to the single-threaded SoA path — tracks AND work
+/// counters — in both precisions. The corner cases ride along:
+/// collapse (annulus off-board), carry-through (min > max), and tiny
+/// beams (the `< 8` clamp).
+#[test]
+fn intra_step_parallel_expansion_is_bit_identical() {
+    sweep("viterbi_intra_step_parallel", 96, |rng, ctx| {
+        let mut sc = random_scenario(rng, &[0, 2, 8, 64, 2500]);
+        // A third of the cases cross the degenerate paths while
+        // chunked: corrupt 1–2 steps into infeasibility.
+        if rng.gen_bool(0.33) {
+            for _ in 0..1 + rng.gen_index(2.min(sc.steps.len())) {
+                let k = rng.gen_index(sc.steps.len());
+                sc.steps[k].region = if rng.gen_bool(0.5) {
+                    FeasibleRegion { min_dist: 0.5, max_dist: sc.grid.cell_m }
+                } else {
+                    FeasibleRegion { min_dist: 5.0, max_dist: 6.0 }
+                };
+            }
+        }
+        for precision in [KernelPrecision::F64Exact, KernelPrecision::F32Tolerance] {
+            let base = KernelOptions { precision, adaptive: None, threads: 1 };
+            let (want, want_stats) = viterbi_with_kernel(
+                &sc.grid, sc.antennas, sc.start, &sc.steps, &sc.config, sc.beam_width, base,
+            );
+            if precision == KernelPrecision::F64Exact {
+                // The sequential SoA baseline itself is the reference.
+                let slow = viterbi_reference(
+                    &sc.grid, sc.antennas, sc.start, &sc.steps, &sc.config, sc.beam_width,
+                );
+                assert_tracks_identical(&want, &slow, &format!("{ctx} [f64 baseline]"));
+            }
+            for threads in [2usize, 8] {
+                let (got, got_stats) = viterbi_with_kernel(
+                    &sc.grid,
+                    sc.antennas,
+                    sc.start,
+                    &sc.steps,
+                    &sc.config,
+                    sc.beam_width,
+                    base.with_threads(threads),
+                );
+                let tctx = format!("{ctx} [{precision:?} threads {threads}]");
+                assert_tracks_identical(&got, &want, &tctx);
+                assert_eq!(got_stats, want_stats, "{tctx}: work counters differ");
+            }
+        }
     });
 }
 

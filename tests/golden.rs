@@ -20,8 +20,12 @@
 //! `GOLDEN_REGEN=1 cargo test --test golden` — then review the diff.
 
 use experiments::runner::RunOpts;
-use experiments::setup::{run_trial, TrialSetup};
+use experiments::setup::{polardraw_config_for, run_trial, simulate_reports, TrialSetup};
+use polardraw_core::hmm::KernelOptions;
+use polardraw_core::{OnlineOptions, OnlineTracker};
+use recognition::{procrustes_distance, LetterRecognizer};
 use rf_core::json::{Json, ToJson};
+use rf_core::Vec2;
 use std::path::PathBuf;
 
 fn snapshot_path(name: &str) -> PathBuf {
@@ -105,4 +109,88 @@ fn trace_json(run: &experiments::setup::TrialRun) -> String {
 fn golden_trace_letter_trial() {
     let run = run_trial(&TrialSetup::letter('L'), 42);
     assert_matches_snapshot("trace_letter_L.json", &trace_json(&run));
+}
+
+/// Decode a trial's stream through the online engine with an explicit
+/// kernel (batch mode, so the result is the full-hindsight trail).
+fn trail_with_kernel(setup: &TrialSetup, seed: u64, kernel: KernelOptions) -> Vec<Vec2> {
+    let (_, reports) = simulate_reports(setup, seed);
+    let cfg = polardraw_config_for(setup);
+    let mut online = OnlineTracker::new(cfg, OnlineOptions::batch().with_kernel(kernel));
+    online.extend(&reports);
+    online.finalize().trail.points
+}
+
+/// The golden-trace workload (full-fidelity letter 'L', seed 42) under
+/// the `F32Tolerance` fast kernel, pinned by the tolerance oracle
+/// rather than bitwise: the fast trail must stay within 1 cm Procrustes
+/// distance of the exact trail (the one `trace_letter_L.json` pins
+/// bit-for-bit), must not classify differently, and must stay in the
+/// paper's error regime against ground truth.
+#[test]
+fn golden_f32_letter_trail_within_tolerance_oracle() {
+    let setup = TrialSetup::letter('L');
+    let (truth, _) = simulate_reports(&setup, 42);
+    let exact = trail_with_kernel(&setup, 42, KernelOptions::exact());
+    let fast = trail_with_kernel(&setup, 42, KernelOptions::fast());
+    assert_eq!(exact.len(), fast.len(), "trail lengths must agree");
+
+    let d_kernels = procrustes_distance(&exact, &fast, 64).expect("non-degenerate trails");
+    assert!(d_kernels < 0.01, "fast-vs-exact Procrustes {d_kernels:.4} m ≥ 1 cm");
+
+    let d_exact = procrustes_distance(&truth, &exact, 64).expect("non-degenerate");
+    let d_fast = procrustes_distance(&truth, &fast, 64).expect("non-degenerate");
+    assert!(d_fast < 0.10, "fast kernel left the paper's error regime: {d_fast:.4} m");
+    assert!(
+        d_fast <= d_exact + 0.01,
+        "fast kernel degraded truth error: {d_fast:.4} m vs exact {d_exact:.4} m"
+    );
+
+    let rec = LetterRecognizer::new();
+    assert_eq!(rec.classify(&fast), rec.classify(&exact), "classification parity");
+    eprintln!(
+        "letter-L f32 deltas: fast-vs-exact {d_kernels:.5} m, \
+         truth error exact {d_exact:.5} m / fast {d_fast:.5} m"
+    );
+}
+
+/// Accuracy-parity snapshot on the fig13 reduced config: every letter
+/// of the alphabet decoded once (seed 42, cell_scale 8) under both
+/// kernels, with each trail's classification recorded. Classification
+/// is discrete, so the table is a stable artifact even though the f32
+/// trail itself is not bit-pinned. Regenerate with `GOLDEN_REGEN=1`
+/// after an intentional kernel change and review the parity column.
+#[test]
+fn golden_fig13_precision_parity() {
+    let rec = LetterRecognizer::new();
+    let mut rows = Vec::new();
+    let mut exact_correct = 0usize;
+    let mut fast_correct = 0usize;
+    for &ch in pen_sim::glyph::ALPHABET.iter() {
+        let setup = TrialSetup::letter(ch).with_cell_scale(8.0);
+        let exact = trail_with_kernel(&setup, 42, KernelOptions::exact());
+        let fast = trail_with_kernel(&setup, 42, KernelOptions::fast());
+        let e = rec.classify(&exact);
+        let f = rec.classify(&fast);
+        exact_correct += usize::from(e == Some(ch));
+        fast_correct += usize::from(f == Some(ch));
+        let as_str = |c: Option<char>| c.map(String::from).unwrap_or_else(|| "-".into());
+        rows.push(Json::obj([
+            ("letter", Json::str(ch.to_string())),
+            ("exact", Json::str(as_str(e))),
+            ("fast", Json::str(as_str(f))),
+        ]));
+    }
+    assert!(
+        fast_correct + 1 >= exact_correct,
+        "fast kernel lost reduced-config letter accuracy: {fast_correct} vs {exact_correct}"
+    );
+    let doc = Json::obj([
+        ("config", Json::str("fig13 reduced: trials=1, cell_scale=8, seed=42")),
+        ("exact_correct", Json::Num(exact_correct as f64)),
+        ("fast_correct", Json::Num(fast_correct as f64)),
+        ("letters", Json::Arr(rows)),
+    ])
+    .to_json_string();
+    assert_matches_snapshot("fig13_precision_parity.json", &doc);
 }

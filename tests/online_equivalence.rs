@@ -55,7 +55,7 @@ fn streaming_push_equals_batch_on_real_simulated_streams() {
         // Report-by-report streaming with a finite hold and infinite
         // lag: windows close while the pen is still writing, yet the
         // result is the batch output bit-for-bit.
-        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: usize::MAX, hold: 2 });
+        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: usize::MAX, hold: 2, ..OnlineOptions::default() });
         for &r in &reports {
             online.push(r);
         }
@@ -74,7 +74,7 @@ fn fixed_lag_at_or_beyond_horizon_is_bitwise_batch() {
     assert!(horizon > 10, "stream must be long enough to be interesting");
 
     for lag in [horizon, horizon + 1, 4 * horizon] {
-        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag, hold: 2 });
+        let mut online = OnlineTracker::new(cfg, OnlineOptions { lag, hold: 2, ..OnlineOptions::default() });
         online.extend(&reports);
         assert!(
             online.committed().is_empty(),
@@ -89,7 +89,7 @@ fn finite_lag_commits_early_and_stays_finite() {
     let setup = coarse_letter('C');
     let (_, reports) = simulate_reports(&setup, 4);
     let cfg = polardraw_config_for(&setup);
-    let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: 8, hold: 2 });
+    let mut online = OnlineTracker::new(cfg, OnlineOptions { lag: 8, hold: 2, ..OnlineOptions::default() });
     let mut committed_mid_stream = 0;
     for &r in &reports {
         online.push(r);
@@ -120,7 +120,7 @@ fn checkpoint_restore_resume_is_bitwise_at_every_cut_point() {
             epc: 1,
         })
         .collect();
-    sweep_cuts(cfg, &synthetic, OnlineOptions { lag: 6, hold: 1 }, 1, "synthetic");
+    sweep_cuts(cfg, &synthetic, OnlineOptions { lag: 6, hold: 1, ..OnlineOptions::default() }, 1, "synthetic");
 
     // ...and real fault-injected letter streams at strided cut points,
     // across derived seeds.
@@ -133,7 +133,7 @@ fn checkpoint_restore_resume_is_bitwise_at_every_cut_point() {
         sweep_cuts(
             cfg,
             &reports,
-            OnlineOptions { lag: 12, hold: 2 },
+            OnlineOptions { lag: 12, hold: 2, ..OnlineOptions::default() },
             reports.len() / 23 + 1,
             &format!("trial {trial}"),
         );

@@ -541,3 +541,183 @@ fn adversarial_streams_track_without_panicking() {
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// Adaptive-beam decoder properties (derived-seed sweeps over the
+// kernel knobs introduced with the SoA/f32 beam rewrite).
+// ---------------------------------------------------------------------
+
+/// A clean-glyph decode scenario: a smooth simulated pen path whose
+/// observations are all mutually consistent (true step direction, an
+/// annulus bracketing the true step length, the exact hyperbola
+/// measurement at the destination). Returns the scenario plus the
+/// ground-truth trajectory.
+fn clean_glyph_scenario(
+    rng: &mut Rng64,
+) -> (
+    polardraw_core::hmm::Grid,
+    [Vec3; 2],
+    Vec2,
+    Vec<polardraw_core::hmm::StepObservation>,
+    polardraw_core::hmm::HmmConfig,
+) {
+    use polardraw_core::distance::{expected_dtheta21, FeasibleRegion};
+    use polardraw_core::hmm::{Grid, HmmConfig, StepObservation};
+
+    let cell_m = rng.gen_range(0.004..0.012);
+    let min = Vec2::new(rng.gen_range(-0.2..0.0), rng.gen_range(0.3..0.5));
+    let span = Vec2::new(rng.gen_range(0.15..0.3), rng.gen_range(0.15..0.3));
+    let grid = Grid::covering(min, min + span, cell_m);
+    let antennas = [
+        Vec3::new(rng.gen_range(-0.4..-0.2), rng.gen_range(0.1..0.2), rng.gen_range(0.5..0.7)),
+        Vec3::new(rng.gen_range(0.2..0.4), rng.gen_range(0.1..0.2), rng.gen_range(0.5..0.7)),
+    ];
+    let config = HmmConfig { cell_m, ..HmmConfig::default() };
+    let mut pos = min + span * 0.5;
+    let start = pos;
+    let mut heading = rng.gen_range(0.0..TAU);
+    let n = 12 + rng.gen_index(12);
+    let mut steps = Vec::with_capacity(n);
+    for _ in 0..n {
+        heading += rng.gaussian(0.3);
+        let step_len = rng.gen_range(cell_m * 1.2..cell_m * 2.5);
+        let mut next = pos + Vec2::from_angle(heading) * step_len;
+        // Steer back toward the middle rather than walking off-board.
+        if next.x < min.x + span.x * 0.1
+            || next.x > min.x + span.x * 0.9
+            || next.y < min.y + span.y * 0.1
+            || next.y > min.y + span.y * 0.9
+        {
+            let center = min + span * 0.5;
+            heading = (center - pos).angle();
+            next = pos + Vec2::from_angle(heading) * step_len;
+        }
+        let dir = (next - pos) * (1.0 / step_len);
+        steps.push(StepObservation {
+            region: FeasibleRegion { min_dist: step_len * 0.7, max_dist: step_len * 1.4 },
+            direction: Some(dir),
+            dtheta21: Some(expected_dtheta21(next, antennas, config.wavelength_m)),
+            target_dist: step_len,
+        });
+        pos = next;
+    }
+    (grid, antennas, start, steps, config)
+}
+
+/// On clean glyphs the adaptive beam must never prune the surviving
+/// path: with the default margin, the exact-precision adaptive decode
+/// returns bit-for-bit the non-adaptive track. The sweep also checks
+/// the shrinking is real (not vacuous) in aggregate.
+#[test]
+fn adaptive_beam_never_prunes_the_surviving_path_on_clean_glyphs() {
+    use polardraw_core::hmm::{viterbi_with_kernel, AdaptiveBeam, KernelOptions};
+
+    let mut shrunk_total = 0usize;
+    sweep("adaptive_clean_glyphs", 64, |rng, ctx| {
+        let (grid, antennas, start, steps, config) = clean_glyph_scenario(rng);
+        let (want, _) = viterbi_with_kernel(
+            &grid, antennas, start, &steps, &config, 2500, KernelOptions::exact(),
+        );
+        let kernel =
+            KernelOptions::exact().with_adaptive(Some(AdaptiveBeam::default()));
+        let (got, stats) =
+            viterbi_with_kernel(&grid, antennas, start, &steps, &config, 2500, kernel);
+        assert_eq!(got.len(), want.len(), "{ctx}: track lengths differ");
+        for (k, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits(),
+                "{ctx}: adaptive pruning changed point {k}: {a:?} vs {b:?}"
+            );
+        }
+        shrunk_total += stats.adaptive_shrunk_steps;
+    });
+    assert!(shrunk_total > 0, "the adaptive beam never engaged across the whole sweep");
+}
+
+/// Under alternating concentrated / diffuse observation phases (the
+/// beam shrinks, then must regrow), the frontier never exceeds the
+/// configured beam and the cumulative work counters stay monotone.
+#[test]
+fn adaptive_frontier_counters_monotone_and_bounded_under_shrink_regrow() {
+    use polardraw_core::distance::{expected_dtheta21, FeasibleRegion};
+    use polardraw_core::hmm::{
+        AdaptiveBeam, FixedLagDecoder, KernelOptions, KernelPrecision, StepObservation,
+    };
+
+    sweep("adaptive_shrink_regrow", 48, |rng, ctx| {
+        let (grid, antennas, start, clean_steps, config) = clean_glyph_scenario(rng);
+        let beam = [64usize, 256, 2500][rng.gen_index(3)];
+        let precision = if rng.gen_bool(0.5) {
+            KernelPrecision::F64Exact
+        } else {
+            KernelPrecision::F32Tolerance
+        };
+        let kernel = KernelOptions { precision, adaptive: None, threads: 1 }
+            .with_adaptive(Some(AdaptiveBeam {
+                margin: rng.gen_range(0.5..8.0),
+                min_keep: 8 + rng.gen_index(64),
+            }));
+        let mut dec =
+            FixedLagDecoder::new(grid, antennas, start, config, beam, usize::MAX);
+        dec.set_kernel(kernel);
+        // Interleave: concentrated steps (clean, direction + hyperbola)
+        // with diffuse ones (no prior at all, wide annulus) so the
+        // frontier shrinks and regrows repeatedly.
+        let diffuse = StepObservation {
+            region: FeasibleRegion { min_dist: 0.0, max_dist: config.cell_m * 4.0 },
+            direction: None,
+            dtheta21: None,
+            target_dist: config.cell_m,
+        };
+        let mut prev = dec.stats();
+        let mut max_seen_frontier = 0usize;
+        for (k, obs) in clean_steps.iter().enumerate() {
+            for obs in [obs, &diffuse, &diffuse] {
+                dec.step(obs);
+                let cur = dec.stats();
+                let frontier = dec.frontier().len();
+                max_seen_frontier = max_seen_frontier.max(frontier);
+                // Bounded by the configured beam (after the ≥8 clamp).
+                assert!(
+                    frontier <= beam.max(8),
+                    "{ctx}: step {k}: frontier {frontier} > beam {beam}"
+                );
+                assert!(
+                    cur.max_frontier <= beam.max(8),
+                    "{ctx}: step {k}: max_frontier {} > beam {beam}",
+                    cur.max_frontier
+                );
+                // Monotone cumulative counters.
+                assert!(cur.steps == prev.steps + 1, "{ctx}: steps must advance");
+                assert!(cur.expansions >= prev.expansions, "{ctx}: expansions regressed");
+                assert!(
+                    cur.total_frontier >= prev.total_frontier,
+                    "{ctx}: total_frontier regressed"
+                );
+                assert!(
+                    cur.touched_cells >= prev.touched_cells,
+                    "{ctx}: touched_cells regressed"
+                );
+                assert!(
+                    cur.pruned_beam >= prev.pruned_beam,
+                    "{ctx}: pruned_beam regressed"
+                );
+                assert!(
+                    cur.adaptive_shrunk_steps >= prev.adaptive_shrunk_steps,
+                    "{ctx}: adaptive_shrunk_steps regressed"
+                );
+                assert!(
+                    cur.max_frontier >= prev.max_frontier,
+                    "{ctx}: max_frontier must be a running maximum"
+                );
+                prev = cur;
+            }
+        }
+        // The diffuse phases must actually regrow the frontier past the
+        // adaptive floor at least once, or the cycle is vacuous.
+        assert!(
+            max_seen_frontier > 8,
+            "{ctx}: frontier never regrew (max {max_seen_frontier})"
+        );
+    });
+}

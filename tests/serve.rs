@@ -14,6 +14,7 @@
 //!    per-session memory is sublinear in N.
 
 use experiments::setup::{polardraw_config_for, simulate_reports, TrialSetup};
+use polardraw_core::hmm::KernelOptions;
 use polardraw_core::serve::ServePool;
 use polardraw_core::{OnlineOptions, OnlineTracker, PolarDrawConfig, TrackOutput};
 use rf_core::rng::derive_seed_indexed;
@@ -51,7 +52,7 @@ fn fleet_streams(n: usize) -> Vec<Vec<TagReport>> {
 
 fn options_for(i: usize) -> OnlineOptions {
     // Mixed lags exercise different commit cadences inside one pool.
-    OnlineOptions { lag: 8 + 4 * (i % 3), hold: 2 }
+    OnlineOptions { lag: 8 + 4 * (i % 3), hold: 2, ..OnlineOptions::default() }
 }
 
 fn assert_outputs_bitwise_equal(a: &TrackOutput, b: &TrackOutput, ctx: &str) {
@@ -141,6 +142,52 @@ fn pool_is_bitwise_identical_to_sequential_across_threads() {
         assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
             assert_outputs_bitwise_equal(g, w, &format!("session {i}, threads {threads}"));
+        }
+    }
+}
+
+/// Kernel plumbing through the pool: sessions carrying mixed
+/// `KernelOptions` (exact f64, fast f32+adaptive, f32-only) keep the
+/// pool's bitwise-vs-sequential contract at every pool width. The
+/// f32 kernels trade f64-exactness for speed but stay run-to-run
+/// deterministic, and pool parallelism is across sessions only — so
+/// the pool must reproduce each solo tracker bit-for-bit regardless
+/// of which kernel the session chose.
+#[test]
+fn mixed_kernel_sessions_stay_bitwise_across_pool_widths() {
+    let kernel_for = |i: usize| match i % 3 {
+        0 => KernelOptions::exact(),
+        1 => KernelOptions::fast(),
+        _ => KernelOptions::fast().with_adaptive(None),
+    };
+    let cfg = fleet_config();
+    let streams = fleet_streams(6);
+    let want: Vec<TrackOutput> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, reports)| {
+            let mut solo =
+                OnlineTracker::new(cfg, options_for(i).with_kernel(kernel_for(i)));
+            solo.extend(reports);
+            solo.finalize()
+        })
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let mut pool = ServePool::new(threads);
+        let ids: Vec<_> = (0..streams.len())
+            .map(|i| pool.add_session(cfg, options_for(i).with_kernel(kernel_for(i))))
+            .collect();
+        for (i, reports) in streams.iter().enumerate() {
+            pool.enqueue_batch(ids[i], reports);
+        }
+        pool.drain();
+        let got = pool.finish();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_outputs_bitwise_equal(
+                g,
+                w,
+                &format!("kernel session {i} ({:?}), threads {threads}", kernel_for(i)),
+            );
         }
     }
 }

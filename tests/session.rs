@@ -46,7 +46,7 @@ fn supervised_track(
     t_end: f64,
 ) -> (SessionSupervisor<SimulatedLink>, Vec<rf_core::Vec2>) {
     let mut sup = SessionSupervisor::new(session, link);
-    let mut tracker = OnlineTracker::new(cfg, OnlineOptions { lag, hold: 2 });
+    let mut tracker = OnlineTracker::new(cfg, OnlineOptions { lag, hold: 2, ..OnlineOptions::default() });
     sup.run_isolated(&mut tracker, 0.0, t_end).expect("session must not panic");
     let out = tracker.finalize();
     (sup, out.trail.points)
@@ -138,7 +138,7 @@ fn checkpoint_resume_through_supervisor_is_bitwise_uninterrupted() {
     let (t_lo, t_hi) = span(&reports);
     let t_end = t_hi + 1.0;
     let base_link = SimulatedLink::from_reports(&reports, 0.05);
-    let options = OnlineOptions { lag: 12, hold: 2 };
+    let options = OnlineOptions { lag: 12, hold: 2, ..OnlineOptions::default() };
 
     // The uninterrupted supervised run.
     let mut sup = SessionSupervisor::new(SessionConfig::default(), base_link.clone());
