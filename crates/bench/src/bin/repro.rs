@@ -1,7 +1,8 @@
 //! The reproduction harness: regenerate every table and figure.
 //!
 //! ```text
-//! repro [ids…] [--trials N] [--seed S] [--threads T] [--cell-scale X] [--out DIR]
+//! repro [ids…] [--trials N] [--seed S] [--threads T] [--cell-scale X]
+//!       [--kernel exact|fast] [--out DIR]
 //! ```
 //!
 //! With no ids, runs the whole suite in paper order. Each report is
@@ -47,10 +48,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cell-scale: {e}"))?;
             }
+            "--kernel" => {
+                args.opts.kernel = match next_val("--kernel")?.as_str() {
+                    "exact" => polardraw_core::hmm::KernelOptions::exact(),
+                    "fast" => polardraw_core::hmm::KernelOptions::fast(),
+                    other => return Err(format!("--kernel: expected exact|fast, got {other}")),
+                };
+            }
             "--out" => args.out_dir = next_val("--out")?.into(),
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [ids…] [--trials N] [--seed S] [--threads T] [--cell-scale X] [--out DIR]"
+                    "usage: repro [ids…] [--trials N] [--seed S] [--threads T] [--cell-scale X] [--kernel exact|fast] [--out DIR]"
                         .to_string(),
                 )
             }

@@ -195,6 +195,51 @@ impl Bench {
         self.stats.push(stats);
     }
 
+    /// Register a row from externally measured per-iteration samples,
+    /// nanoseconds. For workloads the closure protocol can't express —
+    /// e.g. per-round latencies inside one long fleet run, where each
+    /// round mutates the fleet and rounds are *not* interchangeable —
+    /// the caller times its own rounds and publishes the distribution
+    /// here. Percentiles are computed exactly like [`bench`]'s
+    /// (`iters` is recorded as 1); the name filter applies as usual.
+    /// Empty sample sets are ignored.
+    ///
+    /// [`bench`]: Bench::bench
+    pub fn record_ns(&mut self, name: &str, samples_ns: &[f64]) {
+        if let Some(filter) = &self.config.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if samples_ns.is_empty() {
+            return;
+        }
+        let mut per_iter_ns = samples_ns.to_vec();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let pct = |q: f64| -> f64 {
+            let idx = (q * (per_iter_ns.len() - 1) as f64).round() as usize;
+            per_iter_ns[idx]
+        };
+        let stats = BenchStats {
+            name: name.to_string(),
+            iters: 1,
+            samples: per_iter_ns.len(),
+            median_ns: pct(0.5),
+            p10_ns: pct(0.1),
+            p90_ns: pct(0.9),
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+        };
+        eprintln!(
+            "  {:<44} median {:>12}  (p10 {}, p90 {}, {} recorded samples)",
+            stats.name,
+            format_ns(stats.median_ns),
+            format_ns(stats.p10_ns),
+            format_ns(stats.p90_ns),
+            stats.samples,
+        );
+        self.stats.push(stats);
+    }
+
     /// The measured statistics so far.
     pub fn stats(&self) -> &[BenchStats] {
         &self.stats
@@ -293,6 +338,21 @@ mod tests {
         assert_eq!(report.id, "bench_selftest");
         assert_eq!(report.rows.len(), 1);
         assert_eq!(report.rows[0][0], "sum_1k");
+    }
+
+    #[test]
+    fn record_ns_publishes_percentiles_of_recorded_samples() {
+        let mut b = quick_bench();
+        let samples: Vec<f64> = (1..=101).map(|i| i as f64 * 100.0).collect();
+        b.record_ns("recorded", &samples);
+        b.record_ns("recorded/p99", &[9_900.0]);
+        b.record_ns("empty", &[]);
+        assert_eq!(b.stats().len(), 2, "empty sample sets are ignored");
+        let s = &b.stats()[0];
+        assert_eq!(s.median_ns, 5_100.0);
+        assert_eq!(s.iters, 1);
+        assert_eq!(s.samples, 101);
+        assert_eq!(b.stats()[1].median_ns, 9_900.0, "single sample = that value");
     }
 
     #[test]

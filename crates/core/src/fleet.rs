@@ -1,0 +1,807 @@
+//! Sharded fleet front door: the layer above [`ServePool`].
+//!
+//! One [`ServePool`] is one rig's worker pool; a deployment serving
+//! thousands of pens needs a front door that routes sessions across
+//! many pools and *keeps serving under overload*. [`FleetRouter`]
+//! provides three mechanisms (see DESIGN.md "Fleet serving & overload
+//! control"):
+//!
+//! * **Shard routing with rig affinity.** Sessions are keyed by
+//!   [`ShardKey`] — the exact rig fingerprint
+//!   [`hmm::artifacts_for`](crate::hmm::artifacts_for) keys its
+//!   process-wide cache on (board extent, grid cell, antennas,
+//!   wavelength, as f64 bit patterns). Sessions sharing a key land on
+//!   the same shard until it fills past a soft cap, so every shard
+//!   resolves its rigs' `Arc<DecodeArtifacts>` once and cache hits are
+//!   maximized.
+//! * **Bounded ingest with backpressure, never drops.**
+//!   [`offer`](FleetRouter::offer) admits reports up to a per-shard
+//!   queue bound and returns how many it accepted; the rest stay with
+//!   the producer (reader links already buffer — `resume_after` in
+//!   `rfid_sim::session`). No report, and no session, is ever dropped
+//!   by the fleet.
+//! * **Adaptive degradation with hysteresis.** A declarative
+//!   [`DegradePolicy`] ladder (shorter lag → tighter adaptive beam →
+//!   f32 kernel) is applied per shard when ingest occupancy stays above
+//!   a high watermark, and unwound when it stays below a low one. The
+//!   controller keys on queue occupancy only — never wall-clock — so
+//!   fleet runs are deterministic and testable.
+//!
+//! Live sessions migrate between shards with
+//! [`migrate`](FleetRouter::migrate): release from the source pool
+//! (tracker + un-drained queue), round-trip through the bitwise
+//! `polardraw.online.checkpoint.v1` format, adopt into the target, and
+//! carry the queued reports over in order. When no rung change happens
+//! in flight, the migrated session's output is bit-identical to never
+//! having moved — `tests/fleet.rs` proves this at every cut point and
+//! at thread counts 1/2/8.
+
+use crate::hmm::{AdaptiveBeam, KernelPrecision};
+use crate::online::{OnlineOptions, OnlineTracker};
+use crate::serve::{DrainReport, PoolStats, ServePool, SessionId};
+use crate::{PolarDrawConfig, TrackOutput};
+use rfid_sim::TagReport;
+
+/// Handle to one session behind the fleet front door (stable for the
+/// router's lifetime, independent of which shard currently hosts it).
+pub type FleetSessionId = usize;
+
+/// The rig fingerprint used for shard affinity: exactly the fields
+/// [`hmm::artifacts_for`](crate::hmm::artifacts_for) keys its
+/// process-wide decode-artifact cache on, captured as f64 bit patterns
+/// so keying is exact rather than approximate. Two sessions with equal
+/// keys resolve to the same `Arc<DecodeArtifacts>` entry; a shard
+/// hosting them pays for one emission table however many pens write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardKey {
+    bits: [u64; 12],
+}
+
+impl ShardKey {
+    /// The rig fingerprint of a session configuration.
+    pub fn of(config: &PolarDrawConfig) -> ShardKey {
+        let a = config.antennas;
+        ShardKey {
+            bits: [
+                config.board_min.x.to_bits(),
+                config.board_min.y.to_bits(),
+                config.board_max.x.to_bits(),
+                config.board_max.y.to_bits(),
+                config.hmm.cell_m.to_bits(),
+                config.hmm.wavelength_m.to_bits(),
+                a[0].x.to_bits(),
+                a[0].y.to_bits(),
+                a[0].z.to_bits(),
+                a[1].x.to_bits(),
+                a[1].y.to_bits(),
+                a[1].z.to_bits(),
+            ],
+        }
+    }
+}
+
+/// One rung of the degradation ladder: the overrides that come into
+/// effect when the controller steps down to (or past) this rung. Rungs
+/// apply cumulatively — at level `k` every rung `0..k` is in effect —
+/// and `None` fields leave the session's requested value untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeRung {
+    /// Cap the decoder decision lag at this many steps (commits come
+    /// earlier; bounded-hindsight accuracy trade, no kernel change).
+    pub max_lag: Option<usize>,
+    /// Force the adaptive beam to (at least) this aggressive a setting.
+    pub adaptive: Option<AdaptiveBeam>,
+    /// Drop the kernel to f32 tables ([`KernelPrecision::F32Tolerance`]).
+    pub f32_kernel: bool,
+}
+
+/// Declarative per-shard overload policy: watermark thresholds,
+/// hysteresis counts, and the degradation ladder itself. The
+/// controller runs once per [`FleetRouter::drain`] round on each
+/// shard's ingest occupancy (queued reports ÷ `queue_cap`), entering
+/// the round:
+///
+/// * occupancy ≥ `high_watermark` for `degrade_after` consecutive
+///   rounds → step down one rung;
+/// * occupancy ≤ `low_watermark` for `recover_after` consecutive
+///   rounds → step back up one rung;
+/// * anything in between resets both streaks (hysteresis — the fleet
+///   neither flaps nor recovers into a still-loaded shard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradePolicy {
+    /// Occupancy fraction at or above which a round counts as
+    /// pressured.
+    pub high_watermark: f64,
+    /// Occupancy fraction at or below which a round counts as calm.
+    pub low_watermark: f64,
+    /// Consecutive pressured rounds before stepping down one rung.
+    pub degrade_after: usize,
+    /// Consecutive calm rounds before stepping back up one rung.
+    pub recover_after: usize,
+    /// The ladder, mildest first.
+    pub ladder: Vec<DegradeRung>,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy {
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+            degrade_after: 2,
+            recover_after: 4,
+            ladder: vec![
+                // Rung 1: shorter hindsight. Pure latency/accuracy
+                // trade, no kernel change — the mildest knob.
+                DegradeRung { max_lag: Some(16), adaptive: None, f32_kernel: false },
+                // Rung 2: tight adaptive beam — the frontier shrinks
+                // wherever the survivor mass allows.
+                DegradeRung {
+                    max_lag: None,
+                    adaptive: Some(AdaptiveBeam { margin: 4.0, min_keep: 64 }),
+                    f32_kernel: false,
+                },
+                // Rung 3: f32 tables — the full fast kernel.
+                DegradeRung { max_lag: None, adaptive: None, f32_kernel: true },
+            ],
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// The effective streaming options at degradation `level` for a
+    /// session that requested `requested` (level 0 = requested
+    /// verbatim; levels clamp at the ladder length).
+    pub fn options_at(&self, requested: OnlineOptions, level: usize) -> OnlineOptions {
+        let mut out = requested;
+        for rung in self.ladder.iter().take(level) {
+            if let Some(cap) = rung.max_lag {
+                out.lag = out.lag.min(cap.max(1));
+            }
+            if let Some(ab) = rung.adaptive {
+                out.kernel.adaptive = Some(ab);
+            }
+            if rung.f32_kernel {
+                out.kernel.precision = KernelPrecision::F32Tolerance;
+            }
+        }
+        out
+    }
+
+    /// Number of rungs (the maximum degradation level).
+    pub fn max_level(&self) -> usize {
+        self.ladder.len()
+    }
+}
+
+/// Front-door configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of [`ServePool`] shards.
+    pub shards: usize,
+    /// Worker threads per shard drain (thread count never changes any
+    /// session's output — the `serve` bitwise contract).
+    pub threads_per_shard: usize,
+    /// Per-shard ingest bound: the most queued-but-undrained reports a
+    /// shard accepts, summed over its sessions. [`FleetRouter::offer`]
+    /// defers (returns short) past it.
+    pub queue_cap: usize,
+    /// Soft cap on live sessions per shard for affinity placement: a
+    /// session whose rig already lives on a shard joins it only below
+    /// this count, otherwise a new colony starts on the least-loaded
+    /// shard (one giant rig must not pin the whole fleet to one shard).
+    pub soft_session_cap: usize,
+    /// Overload policy, applied independently per shard.
+    pub policy: DegradePolicy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            shards: 4,
+            threads_per_shard: 1,
+            queue_cap: 4096,
+            soft_session_cap: 256,
+            policy: DegradePolicy::default(),
+        }
+    }
+}
+
+/// Where one fleet session currently lives and what it asked for.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    shard: usize,
+    local: SessionId,
+    key: ShardKey,
+    requested: OnlineOptions,
+    /// Degradation level currently applied to the session's tracker.
+    applied_level: usize,
+    live: bool,
+    offered: usize,
+    admitted: usize,
+}
+
+/// One shard: a pool plus its controller state.
+#[derive(Debug)]
+struct Shard {
+    pool: ServePool,
+    /// Fleet session ids currently hosted here (live only).
+    sessions: Vec<FleetSessionId>,
+    /// Reports admitted since the last drain (the ingest occupancy
+    /// numerator; a drain consumes every queue, so this resets to 0).
+    pending: usize,
+    peak_pending: usize,
+    level: usize,
+    pressured_rounds: usize,
+    calm_rounds: usize,
+    degrade_steps: usize,
+    recover_steps: usize,
+}
+
+/// What one [`FleetRouter::drain`] round did, summed over shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetDrainReport {
+    /// Sessions woken across all shards.
+    pub woken: usize,
+    /// Reports consumed.
+    pub reports: usize,
+    /// Trail points committed.
+    pub newly_committed: usize,
+    /// Highest shard degradation level after this round.
+    pub max_level: usize,
+    /// Shards that stepped down a rung this round.
+    pub degraded: usize,
+    /// Shards that stepped back up a rung this round.
+    pub recovered: usize,
+}
+
+/// Router-lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FleetStats {
+    /// Sessions ever added.
+    pub sessions: usize,
+    /// Sessions still live (not finished). Migration never changes
+    /// this — the fleet sheds fidelity, not sessions.
+    pub live: usize,
+    /// Reports offered through [`FleetRouter::offer`].
+    pub offered: usize,
+    /// Reports admitted (the difference was *deferred*, never dropped).
+    pub admitted: usize,
+    /// Live migrations performed.
+    pub migrations: usize,
+    /// Rung step-downs, summed over shards.
+    pub degrade_steps: usize,
+    /// Rung step-ups, summed over shards.
+    pub recover_steps: usize,
+    /// Highest degradation level any shard ever reached.
+    pub peak_level: usize,
+    /// Highest ingest occupancy (reports) any shard ever held.
+    pub peak_pending: usize,
+    /// Drain rounds run.
+    pub drains: usize,
+}
+
+/// The sharded fleet front door. See the module docs.
+///
+/// ```
+/// use polardraw_core::fleet::{FleetConfig, FleetRouter};
+/// use polardraw_core::{OnlineOptions, PolarDrawConfig};
+///
+/// let mut fleet = FleetRouter::new(FleetConfig::default());
+/// let pen = fleet.add_session(PolarDrawConfig::default(), OnlineOptions::default());
+/// // … offer reports as they arrive (admission may be partial under
+/// // load — re-offer what was deferred), then once per serving round:
+/// let round = fleet.drain();
+/// assert_eq!(round.woken, 0, "no reports yet");
+/// let trails = fleet.finish();
+/// assert_eq!(trails.len(), 1);
+/// # let _ = pen;
+/// ```
+#[derive(Debug)]
+pub struct FleetRouter {
+    config: FleetConfig,
+    shards: Vec<Shard>,
+    routes: Vec<Route>,
+    migrations: usize,
+    peak_level: usize,
+    drains: usize,
+}
+
+impl FleetRouter {
+    /// Empty router with `config.shards` pools (clamped to ≥ 1).
+    pub fn new(config: FleetConfig) -> FleetRouter {
+        let n = config.shards.max(1);
+        let shards = (0..n)
+            .map(|_| Shard {
+                pool: ServePool::new(config.threads_per_shard),
+                sessions: Vec::new(),
+                pending: 0,
+                peak_pending: 0,
+                level: 0,
+                pressured_rounds: 0,
+                calm_rounds: 0,
+                degrade_steps: 0,
+                recover_steps: 0,
+            })
+            .collect();
+        FleetRouter { config, shards, routes: Vec::new(), migrations: 0, peak_level: 0, drains: 0 }
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Affinity placement: among shards already hosting this rig key
+    /// and still under the soft session cap, the least loaded; else the
+    /// least-loaded shard overall (first index wins ties, so placement
+    /// is deterministic).
+    fn place(&self, key: ShardKey) -> usize {
+        let mut affinity: Option<usize> = None;
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.sessions.len() >= self.config.soft_session_cap {
+                continue;
+            }
+            if shard.sessions.iter().any(|&id| self.routes[id].key == key) {
+                let better = affinity
+                    .map(|b| shard.sessions.len() < self.shards[b].sessions.len())
+                    .unwrap_or(true);
+                if better {
+                    affinity = Some(si);
+                }
+            }
+        }
+        affinity.unwrap_or_else(|| {
+            (0..self.shards.len())
+                .min_by_key(|&si| self.shards[si].sessions.len())
+                .expect("router has ≥ 1 shard")
+        })
+    }
+
+    /// Add a session, routing it by rig key; returns its fleet handle.
+    /// If the hosting shard is already degraded, the session starts at
+    /// the shard's current rung.
+    pub fn add_session(
+        &mut self,
+        config: PolarDrawConfig,
+        options: OnlineOptions,
+    ) -> FleetSessionId {
+        let key = ShardKey::of(&config);
+        let shard = self.place(key);
+        let local = self.shards[shard].pool.add_session(config, options);
+        let id = self.routes.len();
+        self.routes.push(Route {
+            shard,
+            local,
+            key,
+            requested: options,
+            applied_level: 0,
+            live: true,
+            offered: 0,
+            admitted: 0,
+        });
+        self.shards[shard].sessions.push(id);
+        self.apply_level(id);
+        id
+    }
+
+    /// Offer reports for a session. Admits at most the hosting shard's
+    /// remaining ingest budget and returns how many were accepted, from
+    /// the front of `reports` in order; the caller keeps the rest and
+    /// re-offers after the next drain. Nothing is ever dropped here —
+    /// a deferred report is still the producer's.
+    pub fn offer(&mut self, id: FleetSessionId, reports: &[TagReport]) -> usize {
+        let route = self.routes[id];
+        assert!(route.live, "session {id} already finished");
+        let shard = &mut self.shards[route.shard];
+        let budget = self.config.queue_cap.saturating_sub(shard.pending);
+        let take = reports.len().min(budget);
+        self.routes[id].offered += reports.len();
+        if take > 0 {
+            shard.pool.enqueue_batch(route.local, &reports[..take]);
+            shard.pending += take;
+            shard.peak_pending = shard.peak_pending.max(shard.pending);
+            self.routes[id].admitted += take;
+        }
+        take
+    }
+
+    /// Remaining ingest budget of the shard hosting `id` — how many
+    /// reports the next [`offer`](Self::offer) for it would accept.
+    pub fn budget_for(&self, id: FleetSessionId) -> usize {
+        let shard = &self.shards[self.routes[id].shard];
+        self.config.queue_cap.saturating_sub(shard.pending)
+    }
+
+    /// One serving round over every shard: run the load controller on
+    /// the occupancy entering the round (the backlog this drain is
+    /// about to face), apply any rung change to the shard's live
+    /// sessions, then drain the shard's pool.
+    pub fn drain(&mut self) -> FleetDrainReport {
+        self.drains += 1;
+        let mut report = FleetDrainReport::default();
+        for si in 0..self.shards.len() {
+            let changed = self.run_controller(si, &mut report);
+            if changed {
+                for k in 0..self.shards[si].sessions.len() {
+                    let id = self.shards[si].sessions[k];
+                    self.apply_level(id);
+                }
+            }
+            let shard = &mut self.shards[si];
+            let round: DrainReport = shard.pool.drain();
+            shard.pending = 0;
+            report.woken += round.woken;
+            report.reports += round.reports;
+            report.newly_committed += round.newly_committed;
+            report.max_level = report.max_level.max(shard.level);
+        }
+        self.peak_level = self.peak_level.max(report.max_level);
+        report
+    }
+
+    /// The watermark/hysteresis controller for one shard. Returns
+    /// whether the level changed.
+    fn run_controller(&mut self, si: usize, report: &mut FleetDrainReport) -> bool {
+        let policy = &self.config.policy;
+        let cap = self.config.queue_cap.max(1);
+        let shard = &mut self.shards[si];
+        let occupancy = shard.pending as f64 / cap as f64;
+        if occupancy >= policy.high_watermark {
+            shard.calm_rounds = 0;
+            shard.pressured_rounds += 1;
+            if shard.pressured_rounds >= policy.degrade_after && shard.level < policy.ladder.len()
+            {
+                shard.level += 1;
+                shard.pressured_rounds = 0;
+                shard.degrade_steps += 1;
+                report.degraded += 1;
+                return true;
+            }
+        } else if occupancy <= policy.low_watermark {
+            shard.pressured_rounds = 0;
+            shard.calm_rounds += 1;
+            if shard.calm_rounds >= policy.recover_after && shard.level > 0 {
+                shard.level -= 1;
+                shard.calm_rounds = 0;
+                shard.recover_steps += 1;
+                report.recovered += 1;
+                return true;
+            }
+        } else {
+            shard.pressured_rounds = 0;
+            shard.calm_rounds = 0;
+        }
+        false
+    }
+
+    /// Sync one session's tracker to its hosting shard's current rung.
+    fn apply_level(&mut self, id: FleetSessionId) {
+        let (shard_idx, local, requested, applied) = {
+            let r = &self.routes[id];
+            (r.shard, r.local, r.requested, r.applied_level)
+        };
+        let level = self.shards[shard_idx].level;
+        if applied == level {
+            return;
+        }
+        let eff = self.config.policy.options_at(requested, level);
+        let tracker = self.shards[shard_idx].pool.tracker_mut(local);
+        tracker.set_kernel(eff.kernel);
+        let _ = tracker.set_lag(eff.lag);
+        self.routes[id].applied_level = level;
+    }
+
+    /// Live-migrate a session to `to_shard` through the bitwise
+    /// `checkpoint.v1` round trip: release it from the source pool
+    /// (tracker + un-drained queue), checkpoint, restore, adopt into
+    /// the target, and carry the queued reports over in enqueue order.
+    /// The migrated session observes exactly the push sequence it would
+    /// have observed staying put, so when no rung change intervenes its
+    /// output is bit-identical to never having moved (`tests/fleet.rs`
+    /// proves this at every cut point). Carried reports bypass the
+    /// target's ingest budget — migration must not lose what was
+    /// already admitted. Afterwards the session runs the *target*
+    /// shard's rung.
+    ///
+    /// Returns the checkpoint document's length in bytes (the migration
+    /// payload). Migrating a session onto its own shard is a no-op
+    /// returning 0.
+    pub fn migrate(&mut self, id: FleetSessionId, to_shard: usize) -> usize {
+        assert!(to_shard < self.shards.len(), "no shard {to_shard}");
+        let route = self.routes[id];
+        assert!(route.live, "session {id} already finished");
+        if route.shard == to_shard {
+            return 0;
+        }
+        let (tracker, queued) = self.shards[route.shard].pool.release(route.local);
+        let config = *tracker.config();
+        let text = tracker.checkpoint_string();
+        drop(tracker);
+        let restored = OnlineTracker::restore_from_str(config, &text)
+            .expect("a live tracker's checkpoint always restores");
+        let local = self.shards[to_shard].pool.adopt(restored);
+        if !queued.is_empty() {
+            self.shards[route.shard].pending -= queued.len();
+            self.shards[to_shard].pool.enqueue_batch(local, &queued);
+            self.shards[to_shard].pending += queued.len();
+            self.shards[to_shard].peak_pending =
+                self.shards[to_shard].peak_pending.max(self.shards[to_shard].pending);
+        }
+        self.shards[route.shard].sessions.retain(|&s| s != id);
+        self.shards[to_shard].sessions.push(id);
+        self.routes[id].shard = to_shard;
+        self.routes[id].local = local;
+        self.migrations += 1;
+        // The target may run a different rung than the source did.
+        self.apply_level(id);
+        text.len()
+    }
+
+    /// Which shard currently hosts a session.
+    pub fn shard_of(&self, id: FleetSessionId) -> usize {
+        self.routes[id].shard
+    }
+
+    /// A shard's current degradation level (0 = full fidelity).
+    pub fn level(&self, shard: usize) -> usize {
+        self.shards[shard].level
+    }
+
+    /// Reports queued on a shard, not yet drained.
+    pub fn pending(&self, shard: usize) -> usize {
+        self.shards[shard].pending
+    }
+
+    /// Live sessions hosted on a shard.
+    pub fn sessions_on(&self, shard: usize) -> usize {
+        self.shards[shard].sessions.len()
+    }
+
+    /// The streaming options a session's tracker is currently running
+    /// (its request, degraded to the hosting shard's applied rung).
+    pub fn effective_options(&self, id: FleetSessionId) -> OnlineOptions {
+        let r = &self.routes[id];
+        self.config.policy.options_at(r.requested, r.applied_level)
+    }
+
+    /// Read-only access to a live session's tracker (checkpointing,
+    /// committed-trail peeking, artifact-sharing assertions).
+    pub fn tracker(&self, id: FleetSessionId) -> &OnlineTracker {
+        let r = &self.routes[id];
+        self.shards[r.shard].pool.tracker(r.local)
+    }
+
+    /// (offered, admitted) report counts for one session; the
+    /// difference was deferred back to the producer, never dropped.
+    pub fn session_flow(&self, id: FleetSessionId) -> (usize, usize) {
+        let r = &self.routes[id];
+        (r.offered, r.admitted)
+    }
+
+    /// A shard's pool-lifetime counters.
+    pub fn pool_stats(&self, shard: usize) -> PoolStats {
+        self.shards[shard].pool.stats()
+    }
+
+    /// Router-lifetime counters.
+    pub fn stats(&self) -> FleetStats {
+        let mut s = FleetStats {
+            sessions: self.routes.len(),
+            live: self.routes.iter().filter(|r| r.live).count(),
+            migrations: self.migrations,
+            peak_level: self.peak_level,
+            drains: self.drains,
+            ..FleetStats::default()
+        };
+        for r in &self.routes {
+            s.offered += r.offered;
+            s.admitted += r.admitted;
+        }
+        for sh in &self.shards {
+            s.degrade_steps += sh.degrade_steps;
+            s.recover_steps += sh.recover_steps;
+            s.peak_pending = s.peak_pending.max(sh.peak_pending);
+        }
+        s
+    }
+
+    /// Finish one session now: drain its remaining queue and finalize
+    /// its trail. The handle stays allocated.
+    pub fn finish_session(&mut self, id: FleetSessionId) -> TrackOutput {
+        let route = self.routes[id];
+        assert!(route.live, "session {id} already finished");
+        let shard = &mut self.shards[route.shard];
+        shard.pending = shard.pending.saturating_sub(shard.pool.pending(route.local));
+        shard.sessions.retain(|&s| s != id);
+        self.routes[id].live = false;
+        self.shards[route.shard].pool.finish_session(route.local)
+    }
+
+    /// Finalize every live session; trails in fleet-id order, paired
+    /// with their ids (sessions finished earlier are omitted).
+    pub fn finish(mut self) -> Vec<(FleetSessionId, TrackOutput)> {
+        let mut out = Vec::new();
+        for id in 0..self.routes.len() {
+            if self.routes[id].live {
+                out.push((id, self.finish_session(id)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coarse_config() -> PolarDrawConfig {
+        let mut cfg = PolarDrawConfig::default();
+        cfg.hmm.cell_m *= 8.0;
+        cfg
+    }
+
+    fn other_rig() -> PolarDrawConfig {
+        let mut cfg = PolarDrawConfig::default();
+        cfg.hmm.cell_m *= 4.0;
+        cfg
+    }
+
+    fn stream(n: usize, t0: f64) -> Vec<TagReport> {
+        (0..n)
+            .map(|i| TagReport {
+                t: t0 + i as f64 * 0.01,
+                antenna: i % 2,
+                rssi_dbm: -55.0,
+                phase_rad: rf_core::wrap_tau(0.02 * i as f64),
+                channel: 0,
+                epc: 0xF1EE7,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_key_is_the_rig_fingerprint() {
+        assert_eq!(ShardKey::of(&coarse_config()), ShardKey::of(&coarse_config()));
+        assert_ne!(ShardKey::of(&coarse_config()), ShardKey::of(&other_rig()));
+        let mut moved = coarse_config();
+        moved.antennas[1].x += 1e-12;
+        assert_ne!(ShardKey::of(&coarse_config()), ShardKey::of(&moved), "keying is exact");
+    }
+
+    #[test]
+    fn same_rig_sessions_share_a_shard_distinct_rigs_spread() {
+        let mut fleet = FleetRouter::new(FleetConfig { shards: 3, ..FleetConfig::default() });
+        let a0 = fleet.add_session(coarse_config(), OnlineOptions::default());
+        let b0 = fleet.add_session(other_rig(), OnlineOptions::default());
+        let a1 = fleet.add_session(coarse_config(), OnlineOptions::default());
+        let b1 = fleet.add_session(other_rig(), OnlineOptions::default());
+        assert_eq!(fleet.shard_of(a0), fleet.shard_of(a1), "rig affinity");
+        assert_eq!(fleet.shard_of(b0), fleet.shard_of(b1), "rig affinity");
+        assert_ne!(fleet.shard_of(a0), fleet.shard_of(b0), "distinct rigs spread");
+    }
+
+    #[test]
+    fn soft_cap_spills_a_giant_rig_across_shards() {
+        let mut fleet = FleetRouter::new(FleetConfig {
+            shards: 4,
+            soft_session_cap: 3,
+            ..FleetConfig::default()
+        });
+        for _ in 0..12 {
+            fleet.add_session(coarse_config(), OnlineOptions::default());
+        }
+        for si in 0..4 {
+            assert_eq!(fleet.sessions_on(si), 3, "soft cap balances the colony");
+        }
+    }
+
+    #[test]
+    fn offer_defers_past_the_queue_cap_and_never_drops() {
+        let mut fleet = FleetRouter::new(FleetConfig {
+            shards: 1,
+            queue_cap: 100,
+            ..FleetConfig::default()
+        });
+        let id = fleet.add_session(coarse_config(), OnlineOptions::default());
+        let reports = stream(250, 0.0);
+        let took = fleet.offer(id, &reports);
+        assert_eq!(took, 100, "admission stops at the cap");
+        assert_eq!(fleet.pending(0), 100);
+        assert_eq!(fleet.offer(id, &reports[took..]), 0, "shard is full until drained");
+        fleet.drain();
+        assert_eq!(fleet.pending(0), 0, "drain clears the backlog");
+        let took2 = fleet.offer(id, &reports[took..]);
+        assert_eq!(took2, 100);
+        let (offered, admitted) = fleet.session_flow(id);
+        assert_eq!(offered, 250 + 150 + 150, "every offer (including re-offers) counted");
+        assert_eq!(admitted, 200, "deferred ≠ dropped: the rest is still the producer's");
+    }
+
+    #[test]
+    fn controller_degrades_under_pressure_and_recovers_with_hysteresis() {
+        let policy = DegradePolicy::default();
+        let mut fleet = FleetRouter::new(FleetConfig {
+            shards: 1,
+            queue_cap: 100,
+            policy: policy.clone(),
+            ..FleetConfig::default()
+        });
+        let id = fleet.add_session(coarse_config(), OnlineOptions::default());
+        let requested = fleet.effective_options(id);
+
+        // Pressure: fill to the cap each round.
+        let burst = stream(100, 0.0);
+        let mut t = 0.0;
+        let mut seen_levels = Vec::new();
+        for _ in 0..10 {
+            let burst: Vec<TagReport> = burst.iter().map(|r| {
+                let mut r = *r;
+                r.t += t;
+                r
+            }).collect();
+            fleet.offer(id, &burst);
+            fleet.drain();
+            seen_levels.push(fleet.level(0));
+            t += 2.0;
+        }
+        assert_eq!(fleet.level(0), policy.max_level(), "sustained overload walks the ladder");
+        for w in seen_levels.windows(2) {
+            assert!(w[1] >= w[0], "degradation is monotone under sustained pressure");
+        }
+        let degraded = fleet.effective_options(id);
+        assert!(degraded.lag < requested.lag);
+        assert_eq!(degraded.kernel.precision, KernelPrecision::F32Tolerance);
+        assert!(degraded.kernel.adaptive.is_some());
+
+        // Calm: empty rounds. Recovery needs `recover_after` calm
+        // rounds per rung — count them.
+        let mut rounds_to_recover = 0;
+        while fleet.level(0) > 0 {
+            fleet.drain();
+            rounds_to_recover += 1;
+            assert!(rounds_to_recover < 100, "recovery must terminate");
+        }
+        assert_eq!(
+            rounds_to_recover,
+            policy.recover_after * policy.max_level(),
+            "hysteresis: one rung per {} calm rounds",
+            policy.recover_after
+        );
+        assert_eq!(fleet.effective_options(id), requested, "full fidelity restored");
+        let s = fleet.stats();
+        assert_eq!(s.degrade_steps, policy.max_level());
+        assert_eq!(s.recover_steps, policy.max_level());
+        assert_eq!(s.peak_level, policy.max_level());
+        assert_eq!(s.live, 1, "no session was dropped");
+    }
+
+    #[test]
+    fn migration_moves_the_session_and_its_queue() {
+        let mut fleet = FleetRouter::new(FleetConfig {
+            shards: 2,
+            queue_cap: 1000,
+            ..FleetConfig::default()
+        });
+        let id = fleet.add_session(coarse_config(), OnlineOptions::default());
+        let from = fleet.shard_of(id);
+        let to = 1 - from;
+        fleet.offer(id, &stream(50, 0.0));
+        assert_eq!(fleet.pending(from), 50);
+        let bytes = fleet.migrate(id, to);
+        assert!(bytes > 0, "checkpoint payload measured");
+        assert_eq!(fleet.shard_of(id), to);
+        assert_eq!(fleet.pending(from), 0, "queue went with the session");
+        assert_eq!(fleet.pending(to), 50);
+        assert_eq!(fleet.sessions_on(from), 0);
+        assert_eq!(fleet.sessions_on(to), 1);
+        assert_eq!(fleet.migrate(id, to), 0, "same-shard migration is a no-op");
+        let round = fleet.drain();
+        assert_eq!(round.reports, 50, "carried reports are served on the target");
+        assert_eq!(fleet.stats().migrations, 1);
+    }
+}

@@ -1916,6 +1916,22 @@ impl FixedLagDecoder {
         self.kernel = kernel;
     }
 
+    /// Change the decision lag for subsequent steps (clamped to ≥ 1).
+    /// Safe at any step boundary: shrinking resolves the now-over-lag
+    /// oldest frames immediately — exactly the commits the next `step`
+    /// calls would have produced — and returns how many points that
+    /// committed; growing simply lets more frames accumulate before
+    /// commits resume.
+    pub fn set_lag(&mut self, lag: usize) -> usize {
+        self.lag = lag.max(1);
+        let mut newly_committed = 0;
+        while self.frames.len() > self.lag {
+            self.commit_oldest();
+            newly_committed += 1;
+        }
+        newly_committed
+    }
+
     /// Retained (uncommitted) backpointer frames, oldest first.
     pub fn frames(&self) -> impl Iterator<Item = &BeamFrame> {
         self.frames.iter()

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod distance;
+pub mod fleet;
 pub mod hmm;
 pub mod model;
 pub mod online;
@@ -50,6 +51,7 @@ pub mod translation;
 
 mod pipeline;
 
+pub use fleet::{DegradePolicy, FleetConfig, FleetRouter, ShardKey};
 pub use online::{OnlineOptions, OnlineTracker};
 pub use serve::{ServePool, SupervisedFleet};
 pub use pipeline::{DegradationReport, PolarDraw, PolarDrawConfig, StepEstimate, StepKind, TrackOutput};

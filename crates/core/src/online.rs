@@ -203,6 +203,28 @@ impl OnlineTracker {
         self.options
     }
 
+    /// Swap the decode kernel at a push boundary — the fleet load
+    /// controller's degradation knob. Takes effect on the next decoder
+    /// step ([`FixedLagDecoder::set_kernel`] is safe at any step
+    /// boundary), and the updated options are carried by subsequent
+    /// checkpoints, so a migrated or restored session keeps running the
+    /// kernel it was degraded to.
+    pub fn set_kernel(&mut self, kernel: KernelOptions) {
+        self.options.kernel = kernel;
+        self.decoder.set_kernel(kernel);
+    }
+
+    /// Change the decoder decision lag (degradation knob; clamped to
+    /// ≥ 1). Shrinking commits the now-over-lag frames immediately —
+    /// the same commits the next steps would have produced — and
+    /// returns how many points that committed; growing restores
+    /// hindsight for future steps only (already-committed points stay
+    /// committed). Carried by subsequent checkpoints.
+    pub fn set_lag(&mut self, lag: usize) -> usize {
+        self.options.lag = lag.max(1);
+        self.decoder.set_lag(lag)
+    }
+
     /// Consume one report.
     pub fn push(&mut self, r: TagReport) {
         self.pre_stats.input_reports += 1;

@@ -156,6 +156,9 @@ pub struct StepEstimate {
 pub struct PolarDraw {
     /// Configuration (public: experiments sweep parameters directly).
     pub config: PolarDrawConfig,
+    /// Decode kernel for the batch decode (private: set through
+    /// [`PolarDraw::with_kernel`], defaults to the exact f64 path).
+    kernel: crate::hmm::KernelOptions,
 }
 
 /// How degraded the input stream was and what the pipeline did about
@@ -232,9 +235,26 @@ pub struct TrackOutput {
 }
 
 impl PolarDraw {
-    /// Build a tracker.
+    /// Build a tracker (exact f64 decode kernel — the batch-equivalence
+    /// default every golden trace pins).
     pub fn new(config: PolarDrawConfig) -> PolarDraw {
-        PolarDraw { config }
+        PolarDraw { config, kernel: crate::hmm::KernelOptions::exact() }
+    }
+
+    /// Same tracker decoding through `kernel` — e.g.
+    /// [`KernelOptions::fast`](crate::hmm::KernelOptions::fast) for the
+    /// f32-table + adaptive-beam path. Non-exact kernels trade the
+    /// bit-exact batch contract for speed under the tolerance oracle
+    /// (`tests/kernel_equivalence.rs`); run-to-run determinism is kept
+    /// by every kernel.
+    pub fn with_kernel(mut self, kernel: crate::hmm::KernelOptions) -> PolarDraw {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The decode kernel this tracker batches with.
+    pub fn kernel(&self) -> crate::hmm::KernelOptions {
+        self.kernel
     }
 
     /// Run the full pipeline, keeping diagnostics.
@@ -246,7 +266,8 @@ impl PolarDraw {
     /// equivalence argument; the decoder-level contract is pinned by
     /// the golden-trace and equivalence test suites.
     pub fn track_with_diagnostics(&self, reports: &[TagReport]) -> TrackOutput {
-        let mut online = crate::online::OnlineTracker::batch(self.config);
+        let options = crate::online::OnlineOptions::batch().with_kernel(self.kernel);
+        let mut online = crate::online::OnlineTracker::new(self.config, options);
         online.extend(reports);
         online.finalize()
     }

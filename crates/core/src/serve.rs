@@ -129,12 +129,21 @@ pub struct ServePool {
     slots: Vec<Slot>,
     threads: usize,
     stats: PoolStats,
+    /// Indices of the slots woken by the current drain round. Reused
+    /// across rounds (capacity persists), so steady-state drains do not
+    /// allocate — see [`drain`](Self::drain).
+    wake: Vec<usize>,
 }
 
 impl ServePool {
     /// Empty pool draining on up to `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> ServePool {
-        ServePool { slots: Vec::new(), threads: threads.max(1), stats: PoolStats::default() }
+        ServePool {
+            slots: Vec::new(),
+            threads: threads.max(1),
+            stats: PoolStats::default(),
+            wake: Vec::new(),
+        }
     }
 
     /// Worker count used by [`drain`](Self::drain) / [`finish`](Self::finish).
@@ -207,17 +216,31 @@ impl ServePool {
     /// advance it on the worker pool; sessions with empty queues are
     /// left untouched. Output is independent of thread count (see the
     /// module docs for why).
+    ///
+    /// The wake list is a pool-owned index buffer reused round to
+    /// round, and queues keep their capacity after draining, so a
+    /// warmed single-threaded pool drains with **zero** allocations in
+    /// its own serving path (asserted by `tests/serve_alloc.rs`); the
+    /// multi-threaded path's only per-round allocations are inside the
+    /// fan-out primitive itself.
     pub fn drain(&mut self) -> DrainReport {
         self.stats.drains += 1;
-        let live = self.slots.iter().filter(|s| s.tracker.is_some()).count();
-        let mut woken: Vec<&mut Slot> = self
-            .slots
-            .iter_mut()
-            .filter(|s| s.tracker.is_some() && !s.queue.is_empty())
-            .collect();
-        let mut round =
-            DrainReport { woken: woken.len(), skipped: live - woken.len(), ..DrainReport::default() };
-        parallel_for_each_mut(&mut woken, self.threads, |slot| {
+        self.wake.clear();
+        let mut live = 0;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.tracker.is_some() {
+                live += 1;
+                if !s.queue.is_empty() {
+                    self.wake.push(i);
+                }
+            }
+        }
+        let mut round = DrainReport {
+            woken: self.wake.len(),
+            skipped: live - self.wake.len(),
+            ..DrainReport::default()
+        };
+        fn visit(slot: &mut Slot) {
             let tracker = slot.tracker.as_mut().expect("woken slots hold a tracker");
             let before = tracker.committed().len();
             let n = slot.queue.len();
@@ -230,10 +253,27 @@ impl ServePool {
             slot.stats.wakes += 1;
             slot.stats.reports_processed += n;
             slot.stats.points_committed = committed;
-        });
-        for slot in woken {
-            round.reports += slot.last_reports;
-            round.newly_committed += slot.last_committed;
+        }
+        if self.threads == 1 || round.woken <= 1 {
+            // Sequential fast path: visit woken slots in place through
+            // the reused index buffer — no per-round allocation at all.
+            for &i in &self.wake {
+                visit(&mut self.slots[i]);
+            }
+        } else {
+            // Parallel path: fan out over the whole slot slice and let
+            // workers skip sleeping slots (one branch each). Same
+            // visits, same per-session push order, so the bitwise
+            // thread-count contract in the module docs holds unchanged.
+            parallel_for_each_mut(&mut self.slots, self.threads, |slot| {
+                if slot.tracker.is_some() && !slot.queue.is_empty() {
+                    visit(slot);
+                }
+            });
+        }
+        for &i in &self.wake {
+            round.reports += self.slots[i].last_reports;
+            round.newly_committed += self.slots[i].last_committed;
         }
         self.stats.wakes += round.woken;
         self.stats.reports += round.reports;
@@ -248,6 +288,35 @@ impl ServePool {
     /// If the session was already finished.
     pub fn tracker(&self, id: SessionId) -> &OnlineTracker {
         self.slots[id].tracker.as_ref().expect("session already finished")
+    }
+
+    /// Mutable access to a live session's tracker for in-crate control
+    /// loops: the fleet degradation controller swaps kernels and lag at
+    /// drain boundaries (`OnlineTracker::set_kernel` / `set_lag`).
+    ///
+    /// # Panics
+    /// If the session was already finished or released.
+    pub(crate) fn tracker_mut(&mut self, id: SessionId) -> &mut OnlineTracker {
+        self.slots[id].tracker.as_mut().expect("session already finished")
+    }
+
+    /// Remove a live session from the pool *without* finalizing it,
+    /// returning the tracker and any still-queued reports (in enqueue
+    /// order). This is the live-migration primitive: checkpoint the
+    /// returned tracker, adopt the restored copy into another pool, and
+    /// re-enqueue the leftover reports there — the session then
+    /// observes exactly the push sequence it would have observed
+    /// staying put, so its output is bit-identical to never moving (as
+    /// long as nothing changes its kernel options in between). The
+    /// handle stays allocated (ids are stable slot indices); the slot
+    /// reads as finished afterwards.
+    ///
+    /// # Panics
+    /// If the session was already finished or released.
+    pub fn release(&mut self, id: SessionId) -> (OnlineTracker, Vec<TagReport>) {
+        let slot = &mut self.slots[id];
+        let tracker = slot.tracker.take().expect("session already finished");
+        (tracker, std::mem::take(&mut slot.queue))
     }
 
     /// Cumulative serving counters for one session.

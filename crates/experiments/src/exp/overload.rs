@@ -1,0 +1,240 @@
+//! Fleet overload sweep: graceful degradation instead of collapse
+//! (not in the paper).
+//!
+//! A foreground pen writes one real letter through the sharded fleet
+//! front door (`polardraw_core::fleet::FleetRouter`) while a synthetic
+//! background crowd (`rfid_sim::traffic`) — diurnal load with flash
+//! crowds and session churn — floods the same rig at 1×/2×/4×/8× the
+//! baseline session count. The table reports what the overload
+//! controller *does*: reports deferred (never dropped), the bounded
+//! ingest queue's peak, the degradation rung reached, and the
+//! foreground pen's Procrustes error and completion round. Every
+//! column is deterministic (reruns are byte-identical); wall-clock
+//! latency percentiles live in `BENCH_fleet.json` (see
+//! `scripts/bench.sh --suite fleet`).
+
+use crate::report::Report;
+use crate::runner::RunOpts;
+use crate::setup::{polardraw_config_for, simulate_reports, TrialSetup};
+use polardraw_core::fleet::{FleetConfig, FleetRouter};
+use polardraw_core::OnlineOptions;
+use recognition::procrustes_distance;
+use rf_core::rng::derive_seed;
+use rfid_sim::traffic::{TrafficConfig, TrafficModel};
+use rfid_sim::TagReport;
+
+/// Background-crowd multipliers swept (sessions = `BG_BASE`×load).
+pub const LOADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Background sessions at load 1×.
+pub const BG_BASE: usize = 12;
+
+/// Per-shard ingest bound (reports). Small enough that the flash
+/// crowds overrun it at the higher loads.
+const QUEUE_CAP: usize = 512;
+
+/// Foreground reports offered per serving round.
+const FG_CHUNK: usize = 64;
+
+/// Serving-round length in virtual traffic seconds.
+const ROUND_S: f64 = 10.0;
+
+/// Extra grid coarsening for the whole sweep: a ~hundred-session fleet
+/// at paper-fidelity cells would take hours; the same controller runs
+/// on the same code paths at a coarser grid, and every load row shares
+/// the rig so rows stay comparable.
+const COARSEN: f64 = 6.0;
+
+/// One load row's outcome.
+struct LoadRow {
+    sessions: usize,
+    offered: usize,
+    admitted: usize,
+    peak_queue: usize,
+    peak_rung: usize,
+    degrade_steps: usize,
+    recover_steps: usize,
+    dropped: usize,
+    fg_done_round: usize,
+    rounds: usize,
+    fg_procrustes_m: Option<f64>,
+}
+
+fn traffic_for(load: usize, seed: u64) -> TrafficModel {
+    TrafficModel::generate(
+        TrafficConfig {
+            sessions: BG_BASE * load,
+            horizon_s: 300.0,
+            diurnal_period_s: 300.0,
+            flash_crowds: 2,
+            flash_width_s: 30.0,
+            report_hz: 12.0,
+            ..TrafficConfig::default()
+        },
+        derive_seed(seed, "overload.traffic"),
+    )
+}
+
+/// Run one load point end to end. Deterministic: the serving loop is
+/// round-based (virtual traffic time), the controller keys on queue
+/// occupancy only, and thread count never changes outputs.
+fn run_load(load: usize, opts: &RunOpts) -> LoadRow {
+    let setup = {
+        let mut s = TrialSetup::letter('S');
+        s.cell_scale *= opts.cell_scale * COARSEN;
+        s
+    };
+    let cfg = polardraw_config_for(&setup);
+    let (truth, fg_reports) = simulate_reports(&setup, derive_seed(opts.seed, "overload.fg"));
+
+    let model = traffic_for(load, opts.seed);
+    // One shard: this sweep isolates the overload controller (shard
+    // routing and spill have their own tests and bench rows), so every
+    // session contends for one bounded queue.
+    let mut fleet = FleetRouter::new(FleetConfig {
+        shards: 1,
+        threads_per_shard: 1,
+        queue_cap: QUEUE_CAP,
+        soft_session_cap: 1024,
+        ..FleetConfig::default()
+    });
+
+    let fg = fleet.add_session(cfg, OnlineOptions::default());
+    let bg: Vec<_> = model
+        .plans()
+        .iter()
+        .map(|_| fleet.add_session(cfg, OnlineOptions::default()))
+        .collect();
+
+    let base_rounds = (model.config().horizon_s / ROUND_S).ceil() as usize;
+    let mut fg_backlog: Vec<TagReport> = fg_reports.clone();
+    let mut bg_backlog: Vec<Vec<TagReport>> = vec![Vec::new(); bg.len()];
+    let mut fg_done_round = 0;
+    let mut rounds = 0;
+
+    loop {
+        let t0 = rounds as f64 * ROUND_S;
+        // Admit this round's traffic into the backlogs…
+        if rounds < base_rounds {
+            for (i, plan) in model.plans().iter().enumerate() {
+                model.reports_into(plan, t0, t0 + ROUND_S, &mut bg_backlog[i]);
+            }
+        }
+        // …then offer every backlog; what the fleet defers stays put.
+        let take = fg_backlog.len().min(FG_CHUNK);
+        let admitted = fleet.offer(fg, &fg_backlog[..take]);
+        fg_backlog.drain(..admitted);
+        if fg_backlog.is_empty() && fg_done_round == 0 {
+            fg_done_round = rounds + 1;
+        }
+        for (i, &id) in bg.iter().enumerate() {
+            let admitted = fleet.offer(id, &bg_backlog[i]);
+            bg_backlog[i].drain(..admitted);
+        }
+        fleet.drain();
+        rounds += 1;
+
+        let backlog: usize =
+            fg_backlog.len() + bg_backlog.iter().map(|b| b.len()).sum::<usize>();
+        if rounds >= base_rounds && backlog == 0 {
+            break;
+        }
+        assert!(rounds < base_rounds * 20, "overload run failed to drain its backlog");
+    }
+
+    let stats = fleet.stats();
+    let sessions = stats.sessions;
+    let dropped = sessions - stats.live;
+    let fg_trail = fleet.finish_session(fg);
+    LoadRow {
+        sessions,
+        offered: stats.offered,
+        admitted: stats.admitted,
+        peak_queue: stats.peak_pending,
+        peak_rung: stats.peak_level,
+        degrade_steps: stats.degrade_steps,
+        recover_steps: stats.recover_steps,
+        dropped,
+        fg_done_round,
+        rounds,
+        fg_procrustes_m: procrustes_distance(&truth, &fg_trail.trail.points, 64),
+    }
+}
+
+/// Run the overload sweep.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    let mut report = Report::new(
+        "overload",
+        "Fleet overload: background load vs degradation, deferral, and accuracy",
+        "not in the paper; the front door's no-collapse contract — bounded \
+         queues, deferred (never dropped) reports, and a declarative \
+         degradation ladder with hysteresis",
+    )
+    .headers(vec![
+        "Load".to_string(),
+        "Sessions".to_string(),
+        "Offered".to_string(),
+        "Admitted".to_string(),
+        "Deferred".to_string(),
+        "Peak queue".to_string(),
+        "Peak rung".to_string(),
+        "Rung steps (down/up)".to_string(),
+        "Dropped".to_string(),
+        "FG done round".to_string(),
+        "Rounds".to_string(),
+        "FG Procrustes (mm)".to_string(),
+    ]);
+
+    for &load in &LOADS {
+        let row = run_load(load, opts);
+        report.push_row(vec![
+            format!("{load}x"),
+            row.sessions.to_string(),
+            row.offered.to_string(),
+            row.admitted.to_string(),
+            (row.offered - row.admitted).to_string(),
+            format!("{}/{}", row.peak_queue, QUEUE_CAP),
+            format!("{}/3", row.peak_rung),
+            format!("{}/{}", row.degrade_steps, row.recover_steps),
+            row.dropped.to_string(),
+            row.fg_done_round.to_string(),
+            row.rounds.to_string(),
+            row.fg_procrustes_m
+                .map(|m| format!("{:.1}", m * 1e3))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+
+    report.push_note(format!(
+        "one foreground pen writes 'S' while {BG_BASE}x load synthetic \
+         background sessions (diurnal + 2 flash crowds, rfid_sim::traffic) \
+         flood the same rig; queue cap {QUEUE_CAP} reports on one shard, \
+         {COARSEN}x grid coarsening to keep the sweep tractable \
+         (all rows share the rig, so rows are comparable)",
+    ));
+    report.push_note(
+        "'Deferred' reports are re-offered by the producer and admitted in a \
+         later round — the admission shortfall is backpressure, not loss; \
+         'Dropped' counts sessions the fleet shed (the contract: always 0)",
+    );
+    report.push_note(
+        "degradation is monotone in load (peak rung never decreases as load \
+         grows) and recovery is hysteretic — see tests/fleet.rs for the \
+         property test and BENCH_fleet.json for wall-clock latency",
+    );
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_grow_and_traffic_scales_with_them() {
+        assert!(LOADS.windows(2).all(|w| w[0] < w[1]));
+        let a = traffic_for(1, 42);
+        let b = traffic_for(8, 42);
+        assert_eq!(a.plans().len(), BG_BASE);
+        assert_eq!(b.plans().len(), 8 * BG_BASE);
+    }
+}

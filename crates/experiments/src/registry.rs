@@ -128,6 +128,12 @@ pub fn all_experiments() -> Vec<ExperimentDef> {
             title: "Multi-session serving: fleet size vs pool behaviour (not in paper)",
             run: crate::exp::fleet::run,
         },
+        ExperimentDef {
+            id: "overload",
+            produces: &["overload"],
+            title: "Fleet overload: graceful degradation under background load (not in paper)",
+            run: crate::exp::overload::run,
+        },
     ]
 }
 
@@ -149,7 +155,7 @@ mod tests {
         for id in [
             "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14",
             "fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5",
-            "table6", "table7", "table8", "faults", "streaming", "fleet",
+            "table6", "table7", "table8", "faults", "streaming", "fleet", "overload",
         ] {
             assert!(produced.contains(&id), "missing {id}");
         }

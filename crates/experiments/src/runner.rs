@@ -2,6 +2,7 @@
 //! accuracy loops every accuracy experiment shares.
 
 use crate::setup::{run_trial, TrialSetup};
+use polardraw_core::hmm::KernelOptions;
 use recognition::{procrustes_distance, ConfusionMatrix, LetterRecognizer, WordRecognizer};
 use rf_core::rng::derive_seed_indexed;
 
@@ -19,6 +20,11 @@ pub struct RunOpts {
     /// fidelity; >1 trades accuracy for speed — the registry smoke test
     /// and `repro --cell-scale` use this).
     pub cell_scale: f64,
+    /// Decode kernel forwarded to every PolarDraw trial (`repro
+    /// --kernel fast`). A non-exact selection overrides each setup's
+    /// own kernel; the default `exact()` leaves setups untouched so
+    /// experiments that pin a kernel keep it.
+    pub kernel: KernelOptions,
 }
 
 impl Default for RunOpts {
@@ -28,8 +34,20 @@ impl Default for RunOpts {
             trials: 10,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             cell_scale: 1.0,
+            kernel: KernelOptions::exact(),
         }
     }
+}
+
+/// Fold the global run options into one condition's setup: compose the
+/// grid coarsening multiplicatively and override the kernel when the
+/// run asks for a non-exact one.
+fn apply_opts(setup: &TrialSetup, opts: &RunOpts) -> TrialSetup {
+    let mut setup = setup.clone().with_cell_scale(setup.cell_scale * opts.cell_scale);
+    if opts.kernel != KernelOptions::exact() {
+        setup.kernel = opts.kernel;
+    }
+    setup
 }
 
 /// The workspace fan-out primitive, re-exported from `rf_core::par` so
@@ -62,7 +80,7 @@ pub fn run_letter_trials(
     let recognizer = LetterRecognizer::new();
     let mut jobs = Vec::new();
     for (ci, (ch, setup)) in conditions.iter().enumerate() {
-        let setup = setup.clone().with_cell_scale(setup.cell_scale * opts.cell_scale);
+        let setup = apply_opts(setup, opts);
         for t in 0..trials {
             jobs.push((*ch, setup.clone(), derive_seed_indexed(seed, "letter", (ci * 10_000 + t) as u64)));
         }
@@ -107,7 +125,7 @@ pub fn run_word_trials(
     opts: &RunOpts,
 ) -> f64 {
     let recognizer = WordRecognizer::new(words);
-    let base = base.clone().with_cell_scale(base.cell_scale * opts.cell_scale);
+    let base = apply_opts(base, opts);
     let mut jobs = Vec::new();
     for (wi, w) in words.iter().enumerate() {
         for t in 0..trials {

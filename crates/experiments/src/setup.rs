@@ -5,6 +5,7 @@ use baselines::{RfIdraw, RfIdrawConfig, Tagoram, TagoramConfig};
 use pen_sim::kinematics::PenPose;
 use pen_sim::scene::Session;
 use pen_sim::{Scene, WriterProfile};
+use polardraw_core::hmm::KernelOptions;
 use polardraw_core::{PolarDraw, PolarDrawConfig};
 use rf_core::rng::derive_seed;
 use rf_core::{Vec2, Vec3};
@@ -71,6 +72,10 @@ pub struct TrialSetup {
     /// before tracking (`None` and `Some(identity)` are both provable
     /// no-ops; see `rfid_sim::faults`).
     pub faults: Option<FaultPlan>,
+    /// Decode kernel for the PolarDraw variants (`exact()` = bit-exact
+    /// reference path; `fast()` = f32 + adaptive beam, validated by the
+    /// tolerance harness). Baseline trackers ignore this.
+    pub kernel: KernelOptions,
 }
 
 impl TrialSetup {
@@ -87,6 +92,7 @@ impl TrialSetup {
             standoff_m: 0.65,
             cell_scale: 1.0,
             faults: None,
+            kernel: KernelOptions::exact(),
         }
     }
 
@@ -110,6 +116,12 @@ impl TrialSetup {
     /// Inject reader faults into the report stream before tracking.
     pub fn with_faults(mut self, plan: FaultPlan) -> TrialSetup {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Select the PolarDraw decode kernel (`repro --kernel fast`).
+    pub fn with_kernel(mut self, kernel: KernelOptions) -> TrialSetup {
+        self.kernel = kernel;
         self
     }
 }
@@ -234,7 +246,7 @@ pub fn tracker_for(setup: &TrialSetup) -> Box<dyn TrajectoryTracker + Send + Syn
 
     match setup.tracker {
         TrackerKind::PolarDraw | TrackerKind::PolarDrawNoPolarization => {
-            Box::new(PolarDraw::new(polardraw_config_for(setup)))
+            Box::new(PolarDraw::new(polardraw_config_for(setup)).with_kernel(setup.kernel))
         }
         TrackerKind::Tagoram2 | TrackerKind::Tagoram4 => {
             let mut cfg = if setup.tracker == TrackerKind::Tagoram2 {

@@ -24,6 +24,9 @@
 //!   outages, duplication, bounded reordering, clock jitter/drift,
 //!   per-channel phase steps) for degradation testing; an identity
 //!   [`faults::FaultPlan`] is a provable no-op.
+//! * [`traffic`] — deterministic synthetic *fleet* workloads (diurnal
+//!   arrival cycles, flash crowds, heavy-tail write durations, session
+//!   churn) for exercising the serving layers at scale.
 //! * [`tracking`] — the [`TrajectoryTracker`] trait implemented by
 //!   `polardraw-core` and the `baselines` crate.
 
@@ -38,6 +41,7 @@ pub mod modulation;
 pub mod reader;
 pub mod session;
 pub mod tracking;
+pub mod traffic;
 
 pub use faults::{FaultInjector, FaultLog, FaultPlan};
 pub use modulation::ModulationScheme;

@@ -15,6 +15,16 @@
 #     degenerate into a no-op;
 #   - the bit-exact f64 SoA path must keep beating the naive
 #     reference on its own (decode/exact vs decode/ref ≥ 2×).
+# * fleet — the sharded fleet front door. Copies the report to
+#   BENCH_fleet.json and enforces two gates:
+#   - the no-collapse floor: p99 per-report step latency under 8×
+#     overload (fleet/step/sessions256/overload8x/p99) must stay
+#     within 10× the unloaded fleet's p50
+#     (fleet/step/sessions256) — backpressure plus the degradation
+#     ladder must turn overload into deferral and cheaper kernels,
+#     never into a latency cliff;
+#   - the same core-count-aware scaling floor as the throughput
+#     suite, on the 64-session fleet lifecycle at threads 1 vs 8.
 # * throughput — the multi-session serving engine. Copies the report
 #   to BENCH_throughput.json and enforces two gates:
 #   - a core-count-aware scaling floor on the 8-session drain,
@@ -28,7 +38,7 @@
 #     sessions one pre-processing window each must stay within 8 × the
 #     single-session 10 ms guarantee scripts/verify.sh enforces.
 #
-# Usage: scripts/bench.sh [--suite decode|throughput|all] [--min-speedup X]
+# Usage: scripts/bench.sh [--suite decode|throughput|fleet|all] [--min-speedup X]
 #   --suite        which suite(s) to run (default all)
 #   --min-speedup  decode opt-vs-ref floor (default 8.0)
 set -euo pipefail
@@ -44,9 +54,20 @@ while [ $# -gt 0 ]; do
     esac
 done
 case "$SUITE" in
-    decode|throughput|all) ;;
-    *) echo "unknown suite: $SUITE (want decode|throughput|all)" >&2; exit 2 ;;
+    decode|throughput|fleet|all) ;;
+    *) echo "unknown suite: $SUITE (want decode|throughput|fleet|all)" >&2; exit 2 ;;
 esac
+
+# The thread-scaling floor is a property of the host's core count; the
+# measurement is honest wall-clock either way.
+NPROC=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$NPROC" -ge 8 ]; then
+    SCALE_FLOOR=4.0
+elif [ "$NPROC" -ge 2 ]; then
+    SCALE_FLOOR=1.5
+else
+    SCALE_FLOOR=0.8
+fi
 
 if [ "$SUITE" = decode ] || [ "$SUITE" = all ]; then
     echo "== bench: decode suite (full methodology; takes a few minutes) =="
@@ -78,16 +99,6 @@ if [ "$SUITE" = throughput ] || [ "$SUITE" = all ]; then
     cp results/bench_throughput.json BENCH_throughput.json
     echo "== bench: wrote BENCH_throughput.json =="
 
-    # The scaling floor is a property of the host's core count; the
-    # measurement is honest wall-clock either way.
-    NPROC=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
-    if [ "$NPROC" -ge 8 ]; then
-        SCALE_FLOOR=4.0
-    elif [ "$NPROC" -ge 2 ]; then
-        SCALE_FLOOR=1.5
-    else
-        SCALE_FLOOR=0.8
-    fi
     echo "== bench: scaling gate at ${SCALE_FLOOR}x (host has ${NPROC} hardware thread(s)) =="
     cargo run --release --offline -p polardraw-bench --bin bench_check -- \
         BENCH_throughput.json \
@@ -95,4 +106,30 @@ if [ "$SUITE" = throughput ] || [ "$SUITE" = all ]; then
         --ref serve/drain/sessions8/threads1 \
         --opt serve/drain/sessions8/threads8 \
         --max-median "serve/step/sessions8/threads8=80000000"
+fi
+
+if [ "$SUITE" = fleet ] || [ "$SUITE" = all ]; then
+    echo "== bench: fleet suite (full methodology) =="
+    cargo bench --offline -p polardraw-bench --bench fleet
+
+    cp results/bench_fleet.json BENCH_fleet.json
+    echo "== bench: wrote BENCH_fleet.json =="
+
+    # No-collapse floor: under 8x overload the p99 per-report step
+    # latency must stay within 10x the unloaded fleet's p50. bench_check
+    # asserts median(ref)/median(opt) >= floor, so with ref = unloaded
+    # p50 and opt = overloaded p99 the 0.1 floor is exactly that bound.
+    echo "== bench: fleet no-collapse gate (overload8x p99 <= 10x unloaded p50) =="
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        BENCH_fleet.json \
+        --min-speedup 0.1 \
+        --ref fleet/step/sessions256 \
+        --opt fleet/step/sessions256/overload8x/p99
+
+    echo "== bench: fleet scaling gate at ${SCALE_FLOOR}x (host has ${NPROC} hardware thread(s)) =="
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        BENCH_fleet.json \
+        --min-speedup "$SCALE_FLOOR" \
+        --ref fleet/lifecycle/sessions64/threads1 \
+        --opt fleet/lifecycle/sessions64/threads8
 fi

@@ -80,6 +80,21 @@ cargo test -q --offline --release --test serve
 cargo test -q --offline --release -p polardraw-core serve
 cargo test -q --offline --release -p rf-core par
 
+echo "== verify: fleet front door =="
+# Explicit tier-1 gates for the sharded fleet layer:
+# - tests/fleet.rs pins live migration bitwise-equivalent to never
+#   moving (swept cuts, queued reports carried, threads 1/2/8) and the
+#   overload contract (bounded queues, deferral never drops, monotone
+#   degradation, hysteretic recovery),
+# - tests/serve_alloc.rs proves a warm single-thread drain round
+#   allocates nothing (counting global allocator),
+# - the router/controller unit tests live in polardraw-core (fleet),
+#   the traffic-model unit tests in rfid-sim (traffic).
+cargo test -q --offline --release --test fleet
+cargo test -q --offline --release --test serve_alloc
+cargo test -q --offline --release -p polardraw-core fleet
+cargo test -q --offline --release -p rfid-sim traffic
+
 echo "== verify: dependency graph is workspace-only =="
 # Every line of `cargo tree` that names a crate must carry the marker of
 # a local path dependency: "(/…)" pointing into this repo. Registry

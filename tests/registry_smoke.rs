@@ -70,10 +70,31 @@ fn every_experiment_runs_on_reduced_config() {
     for id in [
         "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14", "fig15",
         "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5", "table6", "table7",
-        "table8", "faults", "streaming", "fleet",
+        "table8", "faults", "streaming", "fleet", "overload",
     ] {
         assert!(produced.contains(id), "artifact {id} was never produced");
     }
+}
+
+#[test]
+fn fast_kernel_path_runs_the_registry_pipeline() {
+    // `repro --kernel fast` plumbing: a non-exact kernel selection in
+    // RunOpts reaches every PolarDraw trial. Run a cheap full-pipeline
+    // experiment under it and check the output stays sane and
+    // deterministic (fast kernels trade f64-exactness, not
+    // reproducibility).
+    let opts = RunOpts {
+        kernel: polardraw_core::hmm::KernelOptions::fast(),
+        ..smoke_opts()
+    };
+    let def = experiments::registry::find("fig10").expect("fig10 registered");
+    let a = (def.run)(&opts);
+    let b = (def.run)(&opts);
+    assert!(!a.is_empty());
+    for report in &a {
+        assert_cells_sane(report);
+    }
+    assert_eq!(a, b, "fast-kernel runs must stay run-to-run deterministic");
 }
 
 #[test]
