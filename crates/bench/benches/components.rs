@@ -18,6 +18,14 @@ fn main() {
         ch.evaluate(0, Vec3::new(0.0, 0.7, 0.0), dipole, 0.1)
     });
 
+    // The full-polarimetric path on the same rig: what `--channel
+    // jones` pays per link relative to the scalar fast path above.
+    let mut jones_ch = ch.clone();
+    jones_ch.polarimetry = rf_physics::Polarimetry::Jones;
+    bench.bench("channel/evaluate_one_link_jones", || {
+        jones_ch.evaluate(0, Vec3::new(0.0, 0.7, 0.0), dipole, 0.1)
+    });
+
     let cfg = rfid_sim::gen2::Gen2Config::default();
     bench.bench("gen2/round_timing", || {
         cfg.successful_round_duration() + cfg.empty_round_duration()

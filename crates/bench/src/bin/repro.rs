@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [ids…] [--trials N] [--seed S] [--threads T] [--cell-scale X]
-//!       [--kernel exact|fast] [--out DIR]
+//!       [--kernel exact|fast] [--channel scalar|jones] [--out DIR]
 //! ```
 //!
 //! With no ids, runs the whole suite in paper order. Each report is
@@ -55,10 +55,15 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--kernel: expected exact|fast, got {other}")),
                 };
             }
+            "--channel" => {
+                let v = next_val("--channel")?;
+                args.opts.channel = pen_sim::scene::ChannelMode::parse(&v)
+                    .ok_or_else(|| format!("--channel: expected scalar|jones, got {v}"))?;
+            }
             "--out" => args.out_dir = next_val("--out")?.into(),
             "--help" | "-h" => {
                 return Err(
-                    "usage: repro [ids…] [--trials N] [--seed S] [--threads T] [--cell-scale X] [--kernel exact|fast] [--out DIR]"
+                    "usage: repro [ids…] [--trials N] [--seed S] [--threads T] [--cell-scale X] [--kernel exact|fast] [--channel scalar|jones] [--out DIR]"
                         .to_string(),
                 )
             }
@@ -133,11 +138,12 @@ fn main() {
     };
 
     println!(
-        "# PolarDraw reproduction — {} experiment(s), trials={}, seed={}, threads={}",
+        "# PolarDraw reproduction — {} experiment(s), trials={}, seed={}, threads={}, channel={}",
         selected.len(),
         args.opts.trials,
         args.opts.seed,
-        args.opts.threads
+        args.opts.threads,
+        args.opts.channel.as_str()
     );
     let t0 = std::time::Instant::now();
     for def in &selected {

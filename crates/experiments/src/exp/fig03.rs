@@ -30,12 +30,14 @@ fn feasibility_rig() -> Reader {
             normal: -Vec3::X,
             reflectivity: 0.35,
             depolarization: 0.9,
+            surface: rf_physics::Surface::Empirical,
         },
         rf_physics::Reflector {
             point: Vec3::new(0.0, 2.5, 0.0),
             normal: -Vec3::Y,
             reflectivity: 0.3,
             depolarization: 0.6,
+            surface: rf_physics::Surface::Empirical,
         },
     ];
     Reader::new(ch)

@@ -13,6 +13,7 @@ pub mod fig19;
 pub mod fig21;
 pub mod fleet;
 pub mod overload;
+pub mod polarization;
 pub mod streaming;
 pub mod table1;
 pub mod table5;

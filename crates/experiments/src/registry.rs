@@ -134,6 +134,12 @@ pub fn all_experiments() -> Vec<ExperimentDef> {
             title: "Fleet overload: graceful degradation under background load (not in paper)",
             run: crate::exp::overload::run,
         },
+        ExperimentDef {
+            id: "polarization",
+            produces: &["polarization"],
+            title: "Reader polarization × tag reconfiguration under the Jones channel (not in paper)",
+            run: crate::exp::polarization::run,
+        },
     ]
 }
 
@@ -156,6 +162,7 @@ mod tests {
             "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14",
             "fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5",
             "table6", "table7", "table8", "faults", "streaming", "fleet", "overload",
+            "polarization",
         ] {
             assert!(produced.contains(&id), "missing {id}");
         }

@@ -2,6 +2,7 @@
 //! accuracy loops every accuracy experiment shares.
 
 use crate::setup::{run_trial, TrialSetup};
+use pen_sim::scene::ChannelMode;
 use polardraw_core::hmm::KernelOptions;
 use recognition::{procrustes_distance, ConfusionMatrix, LetterRecognizer, WordRecognizer};
 use rf_core::rng::derive_seed_indexed;
@@ -25,6 +26,11 @@ pub struct RunOpts {
     /// own kernel; the default `exact()` leaves setups untouched so
     /// experiments that pin a kernel keep it.
     pub kernel: KernelOptions,
+    /// Polarization formalism forwarded to every trial (`repro
+    /// --channel jones`). Selecting `Jones` overrides each setup's own
+    /// channel; the default `Scalar` leaves setups untouched so
+    /// experiments that pin a channel keep it.
+    pub channel: ChannelMode,
 }
 
 impl Default for RunOpts {
@@ -35,17 +41,21 @@ impl Default for RunOpts {
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             cell_scale: 1.0,
             kernel: KernelOptions::exact(),
+            channel: ChannelMode::Scalar,
         }
     }
 }
 
 /// Fold the global run options into one condition's setup: compose the
-/// grid coarsening multiplicatively and override the kernel when the
-/// run asks for a non-exact one.
+/// grid coarsening multiplicatively and override the kernel/channel
+/// when the run asks for a non-default one.
 fn apply_opts(setup: &TrialSetup, opts: &RunOpts) -> TrialSetup {
     let mut setup = setup.clone().with_cell_scale(setup.cell_scale * opts.cell_scale);
     if opts.kernel != KernelOptions::exact() {
         setup.kernel = opts.kernel;
+    }
+    if opts.channel != ChannelMode::Scalar {
+        setup = setup.with_channel(opts.channel);
     }
     setup
 }

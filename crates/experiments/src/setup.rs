@@ -4,13 +4,14 @@
 use baselines::{RfIdraw, RfIdrawConfig, Tagoram, TagoramConfig};
 use pen_sim::kinematics::PenPose;
 use pen_sim::scene::Session;
+use pen_sim::scene::ChannelMode;
 use pen_sim::{Scene, WriterProfile};
 use polardraw_core::hmm::KernelOptions;
 use polardraw_core::{PolarDraw, PolarDrawConfig};
 use rf_core::rng::derive_seed;
 use rf_core::{Vec2, Vec3};
-use rf_physics::antenna::Antenna;
-use rf_physics::{Bystander, ChannelModel};
+use rf_physics::antenna::{Antenna, Polarization};
+use rf_physics::{Bystander, ChannelModel, PolState, Polarimetry, TagPolarization};
 use rfid_sim::faults::{FaultInjector, FaultPlan};
 use rfid_sim::reader::TagPose;
 use rfid_sim::tracking::{Trail, TrajectoryTracker};
@@ -76,6 +77,16 @@ pub struct TrialSetup {
     /// reference path; `fast()` = f32 + adaptive beam, validated by the
     /// tolerance harness). Baseline trackers ignore this.
     pub kernel: KernelOptions,
+    /// Which polarization formalism the RF substrate runs
+    /// (`repro --channel jones`). Mirrored into `scene.channel`.
+    pub channel: ChannelMode,
+    /// Override the reader antennas' radiated polarization state
+    /// (Jones channel only; `None` keeps the rig's stock antennas).
+    /// Linear rigs keep their mounted ±γ axes as the state's frame.
+    pub reader_pol: Option<PolState>,
+    /// Tag antenna behaviour: the paper's fixed dipole or a
+    /// polarization-reconfigurable tag (Fara et al.).
+    pub tag_mode: TagPolarization,
 }
 
 impl TrialSetup {
@@ -93,6 +104,9 @@ impl TrialSetup {
             cell_scale: 1.0,
             faults: None,
             kernel: KernelOptions::exact(),
+            channel: ChannelMode::Scalar,
+            reader_pol: None,
+            tag_mode: TagPolarization::Dipole,
         }
     }
 
@@ -122,6 +136,27 @@ impl TrialSetup {
     /// Select the PolarDraw decode kernel (`repro --kernel fast`).
     pub fn with_kernel(mut self, kernel: KernelOptions) -> TrialSetup {
         self.kernel = kernel;
+        self
+    }
+
+    /// Select the polarization formalism (`repro --channel jones`).
+    /// Keeps `scene.channel` consistent so serialized scenes carry it.
+    pub fn with_channel(mut self, channel: ChannelMode) -> TrialSetup {
+        self.channel = channel;
+        self.scene.channel = channel;
+        self
+    }
+
+    /// Override the reader antennas' radiated polarization state
+    /// (meaningful under the Jones channel).
+    pub fn with_reader_pol(mut self, state: PolState) -> TrialSetup {
+        self.reader_pol = Some(state);
+        self
+    }
+
+    /// Select the tag's polarization behaviour.
+    pub fn with_tag_mode(mut self, tag_mode: TagPolarization) -> TrialSetup {
+        self.tag_mode = tag_mode;
         self
     }
 }
@@ -281,6 +316,32 @@ pub fn to_tag_poses(poses: &[PenPose]) -> Vec<TagPose> {
         .collect()
 }
 
+/// The complete RF rig a trial runs: the tracker's base channel with
+/// the setup's bystander, polarimetry, tag mode, and reader-polarization
+/// override applied. A default setup returns exactly
+/// [`channel_for`] + bystander — the rig every committed artifact used.
+pub fn rig_for(setup: &TrialSetup) -> ChannelModel {
+    let mut channel = channel_for(setup.tracker, setup.gamma_rad, setup.standoff_m);
+    channel.bystander = setup.bystander;
+    channel.polarimetry = match setup.channel {
+        ChannelMode::Scalar => Polarimetry::Scalar,
+        ChannelMode::Jones => Polarimetry::Jones,
+    };
+    channel.tag = setup.tag_mode;
+    if let Some(state) = setup.reader_pol {
+        // Re-polarize the rig: each linear antenna radiates `state` in
+        // the frame anchored to its mounted axis, so a Linear{ψ=0}
+        // override is physically the stock antenna. Circular baseline
+        // rigs have no mounted axis and keep their antennas.
+        for ant in &mut channel.antennas {
+            if let Some(axis) = ant.linear_axis() {
+                ant.polarization = Polarization::Jones { axis, state };
+            }
+        }
+    }
+    channel
+}
+
 /// Simulate the trial's report stream without tracking it: write,
 /// propagate, read, inject faults. This is the front half of
 /// [`run_trial`], split out so streaming/session consumers (the
@@ -294,9 +355,7 @@ pub fn simulate_reports(setup: &TrialSetup, seed: u64) -> (Vec<Vec2>, Vec<TagRep
         &setup.text,
         derive_seed(seed, "pen"),
     );
-    let mut channel = channel_for(setup.tracker, setup.gamma_rad, setup.standoff_m);
-    channel.bystander = setup.bystander;
-    let reader = Reader::new(channel);
+    let reader = Reader::new(rig_for(setup));
     let mut reports = reader.inventory(&to_tag_poses(&session.poses), derive_seed(seed, "reader"));
     if let Some(plan) = &setup.faults {
         // Identity plans are a no-op inside the injector, so a sweep's
@@ -388,6 +447,57 @@ mod tests {
         assert_eq!(a.trail.points, b.trail.points);
         let clean = run_trial(&TrialSetup::letter('I'), 5);
         assert_ne!(a.reports, clean.reports, "intensity 0.8 must actually degrade the stream");
+    }
+
+    #[test]
+    fn default_rig_is_the_scalar_channel_for() {
+        // rig_for on a default setup must be exactly the rig every
+        // committed artifact was produced under.
+        let setup = TrialSetup::letter('I');
+        let rig = rig_for(&setup);
+        let mut want = channel_for(setup.tracker, setup.gamma_rad, setup.standoff_m);
+        want.bystander = setup.bystander;
+        assert_eq!(rig, want);
+        assert_eq!(rig.polarimetry, Polarimetry::Scalar);
+        assert_eq!(rig.tag, TagPolarization::Dipole);
+    }
+
+    #[test]
+    fn with_channel_sets_rig_and_scene_consistently() {
+        let setup = TrialSetup::letter('I').with_channel(ChannelMode::Jones);
+        assert_eq!(setup.scene.channel, ChannelMode::Jones);
+        assert_eq!(rig_for(&setup).polarimetry, Polarimetry::Jones);
+        let rec = TrialSetup::letter('I').with_tag_mode(TagPolarization::Reconfigurable);
+        assert_eq!(rig_for(&rec).tag, TagPolarization::Reconfigurable);
+    }
+
+    #[test]
+    fn reader_pol_override_repolarizes_linear_rigs_only() {
+        let circ_state = PolState::Circular { right_handed: true };
+        let setup = TrialSetup::letter('I')
+            .with_channel(ChannelMode::Jones)
+            .with_reader_pol(circ_state);
+        let rig = rig_for(&setup);
+        for (i, ant) in rig.antennas.iter().enumerate() {
+            // The mounted ±γ axis survives as the state's frame.
+            let base = channel_for(setup.tracker, setup.gamma_rad, setup.standoff_m);
+            let want_axis = base.antennas[i].linear_axis().unwrap();
+            match ant.polarization {
+                Polarization::Jones { axis, state } => {
+                    assert_eq!(axis, want_axis);
+                    assert_eq!(state, circ_state);
+                }
+                ref p => panic!("expected Jones pattern, got {p:?}"),
+            }
+        }
+        // Circular baseline rigs are untouched by the override.
+        let base = TrialSetup::letter('I')
+            .with_tracker(TrackerKind::Tagoram2)
+            .with_channel(ChannelMode::Jones)
+            .with_reader_pol(circ_state);
+        for ant in &rig_for(&base).antennas {
+            assert_eq!(ant.polarization, Polarization::Circular);
+        }
     }
 
     #[test]

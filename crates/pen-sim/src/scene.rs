@@ -30,6 +30,39 @@ impl Default for AirModel {
     }
 }
 
+/// Which polarization formalism the RF substrate should run for this
+/// scene. pen-sim does not depend on rf-physics, so this is a plain
+/// config tag; the experiment harness maps it onto the channel's
+/// `Polarimetry` when it builds the rig.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelMode {
+    /// The paper's scalar cos²β-per-leg reduction (default; what every
+    /// committed artifact was produced under).
+    #[default]
+    Scalar,
+    /// Full Jones-calculus propagation.
+    Jones,
+}
+
+impl ChannelMode {
+    /// Stable config-string form (`"scalar"` / `"jones"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChannelMode::Scalar => "scalar",
+            ChannelMode::Jones => "jones",
+        }
+    }
+
+    /// Parse the config-string form. `None` for unknown strings.
+    pub fn parse(s: &str) -> Option<ChannelMode> {
+        match s {
+            "scalar" => Some(ChannelMode::Scalar),
+            "jones" => Some(ChannelMode::Jones),
+            _ => None,
+        }
+    }
+}
+
 /// Where and how the writing happens.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scene {
@@ -45,6 +78,8 @@ pub struct Scene {
     pub sample_dt: f64,
     /// Horizontal gap between letters as a fraction of letter size.
     pub letter_gap: f64,
+    /// Polarization formalism for the RF substrate.
+    pub channel: ChannelMode,
 }
 
 impl Default for Scene {
@@ -54,6 +89,7 @@ impl Default for Scene {
             air: None,
             sample_dt: 0.002,
             letter_gap: 0.25,
+            channel: ChannelMode::Scalar,
         }
     }
 }
@@ -100,6 +136,7 @@ impl rf_core::json::ToJson for Scene {
             ("air", self.air.as_ref().map_or(rf_core::Json::Null, |a| a.to_json())),
             ("sample_dt", rf_core::Json::Num(self.sample_dt)),
             ("letter_gap", rf_core::Json::Num(self.letter_gap)),
+            ("channel", rf_core::Json::Str(self.channel.as_str().to_string())),
         ])
     }
 }
@@ -114,11 +151,24 @@ impl rf_core::json::FromJson for Scene {
             message: "Scene: missing `origin`".to_string(),
             offset: 0,
         })?;
+        // Scenes serialized before the Jones channel existed carry no
+        // `channel` field: those are scalar by construction.
+        let channel = match v.get("channel") {
+            None | Some(rf_core::Json::Null) => ChannelMode::Scalar,
+            Some(c) => c
+                .as_str()
+                .and_then(ChannelMode::parse)
+                .ok_or_else(|| rf_core::JsonError {
+                    message: "Scene: unknown `channel` (want \"scalar\" or \"jones\")".to_string(),
+                    offset: 0,
+                })?,
+        };
         Ok(Scene {
             origin: rf_core::Vec2::from_json(origin)?,
             air,
             sample_dt: v.req_f64("sample_dt")?,
             letter_gap: v.req_f64("letter_gap")?,
+            channel,
         })
     }
 }
@@ -323,11 +373,34 @@ mod tests {
     #[test]
     fn scenes_round_trip_through_json() {
         use rf_core::json::{FromJson, ToJson};
-        for scene in [Scene::default(), Scene::at_distance(1.1).in_air()] {
+        let jones = Scene { channel: ChannelMode::Jones, ..Scene::default() };
+        for scene in [Scene::default(), Scene::at_distance(1.1).in_air(), jones] {
             let text = scene.to_json().to_json_string();
             let back = Scene::from_json(&rf_core::Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, scene);
         }
         assert!(Scene::from_json(&rf_core::Json::parse("{\"origin\":[0,0]}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn pre_jones_scenes_deserialize_as_scalar() {
+        use rf_core::json::FromJson;
+        // A scene JSON written before the `channel` field existed.
+        let legacy = "{\"origin\":[-0.2,0.65],\"air\":null,\"sample_dt\":0.002,\"letter_gap\":0.25}";
+        let back = Scene::from_json(&rf_core::Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(back, Scene::default());
+        assert_eq!(back.channel, ChannelMode::Scalar);
+        // Unknown channel strings are a loud error, not a silent default.
+        let bad = legacy.replace("0.25}", "0.25,\"channel\":\"quantum\"}");
+        assert!(Scene::from_json(&rf_core::Json::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn channel_mode_string_round_trip() {
+        for mode in [ChannelMode::Scalar, ChannelMode::Jones] {
+            assert_eq!(ChannelMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(ChannelMode::parse("circular"), None);
+        assert_eq!(ChannelMode::default(), ChannelMode::Scalar);
     }
 }

@@ -21,12 +21,44 @@
 //!   what makes reads vanish near β = 90° in Figure 3(b).
 
 use crate::antenna::Antenna;
-use crate::multipath::{Bystander, Reflector};
+use crate::multipath::{fresnel_rp, fresnel_rs, Bystander, Reflector, Surface};
 use crate::noise::NoiseModel;
-use crate::polarization::{rotate_about_axis, transverse_field};
+use crate::polarization::{rotate_about_axis, transverse_field, Jones, PolBasis};
 use crate::propagation::log_distance_amplitude;
 use crate::spectrum::ChannelPlan;
 use rf_core::{db_to_ratio, wrap_tau, Complex, Vec3};
+
+/// Which polarization formalism [`ChannelModel::evaluate`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Polarimetry {
+    /// The paper's reduction: one real coupling factor per path leg
+    /// (`ê·u` for linear antennas, constant `1/√2` for circular). For
+    /// linear-copolarized broadside rigs this is provably equivalent to
+    /// `Jones` (`tests/channel_equivalence.rs`) at roughly half the
+    /// per-sample cost — the default and the model every committed
+    /// paper artifact was produced under.
+    #[default]
+    Scalar,
+    /// Full Jones-calculus propagation: each path carries a complex
+    /// two-component transverse field, bounces compose 2×2 Jones legs
+    /// (including the s/p Fresnel split on `Surface::Fresnel`
+    /// reflectors), and antennas may radiate circular or elliptical
+    /// states.
+    Jones,
+}
+
+/// How the tag's antenna responds to the incident field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TagPolarization {
+    /// A single fixed dipole — the paper's pen tag.
+    #[default]
+    Dipole,
+    /// A polarization-reconfigurable tag (Fara et al.): two orthogonal
+    /// dipole states, with the chip driving whichever currently
+    /// harvests more forward power. Dodges mismatch fades at the cost
+    /// of scrambling the orientation information PolarDraw decodes.
+    Reconfigurable,
+}
 
 /// Everything the reader can know about one interrogation attempt,
 /// before receiver measurement noise and quantization (those live in
@@ -73,6 +105,10 @@ pub struct ChannelModel {
     pub cable_phase_rad: Vec<f64>,
     /// Path-loss exponent (2.0 = free space; slightly above in clutter).
     pub path_loss_exponent: f64,
+    /// Polarization formalism used by [`ChannelModel::evaluate`].
+    pub polarimetry: Polarimetry,
+    /// Tag antenna polarization behaviour.
+    pub tag: TagPolarization,
 }
 
 impl ChannelModel {
@@ -91,6 +127,8 @@ impl ChannelModel {
             tag_sensitivity_dbm: -18.0,
             cable_phase_rad: vec![0.0; n],
             path_loss_exponent: 2.0,
+            polarimetry: Polarimetry::Scalar,
+            tag: TagPolarization::Dipole,
         }
     }
 
@@ -136,11 +174,44 @@ impl ChannelModel {
 
     /// Evaluate the link for `antenna_idx` with the tag at `tag_pos`
     /// (metres) and dipole orientation `dipole` (need not be unit) at
-    /// time `t` seconds.
+    /// time `t` seconds, under the configured [`Polarimetry`] and
+    /// [`TagPolarization`].
+    ///
+    /// A [`TagPolarization::Reconfigurable`] tag evaluates both of its
+    /// orthogonal dipole states and reports the one harvesting more
+    /// forward power (ties keep the commanded orientation), so the
+    /// returned `mismatch_rad` describes the state the chip actually
+    /// selected.
     ///
     /// # Panics
     /// Panics if `antenna_idx` is out of range.
     pub fn evaluate(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        match self.tag {
+            TagPolarization::Dipole => self.evaluate_oriented(antenna_idx, tag_pos, dipole, t),
+            TagPolarization::Reconfigurable => {
+                let u = dipole.normalized().unwrap_or(Vec3::Z);
+                let primary = self.evaluate_oriented(antenna_idx, tag_pos, u, t);
+                let alt = self.evaluate_oriented(antenna_idx, tag_pos, orthogonal_dipole(u), t);
+                if alt.forward_power_dbm > primary.forward_power_dbm {
+                    alt
+                } else {
+                    primary
+                }
+            }
+        }
+    }
+
+    fn evaluate_oriented(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        match self.polarimetry {
+            Polarimetry::Scalar => self.evaluate_scalar(antenna_idx, tag_pos, dipole, t),
+            Polarimetry::Jones => self.evaluate_jones(antenna_idx, tag_pos, dipole, t),
+        }
+    }
+
+    /// The paper's scalar reduction: every path leg contributes a real
+    /// coupling factor. This is byte-for-byte the pre-Jones channel —
+    /// golden traces pin its output.
+    fn evaluate_scalar(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
         let ant = &self.antennas[antenna_idx];
         let lambda = self.plan.wavelength_at(t);
         let g_tag = db_to_ratio(self.tag_gain_dbi).sqrt();
@@ -173,6 +244,54 @@ impl ChannelModel {
             }
         }
 
+        self.observe(f, antenna_idx, ant.mismatch_angle(tag_pos, u))
+    }
+
+    /// Full Jones-calculus propagation: every path carries a complex
+    /// transverse field composed through per-leg Jones matrices before
+    /// coupling onto the dipole. On linear-copolarized rigs with
+    /// `Empirical` surfaces each leg's field is purely real and the sum
+    /// reduces to [`ChannelModel::evaluate_scalar`] up to floating-point
+    /// association (`tests/channel_equivalence.rs` pins ≤ 1e-12).
+    fn evaluate_jones(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        let ant = &self.antennas[antenna_idx];
+        let lambda = self.plan.wavelength_at(t);
+        let g_tag = db_to_ratio(self.tag_gain_dbi).sqrt();
+        let u = dipole.normalized().unwrap_or(Vec3::Z);
+
+        let mut f = Complex::ZERO;
+
+        // Line of sight.
+        let d_los = ant.position.distance(tag_pos);
+        let los_amp = ant.amplitude_gain_towards(tag_pos)
+            * g_tag
+            * log_distance_amplitude(d_los, lambda, self.path_loss_exponent);
+        if let Some((basis, jv)) = ant.jones_towards(tag_pos) {
+            f += jv.couple(&basis, u)
+                * Complex::from_polar(los_amp, -std::f64::consts::TAU * d_los / lambda);
+        }
+
+        // Wall reflections (image method, one Jones bounce each).
+        for refl in &self.reflectors {
+            if let Some(term) = jones_reflector_term(ant, refl, tag_pos, u, lambda, g_tag, self.path_loss_exponent) {
+                f += term;
+            }
+        }
+
+        // Bystander scatter.
+        if let Some(by) = &self.bystander {
+            if let Some(term) = jones_bystander_term(ant, by, tag_pos, u, lambda, g_tag, t, self.path_loss_exponent) {
+                f += term;
+            }
+        }
+
+        self.observe(f, antenna_idx, ant.mismatch_angle(tag_pos, u))
+    }
+
+    /// Shared measurement tail: fold the one-way field `F` into the
+    /// monostatic observables. Both polarimetry paths funnel through
+    /// here with an identical floating-point op sequence.
+    fn observe(&self, f: Complex, antenna_idx: usize, mismatch_rad: f64) -> LinkObservation {
         let forward_power_dbm = self.tx_power_dbm + amp_to_db(f.abs());
         let tag_powered = forward_power_dbm >= self.tag_sensitivity_dbm;
 
@@ -184,7 +303,6 @@ impl ChannelModel {
         // θ = 4π·l/λ (mod 2π), i.e. *increasing* with distance — the
         // negation of the physical e^{−jkd} propagation argument.
         let phase_rad = wrap_tau(-h.arg() + cable);
-        let mismatch_rad = ant.mismatch_angle(tag_pos, u);
 
         LinkObservation {
             forward_power_dbm,
@@ -195,6 +313,12 @@ impl ChannelModel {
             mismatch_rad,
         }
     }
+}
+
+/// The second dipole state of a reconfigurable tag: the in-board-plane
+/// orthogonal of `u` (falling back to X for a board-normal dipole).
+fn orthogonal_dipole(u: Vec3) -> Vec3 {
+    Vec3::new(-u.y, u.x, 0.0).normalized().unwrap_or(Vec3::X)
 }
 
 /// Unit polarization axis in the board plane at `angle` radians from +X.
@@ -214,6 +338,7 @@ pub fn office_clutter() -> Vec<Reflector> {
             normal: -Vec3::Z,
             reflectivity: 0.35,
             depolarization: 0.7,
+            surface: Surface::Empirical,
         },
         // Ceiling 1.5 m above the antennas (y = −1.5 in board frame).
         Reflector {
@@ -221,6 +346,7 @@ pub fn office_clutter() -> Vec<Reflector> {
             normal: Vec3::Y,
             reflectivity: 0.3,
             depolarization: 1.1,
+            surface: Surface::Empirical,
         },
         // Side wall 2.5 m to the right.
         Reflector {
@@ -228,6 +354,7 @@ pub fn office_clutter() -> Vec<Reflector> {
             normal: -Vec3::X,
             reflectivity: 0.25,
             depolarization: 0.5,
+            surface: Surface::Empirical,
         },
     ]
 }
@@ -266,6 +393,81 @@ fn reflector_term(
         amp * coupling,
         -std::f64::consts::TAU * len / lambda,
     ))
+}
+
+/// One reflector's contribution under the Jones channel. `Empirical`
+/// surfaces apply the scalar channel's exact field transform to the real
+/// and imaginary field parts independently (the transform is linear, so
+/// this is exact — and bitwise-identical for the purely real fields of
+/// linear antennas). `Fresnel` surfaces split the field into s/p
+/// components in the plane-of-incidence frame, apply `diag(r_s, r_p)`,
+/// and re-express the bounced field in the arrival frame.
+fn jones_reflector_term(
+    ant: &Antenna,
+    refl: &Reflector,
+    tag_pos: Vec3,
+    u: Vec3,
+    lambda: f64,
+    g_tag: f64,
+    ple: f64,
+) -> Option<Complex> {
+    let (len, arrive_dir) = refl.path(ant.position, tag_pos);
+    let image = refl.mirror(tag_pos);
+    let emit_dir = (image - ant.position).normalized()?;
+    let (emission_basis, jv) = ant.jones_along(emit_dir)?;
+    let coupling = match refl.surface {
+        Surface::Empirical => {
+            let (re, im) = jv.field(&emission_basis);
+            let re_out = refl.reflect_polarization(re, arrive_dir);
+            let im_out = refl.reflect_polarization(im, arrive_dir);
+            Complex::new(re_out.dot(u), im_out.dot(u))
+        }
+        Surface::Fresnel { rel_permittivity } => {
+            let cos_i = emit_dir.dot(refl.normal).abs();
+            // s axis: perpendicular to the plane of incidence. It is
+            // shared by the incident and reflected rays; the p axis
+            // rotates with the ray.
+            let s = emit_dir
+                .cross(refl.normal)
+                .normalized()
+                .unwrap_or(emission_basis.h); // normal incidence: s/p degenerate
+            let in_basis = PolBasis { h: s, v: emit_dir.cross(s), k: emit_dir };
+            let out_basis = PolBasis { h: s, v: arrive_dir.cross(s), k: arrive_dir };
+            let rs = fresnel_rs(rel_permittivity, cos_i);
+            let rp = fresnel_rp(rel_permittivity, cos_i);
+            let bounce = Jones::diag(Complex::new(rs, 0.0), Complex::new(rp, 0.0))
+                .compose(Jones::basis_change(&emission_basis, &in_basis));
+            bounce.apply(jv).couple(&out_basis, u)
+        }
+    };
+    let amp = ant.amplitude_gain_towards(image) * g_tag * log_distance_amplitude(len, lambda, ple);
+    Some(coupling * Complex::from_polar(amp, -std::f64::consts::TAU * len / lambda))
+}
+
+/// The bystander's contribution under the Jones channel: the scalar
+/// channel's depolarizing rotation applied to the real and imaginary
+/// field parts independently (linear, hence exact).
+fn jones_bystander_term(
+    ant: &Antenna,
+    by: &Bystander,
+    tag_pos: Vec3,
+    u: Vec3,
+    lambda: f64,
+    g_tag: f64,
+    t: f64,
+    ple: f64,
+) -> Option<Complex> {
+    let body = by.position_at(t);
+    let (l1, l2, arrive_dir) = by.path(ant.position, tag_pos, t);
+    let emit_dir = (body - ant.position).normalized()?;
+    let (basis, jv) = ant.jones_along(emit_dir)?;
+    let (re, im) = jv.field(&basis);
+    let re_out = rotate_about_axis(re, arrive_dir, by.depolarization) * by.scattering;
+    let im_out = rotate_about_axis(im, arrive_dir, by.depolarization) * by.scattering;
+    let coupling = Complex::new(re_out.dot(u), im_out.dot(u));
+    let total = l1 + l2;
+    let amp = ant.amplitude_gain_towards(body) * g_tag * log_distance_amplitude(total, lambda, ple);
+    Some(coupling * Complex::from_polar(amp, -std::f64::consts::TAU * total / lambda))
 }
 
 fn bystander_term(
@@ -362,6 +564,7 @@ mod tests {
             normal: -Vec3::X,
             reflectivity: 0.8,
             depolarization: 1.2,
+            surface: Surface::Empirical,
         }];
         let obs = ch.evaluate(0, Vec3::ZERO, Vec3::Y, 0.0);
         // The depolarized reflection couples into the crossed dipole.
@@ -441,6 +644,151 @@ mod tests {
         ch.reflectors = office_clutter();
         let a = ch.evaluate(0, Vec3::new(0.1, 0.2, 0.0), Vec3::X, 0.0);
         let b = ch.evaluate(0, Vec3::new(0.1, 0.2, 0.0), Vec3::X, 5.0);
+        assert_eq!(a, b);
+    }
+
+    // ---- Jones-channel physics laws ------------------------------------
+
+    #[test]
+    fn jones_reduces_to_scalar_on_the_whiteboard_rig() {
+        // Spot check of the equivalence the dedicated suite sweeps:
+        // linear-copolarized rig + empirical surfaces → same observables.
+        let scalar = ChannelModel::two_antenna_whiteboard(deg_to_rad(15.0), 0.56, 0.3);
+        let mut jones = scalar.clone();
+        jones.polarimetry = Polarimetry::Jones;
+        for (i, dipole) in [Vec3::X, Vec3::Y, Vec3::new(0.6, 0.8, 0.0), Vec3::new(0.3, -0.7, 0.4)]
+            .into_iter()
+            .enumerate()
+        {
+            let pos = Vec3::new(0.1 * i as f64 - 0.15, 0.72, 0.0);
+            for idx in 0..2 {
+                let a = scalar.evaluate(idx, pos, dipole, 0.0);
+                let b = jones.evaluate(idx, pos, dipole, 0.0);
+                assert!((a.rx_power_dbm - b.rx_power_dbm).abs() < 1e-12, "{a:?}\n{b:?}");
+                assert!((a.phase_rad - b.phase_rad).abs() < 1e-12);
+                assert!((a.forward_power_dbm - b.forward_power_dbm).abs() < 1e-12);
+                assert_eq!(a.tag_powered, b.tag_powered);
+            }
+        }
+    }
+
+    #[test]
+    fn circular_reader_pays_exactly_3db_at_every_rotation() {
+        // Textbook circular→linear polarization loss: the coupling
+        // magnitude is 1/√2 for *every* in-plane dipole angle, so forward
+        // power sits 3.01 dB below the aligned linear antenna and the
+        // round trip doubles that to 6.02 dB — flat across β, which is
+        // exactly why the paper swaps the stock circular antennas out.
+        let three_db = 10.0 * 2f64.log10();
+        let mut lin = bench_channel();
+        lin.polarimetry = Polarimetry::Jones;
+        let lin0 = lin.evaluate(0, Vec3::ZERO, Vec3::X, 0.0);
+        let mut circ =
+            ChannelModel::free_space(vec![Antenna::circular(Vec3::new(0.0, 0.0, 1.0), -Vec3::Z)]);
+        circ.polarimetry = Polarimetry::Jones;
+        for deg in [0.0, 20.0, 45.0, 63.0, 90.0, 137.0] {
+            let b = deg_to_rad(deg);
+            let u = Vec3::new(b.cos(), b.sin(), 0.0);
+            let obs = circ.evaluate(0, Vec3::ZERO, u, 0.0);
+            let fwd_loss = lin0.forward_power_dbm - obs.forward_power_dbm;
+            let rx_loss = lin0.rx_power_dbm - obs.rx_power_dbm;
+            assert!((fwd_loss - three_db).abs() < 1e-9, "β = {deg}°: fwd loss {fwd_loss}");
+            assert!((rx_loss - 2.0 * three_db).abs() < 1e-9, "β = {deg}°: rx loss {rx_loss}");
+        }
+    }
+
+    #[test]
+    fn brewster_angle_kills_the_p_polarized_bounce() {
+        // Geometry arranged so the single wall bounce is (a) the only
+        // propagation path and (b) purely p-polarized at exactly the
+        // Brewster angle for εr = 2: antenna polarized along Z sees its
+        // own LoS null toward the tag straight below it, and the wall at
+        // x = 1/√8 puts the bounce at tan θ = √2 = √εr.
+        let w = 1.0 / 8f64.sqrt();
+        let wall = |surface| Reflector {
+            point: Vec3::new(w, 0.0, 0.0),
+            normal: -Vec3::X,
+            reflectivity: 0.8,
+            depolarization: 0.6,
+            surface,
+        };
+        let image = Vec3::new(2.0 * w, 0.0, 0.0);
+        let pos = Vec3::new(0.0, 0.0, 1.0);
+        let ant = Antenna::linear(pos, (image - pos).normalized().unwrap(), Vec3::Z);
+        let mut ch = ChannelModel::free_space(vec![ant]);
+        ch.polarimetry = Polarimetry::Jones;
+
+        ch.reflectors = vec![wall(Surface::Fresnel { rel_permittivity: 2.0 })];
+        let brewster = ch.evaluate(0, Vec3::ZERO, Vec3::Z, 0.0);
+        // r_p(θ_B) = 0: the bounce vanishes (to fp rounding of θ_B).
+        assert!(
+            brewster.forward_power_dbm < -150.0,
+            "Brewster bounce must vanish, got {} dBm",
+            brewster.forward_power_dbm
+        );
+
+        // Same geometry off Brewster (εr = 6) or with the empirical
+        // boundary: the bounce survives.
+        ch.reflectors = vec![wall(Surface::Fresnel { rel_permittivity: 6.0 })];
+        let off = ch.evaluate(0, Vec3::ZERO, Vec3::Z, 0.0);
+        assert!(off.forward_power_dbm > -60.0, "off-Brewster {}", off.forward_power_dbm);
+        ch.reflectors = vec![wall(Surface::Empirical)];
+        let emp = ch.evaluate(0, Vec3::ZERO, Vec3::Z, 0.0);
+        assert!(emp.forward_power_dbm > -60.0, "empirical {}", emp.forward_power_dbm);
+    }
+
+    #[test]
+    fn fresnel_s_bounce_tracks_rs_exactly() {
+        // Bounce-only geometry: tag in the antenna's back hemisphere
+        // (LoS gain is exactly zero), ceiling bounce oblique in the XZ
+        // plane. A Y-polarized antenna radiates purely s-polarized into
+        // that plane of incidence, so swapping the perfect mirror for a
+        // Fresnel dielectric must shift forward power by 20·log10|r_s|
+        // and nothing else.
+        let pos = Vec3::new(0.0, 0.0, 1.0);
+        let tag = Vec3::new(1.0, 0.0, 0.0);
+        let ceiling = |surface| Reflector {
+            point: Vec3::new(0.0, 0.0, 2.0),
+            normal: -Vec3::Z,
+            reflectivity: 1.0,
+            depolarization: 0.0,
+            surface,
+        };
+        let image = ceiling(Surface::Empirical).mirror(tag); // (1, 0, 4)
+        let boresight = (image - pos).normalized().unwrap();
+        // LoS direction (1, 0, −1) is behind this boresight.
+        assert!(boresight.dot((tag - pos).normalized().unwrap()) < 0.0);
+        let ant = Antenna::linear(pos, boresight, Vec3::Y);
+        let mut ch = ChannelModel::free_space(vec![ant]);
+        ch.polarimetry = Polarimetry::Jones;
+
+        let eps_r = 3.0;
+        let cos_i = boresight.dot(-Vec3::Z).abs();
+        let rs = fresnel_rs(eps_r, cos_i);
+
+        ch.reflectors = vec![ceiling(Surface::Fresnel { rel_permittivity: eps_r })];
+        let fresnel = ch.evaluate(0, tag, Vec3::Y, 0.0);
+        ch.reflectors = vec![ceiling(Surface::Empirical)];
+        let mirror = ch.evaluate(0, tag, Vec3::Y, 0.0);
+        let measured = fresnel.forward_power_dbm - mirror.forward_power_dbm;
+        let want = 20.0 * rs.abs().log10();
+        assert!((measured - want).abs() < 1e-9, "Δ = {measured}, 20·log10|r_s| = {want}");
+    }
+
+    #[test]
+    fn reconfigurable_tag_dodges_the_cross_polarized_blackout() {
+        // Fara-style tag: crossed dipole flips to its orthogonal state
+        // and keeps harvesting; the fixed dipole blacks out.
+        let mut ch = bench_channel();
+        ch.tag = TagPolarization::Reconfigurable;
+        let rec = ch.evaluate(0, Vec3::ZERO, Vec3::Y, 0.0);
+        assert!(rec.tag_powered, "reconfigurable tag must dodge the null");
+        let fixed = bench_channel().evaluate(0, Vec3::ZERO, Vec3::Y, 0.0);
+        assert!(!fixed.tag_powered);
+        // Aligned dipole: the primary state already wins, so the
+        // reconfigurable observation matches the fixed one exactly.
+        let a = bench_channel().evaluate(0, Vec3::ZERO, Vec3::X, 0.0);
+        let b = ch.evaluate(0, Vec3::ZERO, Vec3::X, 0.0);
         assert_eq!(a, b);
     }
 

@@ -17,6 +17,48 @@
 use crate::polarization::rotate_about_axis;
 use rf_core::Vec3;
 
+/// Electromagnetic boundary model of a reflecting surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Surface {
+    /// The calibrated empirical bounce the paper-scale scenes use: a
+    /// fixed amplitude `reflectivity` and a fixed `depolarization`
+    /// rotation, independent of incidence angle. Cheap, and exactly what
+    /// the scalar channel has always computed.
+    Empirical,
+    /// Lossless-dielectric Fresnel boundary: s/p reflection coefficients
+    /// derived from the relative permittivity and the incidence angle,
+    /// applied in the plane-of-incidence frame with the proper
+    /// polarization-rotating geometry. Only the Jones channel resolves
+    /// the s/p split; the scalar channel keeps the empirical transform
+    /// for these reflectors (the reduction it is calibrated against).
+    Fresnel {
+        /// Relative permittivity εr ≥ 1 (drywall ≈ 2–3, concrete ≈ 5–7,
+        /// glass ≈ 6–7).
+        rel_permittivity: f64,
+    },
+}
+
+/// Fresnel amplitude reflection coefficient for s-polarization
+/// (E perpendicular to the plane of incidence, a.k.a. horizontal/TE) off
+/// a lossless dielectric of relative permittivity `eps_r`, given the
+/// cosine of the incidence angle (`1` = normal, `0` = grazing).
+///
+/// `r_s = (cos θ − √(εr − sin²θ)) / (cos θ + √(εr − sin²θ))` — exactly
+/// `−1` at grazing incidence, `−(√εr−1)/(√εr+1)` at normal incidence.
+pub fn fresnel_rs(eps_r: f64, cos_theta: f64) -> f64 {
+    let root = (eps_r - (1.0 - cos_theta * cos_theta)).max(0.0).sqrt();
+    (cos_theta - root) / (cos_theta + root)
+}
+
+/// Fresnel amplitude reflection coefficient for p-polarization
+/// (E in the plane of incidence, a.k.a. vertical/TM):
+/// `r_p = (εr·cos θ − √(εr − sin²θ)) / (εr·cos θ + √(εr − sin²θ))` —
+/// zero at the Brewster angle `tan θ_B = √εr`, `−1` at grazing.
+pub fn fresnel_rp(eps_r: f64, cos_theta: f64) -> f64 {
+    let root = (eps_r - (1.0 - cos_theta * cos_theta)).max(0.0).sqrt();
+    (eps_r * cos_theta - root) / (eps_r * cos_theta + root)
+}
+
 /// An infinite planar reflector (wall, ceiling, desk surface).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Reflector {
@@ -25,13 +67,17 @@ pub struct Reflector {
     /// Unit normal.
     pub normal: Vec3,
     /// Amplitude reflection coefficient in `[0, 1]` (drywall ≈ 0.3–0.5,
-    /// metal ≈ 0.9).
+    /// metal ≈ 0.9). Used by the `Empirical` surface model.
     pub reflectivity: f64,
     /// Extra polarization rotation applied on reflection, radians.
     /// Real oblique reflections mix s- and p-components; a fixed
     /// per-reflector rotation captures the resulting cross-polarized
-    /// leakage without a full Fresnel treatment.
+    /// leakage without a full Fresnel treatment. Used by the `Empirical`
+    /// surface model.
     pub depolarization: f64,
+    /// Boundary model: `Empirical` (reflectivity + depolarization) or a
+    /// proper `Fresnel` dielectric (Jones channel).
+    pub surface: Surface,
 }
 
 impl Reflector {
@@ -42,7 +88,14 @@ impl Reflector {
             normal: Vec3::Z,
             reflectivity,
             depolarization,
+            surface: Surface::Empirical,
         }
+    }
+
+    /// Switch this reflector's boundary model.
+    pub fn with_surface(mut self, surface: Surface) -> Reflector {
+        self.surface = surface;
+        self
     }
 
     /// Mirror a point across the reflector plane.
@@ -170,7 +223,13 @@ mod tests {
         // Source and destination equidistant from the wall: the bounce
         // path length equals the direct distance between the mirrored
         // endpoints (classic image construction).
-        let wall = Reflector { point: Vec3::ZERO, normal: Vec3::Z, reflectivity: 1.0, depolarization: 0.0 };
+        let wall = Reflector {
+            point: Vec3::ZERO,
+            normal: Vec3::Z,
+            reflectivity: 1.0,
+            depolarization: 0.0,
+            surface: Surface::Empirical,
+        };
         let src = Vec3::new(-1.0, 0.0, 1.0);
         let dst = Vec3::new(1.0, 0.0, 1.0);
         let (len, dir) = wall.path(src, dst);
@@ -235,5 +294,80 @@ mod tests {
         let dst = Vec3::new(0.4, 0.3, 0.0);
         let (l1, l2, _) = b.path(src, dst, 0.0);
         assert!(l1 + l2 > src.distance(dst));
+    }
+
+    // ---- Fresnel closed-form laws --------------------------------------
+
+    #[test]
+    fn fresnel_vanishes_at_brewster_for_p_polarization() {
+        // tan θ_B = √εr ⇒ r_p(θ_B) = 0, for any lossless dielectric.
+        for eps_r in [1.5f64, 2.0, 4.0, 6.5, 9.0] {
+            let theta_b = eps_r.sqrt().atan();
+            let rp = fresnel_rp(eps_r, theta_b.cos());
+            assert!(rp.abs() < 1e-12, "εr = {eps_r}: r_p(θ_B) = {rp}");
+            // …and s-polarization does NOT vanish there.
+            let rs = fresnel_rs(eps_r, theta_b.cos());
+            assert!(rs.abs() > 0.1, "εr = {eps_r}: r_s(θ_B) = {rs}");
+        }
+    }
+
+    #[test]
+    fn fresnel_reaches_minus_one_at_grazing() {
+        // cos θ → 0: total reflection with a π phase flip, both
+        // polarizations (the V-pol/−1 limit of the satellite spec).
+        for eps_r in [1.5, 2.0, 4.0, 6.5] {
+            assert_eq!(fresnel_rs(eps_r, 0.0), -1.0);
+            assert_eq!(fresnel_rp(eps_r, 0.0), -1.0);
+        }
+    }
+
+    #[test]
+    fn fresnel_normal_incidence_closed_form() {
+        // At normal incidence the s/p distinction degenerates:
+        // |r| = (√εr − 1)/(√εr + 1) for both (signs differ only by the
+        // frame convention for the p axis).
+        for eps_r in [2.0f64, 4.0, 7.0] {
+            let want = (eps_r.sqrt() - 1.0) / (eps_r.sqrt() + 1.0);
+            assert!((fresnel_rs(eps_r, 1.0) + want).abs() < 1e-12);
+            assert!((fresnel_rp(eps_r, 1.0) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fresnel_magnitudes_stay_physical() {
+        // Passive boundary: |r| ≤ 1 across the whole incidence range,
+        // and r_p crosses zero exactly once (at Brewster).
+        let eps_r = 5.0f64;
+        let theta_b = eps_r.sqrt().atan();
+        let mut sign_changes = 0;
+        let mut prev = fresnel_rp(eps_r, 1.0);
+        for i in 1..=1000 {
+            let theta = i as f64 / 1000.0 * std::f64::consts::FRAC_PI_2;
+            let rs = fresnel_rs(eps_r, theta.cos());
+            let rp = fresnel_rp(eps_r, theta.cos());
+            assert!(rs.abs() <= 1.0 + 1e-12 && rp.abs() <= 1.0 + 1e-12);
+            if rp.signum() != prev.signum() && prev != 0.0 {
+                sign_changes += 1;
+                assert!(
+                    (theta - theta_b).abs() < 0.01,
+                    "r_p sign change at {theta}, Brewster is {theta_b}"
+                );
+            }
+            prev = rp;
+        }
+        assert_eq!(sign_changes, 1);
+    }
+
+    #[test]
+    fn with_surface_switches_the_boundary_model() {
+        let wall = Reflector::wall_behind(1.0, 0.4, 0.3);
+        assert_eq!(wall.surface, Surface::Empirical);
+        let fresnel = wall.with_surface(Surface::Fresnel { rel_permittivity: 2.5 });
+        assert_eq!(fresnel.surface, Surface::Fresnel { rel_permittivity: 2.5 });
+        // The geometric helpers are surface-independent.
+        assert_eq!(
+            wall.path(Vec3::new(0.0, 0.0, 2.0), Vec3::new(0.3, 0.1, 0.0)),
+            fresnel.path(Vec3::new(0.0, 0.0, 2.0), Vec3::new(0.3, 0.1, 0.0))
+        );
     }
 }

@@ -37,8 +37,14 @@
 #     (serve/step/sessions8/threads8): one drain advancing all 8
 #     sessions one pre-processing window each must stay within 8 × the
 #     single-session 10 ms guarantee scripts/verify.sh enforces.
+# * components — the physics/pipeline micro-benchmarks, filtered to the
+#   channel rows. Gates the scalar fast path against the committed
+#   BENCH_components.json at 1.1× *before* refreshing the baseline: the
+#   Jones layer must not tax the legacy cos²β path the committed
+#   artifacts were produced under. The jones row rides along as the
+#   measured cost of `--channel jones` per link.
 #
-# Usage: scripts/bench.sh [--suite decode|throughput|fleet|all] [--min-speedup X]
+# Usage: scripts/bench.sh [--suite decode|throughput|fleet|components|all] [--min-speedup X]
 #   --suite        which suite(s) to run (default all)
 #   --min-speedup  decode opt-vs-ref floor (default 8.0)
 set -euo pipefail
@@ -54,8 +60,8 @@ while [ $# -gt 0 ]; do
     esac
 done
 case "$SUITE" in
-    decode|throughput|fleet|all) ;;
-    *) echo "unknown suite: $SUITE (want decode|throughput|fleet|all)" >&2; exit 2 ;;
+    decode|throughput|fleet|components|all) ;;
+    *) echo "unknown suite: $SUITE (want decode|throughput|fleet|components|all)" >&2; exit 2 ;;
 esac
 
 # The thread-scaling floor is a property of the host's core count; the
@@ -132,4 +138,24 @@ if [ "$SUITE" = fleet ] || [ "$SUITE" = all ]; then
         --min-speedup "$SCALE_FLOOR" \
         --ref fleet/lifecycle/sessions64/threads1 \
         --opt fleet/lifecycle/sessions64/threads8
+fi
+
+if [ "$SUITE" = components ] || [ "$SUITE" = all ]; then
+    echo "== bench: components suite (channel rows, full methodology) =="
+    mkdir -p results/components
+    cargo bench --offline -p polardraw-bench --bench components -- \
+        --filter "channel/" --out "$(pwd)/results/components"
+
+    # No-collapse floor FIRST, against the committed baseline: the
+    # scalar fast path must stay within 1.1x of what it cost before the
+    # polarimetric layer landed. Only then refresh the baseline.
+    if [ -f BENCH_components.json ]; then
+        echo "== bench: scalar-channel no-collapse gate (1.1x of committed baseline) =="
+        cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+            results/components/bench_components.json \
+            --baseline BENCH_components.json --max-regression 1.1
+    fi
+
+    cp results/components/bench_components.json BENCH_components.json
+    echo "== bench: wrote BENCH_components.json =="
 fi

@@ -55,6 +55,22 @@ echo "== verify: decode kernel equivalence =="
 cargo test -q --offline --release --test kernel_equivalence
 cargo test -q --offline --release --test decoder_equivalence
 
+echo "== verify: polarimetric channel =="
+# Explicit tier-1 gates for the Jones channel layer:
+# - tests/channel_equivalence.rs pins the reduction contract: on every
+#   broadside linear-copolarized rig the Jones channel agrees with the
+#   scalar cos²β path within 1e-12 per link and bit-for-bit through a
+#   full letter trial, and is provably not a no-op off that family,
+# - the physics-law unit tests (Fresnel Brewster/grazing closed forms,
+#   the circular-reader 3 dB law, Jones unitarity/associativity) live
+#   in rf-physics,
+# - the polarization report snapshot + jones letter-L trace pin ride in
+#   tests/golden.rs above.
+cargo test -q --offline --release --test channel_equivalence
+cargo test -q --offline --release -p rf-physics
+cargo test -q --offline --release --test golden golden_report_polarization
+cargo test -q --offline --release --test golden golden_trace_letter_trial_jones
+
 echo "== verify: online engine + supervised sessions =="
 # Explicit tier-1 gates for the streaming layer:
 # - tests/online_equivalence.rs pins batch == online bit-for-bit (lag ≥

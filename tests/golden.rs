@@ -3,15 +3,16 @@
 //!
 //! Two layers:
 //!
-//! * **Report snapshots** — three representative experiments (fig13,
-//!   table5, table6) re-run on the reduced-fidelity configuration the
-//!   registry smoke test uses (`trials = 1`, `cell_scale = 8`,
-//!   seed 42) must serialize bit-identically to the JSON committed
-//!   under `tests/snapshots/`.
-//! * **Trace snapshot** — one full-fidelity letter trial ('L', seed 42)
+//! * **Report snapshots** — four representative experiments (fig13,
+//!   table5, table6, polarization) re-run on the reduced-fidelity
+//!   configuration the registry smoke test uses (`trials = 1`,
+//!   `cell_scale = 8`, seed 42) must serialize bit-identically to the
+//!   JSON committed under `tests/snapshots/`.
+//! * **Trace snapshots** — one full-fidelity letter trial ('L', seed 42)
 //!   must reproduce its committed `TagReport` stream and recovered
 //!   trail bit-for-bit, with faults disabled *and* under an identity
-//!   `FaultPlan` (the injector's no-op guarantee).
+//!   `FaultPlan` (the injector's no-op guarantee); the same trial under
+//!   the Jones channel is pinned separately.
 //!
 //! The snapshots were generated from the pre-fault-layer code, so these
 //! tests prove the fault-injection PR changed nothing on clean input.
@@ -72,6 +73,11 @@ fn golden_report_table6() {
     run_report_snapshot("table6");
 }
 
+#[test]
+fn golden_report_polarization() {
+    run_report_snapshot("polarization");
+}
+
 fn run_report_snapshot(id: &str) {
     let def = experiments::registry::find(id).unwrap_or_else(|| panic!("{id} registered"));
     let reports = (def.run)(&golden_opts());
@@ -109,6 +115,18 @@ fn trace_json(run: &experiments::setup::TrialRun) -> String {
 fn golden_trace_letter_trial() {
     let run = run_trial(&TrialSetup::letter('L'), 42);
     assert_matches_snapshot("trace_letter_L.json", &trace_json(&run));
+}
+
+/// The same full-fidelity trial under the Jones channel. The
+/// equivalence suite proves this stream is bit-identical to the scalar
+/// one *today*; pinning it separately means a future change that
+/// breaks the reduction (deliberately or not) shows up as golden drift
+/// in the polarimetric path specifically.
+#[test]
+fn golden_trace_letter_trial_jones() {
+    let setup = TrialSetup::letter('L').with_channel(pen_sim::scene::ChannelMode::Jones);
+    let run = run_trial(&setup, 42);
+    assert_matches_snapshot("trace_letter_L_jones.json", &trace_json(&run));
 }
 
 /// Decode a trial's stream through the online engine with an explicit

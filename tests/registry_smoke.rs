@@ -70,7 +70,7 @@ fn every_experiment_runs_on_reduced_config() {
     for id in [
         "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14", "fig15",
         "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5", "table6", "table7",
-        "table8", "faults", "streaming", "fleet", "overload",
+        "table8", "faults", "streaming", "fleet", "overload", "polarization",
     ] {
         assert!(produced.contains(id), "artifact {id} was never produced");
     }
@@ -95,6 +95,23 @@ fn fast_kernel_path_runs_the_registry_pipeline() {
         assert_cells_sane(report);
     }
     assert_eq!(a, b, "fast-kernel runs must stay run-to-run deterministic");
+}
+
+#[test]
+fn jones_channel_runs_the_registry_pipeline() {
+    // `repro --channel jones` plumbing: a non-scalar channel selection
+    // in RunOpts reaches every trial's RF rig. Run a cheap
+    // full-pipeline experiment under it and check the output stays sane
+    // and deterministic.
+    let opts = RunOpts { channel: pen_sim::scene::ChannelMode::Jones, ..smoke_opts() };
+    let def = experiments::registry::find("fig10").expect("fig10 registered");
+    let a = (def.run)(&opts);
+    let b = (def.run)(&opts);
+    assert!(!a.is_empty());
+    for report in &a {
+        assert_cells_sane(report);
+    }
+    assert_eq!(a, b, "jones-channel runs must stay run-to-run deterministic");
 }
 
 #[test]
