@@ -32,6 +32,13 @@
 //! * `fleet/migrate/warm` — one live migration (drain → checkpoint →
 //!   re-adopt on the other shard) of a warmed session, ping-ponged
 //!   between shards.
+//! * `fleet/recover/session` — per-session crash recovery: a warmed,
+//!   checkpointed one-shard fleet is killed and recovered each
+//!   iteration; the sample is `recover()` wall time ÷ sessions
+//!   (checkpoint open + CRC verify + tracker rebuild at a boundary
+//!   kill, so the escrow replay tail is empty). The committed gate
+//!   (`scripts/bench.sh --suite fleet`) holds this row under an
+//!   absolute ceiling — recovery must stay interactive.
 //! * `fleet/lifecycle/sessions64/threads{1,8}` — full short lifecycle
 //!   at 1 vs 8 worker threads per shard for the core-count-aware
 //!   scaling gate (same contract as the serve drain matrix).
@@ -267,6 +274,51 @@ fn main() {
             "migration round trip carries the full bitwise checkpoint \
              ({text_len} bytes for a 128-report warm session); equivalence to never \
              having moved is proven by tests/fleet.rs"
+        ));
+    }
+
+    // Crash recovery cost: kill a warmed, checkpointed one-shard fleet
+    // and rebuild every session from the store. Boundary kills (the
+    // checkpoint policy seals every drain) keep the escrow tail empty,
+    // so the sample isolates restore cost — parse + CRC verify +
+    // decoder rebuild — not replay decode work.
+    {
+        use polardraw_core::durability::CheckpointStore;
+        use polardraw_core::fleet::CheckpointPolicy;
+        let cfg = rig();
+        let sessions = 16usize;
+        let mut fleet = FleetRouter::new(FleetConfig {
+            shards: 1,
+            threads_per_shard: 1,
+            queue_cap: usize::MAX / 2,
+            soft_session_cap: usize::MAX / 2,
+            checkpoint: CheckpointPolicy { every_drains: 1, ..CheckpointPolicy::default() },
+            ..FleetConfig::default()
+        });
+        fleet.attach_store(CheckpointStore::in_memory(3));
+        let streams = traffic_streams(sessions);
+        let ids: Vec<usize> = (0..sessions)
+            .map(|_| fleet.add_session(cfg, OnlineOptions::default()))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let _ = fleet.offer(id, &streams[i][..128]);
+        }
+        fleet.drain(); // seals generation 1 for every session
+        let iters = if quick { 4 } else { 24 };
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            fleet.kill_shard(0);
+            let t0 = Instant::now();
+            let rec = fleet.recover(0);
+            let ns = t0.elapsed().as_nanos() as f64;
+            assert_eq!(rec.restored, sessions, "every session restores from the store");
+            samples.push(ns / sessions as f64);
+        }
+        bench.record_ns("fleet/recover/session", &samples);
+        bench.note(format!(
+            "recover row: {sessions} x 128-report warm sessions on one shard, killed and \
+             restored from an in-memory CheckpointStore (keep 3, boundary kills, empty \
+             escrow tail); bitwise equivalence to never crashing is proven by tests/chaos.rs"
         ));
     }
 

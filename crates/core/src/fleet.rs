@@ -35,7 +35,37 @@
 //! in flight, the migrated session's output is bit-identical to never
 //! having moved — `tests/fleet.rs` proves this at every cut point and
 //! at thread counts 1/2/8.
+//!
+//! ## Crash safety (see DESIGN.md "Durability & crash recovery")
+//!
+//! With a [`CheckpointStore`] attached
+//! ([`attach_store`](FleetRouter::attach_store)), the router becomes
+//! self-healing:
+//!
+//! * **Checkpoint policy.** At post-drain boundaries (queues empty),
+//!   every live session on a shard is sealed into the store — every
+//!   [`CheckpointPolicy::every_drains`]-th round, on migration, and on
+//!   a degrade-rung change.
+//! * **Escrow.** Every *admitted* report is also retained in an
+//!   in-router escrow ledger spanning the store's retained
+//!   generations, so recovery can replay exactly what a restored
+//!   checkpoint has not yet seen. Report-loss-free by construction:
+//!   a report is either still the producer's (deferred), in escrow,
+//!   or covered by a durable checkpoint.
+//! * **Kill + recover.** [`kill_shard`](FleetRouter::kill_shard)
+//!   simulates a process crash (the pool and its in-memory controller
+//!   state vanish); [`recover`](FleetRouter::recover) rebuilds each
+//!   lost session from the newest good generation (walking back over
+//!   corrupted ones) and re-queues its escrowed tail. The recovered
+//!   session observes exactly the push sequence of an uncrashed run,
+//!   so its output is bit-identical — `tests/chaos.rs` proves this at
+//!   swept kill points under a deterministic chaos plan.
+//! * **Quarantine.** A session whose `push` panics mid-drain
+//!   (poisoned — see [`ServePool`]) or whose restore fails at every
+//!   retained generation is isolated with its escrowed reports instead
+//!   of taking the shard down, surfaced via [`FleetStats::quarantined`].
 
+use crate::durability::{CheckpointStore, RestoreError};
 use crate::hmm::{AdaptiveBeam, KernelPrecision};
 use crate::online::{OnlineOptions, OnlineTracker};
 use crate::serve::{DrainReport, PoolStats, ServePool, SessionId};
@@ -173,6 +203,27 @@ impl DegradePolicy {
     }
 }
 
+/// When the router seals live sessions into an attached
+/// [`CheckpointStore`]. Checkpoints are only ever taken at post-drain
+/// boundaries (every queue empty), so a sealed generation plus the
+/// escrowed reports admitted after it reconstructs the exact push
+/// sequence of an uncrashed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint every K-th drain round (0 disables the timer).
+    pub every_drains: usize,
+    /// Checkpoint a session as part of migrating it.
+    pub on_migrate: bool,
+    /// Checkpoint a shard's sessions when its degrade rung changes.
+    pub on_rung_change: bool,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> CheckpointPolicy {
+        CheckpointPolicy { every_drains: 8, on_migrate: true, on_rung_change: true }
+    }
+}
+
 /// Front-door configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -192,6 +243,9 @@ pub struct FleetConfig {
     pub soft_session_cap: usize,
     /// Overload policy, applied independently per shard.
     pub policy: DegradePolicy,
+    /// Durability checkpoint policy (inert until a store is attached
+    /// via [`FleetRouter::attach_store`]).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for FleetConfig {
@@ -202,6 +256,7 @@ impl Default for FleetConfig {
             queue_cap: 4096,
             soft_session_cap: 256,
             policy: DegradePolicy::default(),
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -216,8 +271,25 @@ struct Route {
     /// Degradation level currently applied to the session's tracker.
     applied_level: usize,
     live: bool,
+    /// Its hosting shard crashed and it has not been recovered yet
+    /// (offers are deferred wholesale until then).
+    crashed: bool,
+    /// Isolated: its push panicked, or its restore failed at every
+    /// retained generation. Escrowed reports are kept for inspection.
+    quarantined: bool,
     offered: usize,
     admitted: usize,
+}
+
+/// Per-session escrow ledger: every admitted report since the oldest
+/// checkpoint generation the store still retains, in admit order, plus
+/// the marks that say how much of it each retained generation covers.
+#[derive(Debug, Clone, Default)]
+struct Escrow {
+    reports: Vec<TagReport>,
+    /// `(generation, covered)`: restoring `generation` must replay
+    /// `reports[covered..]`.
+    marks: Vec<(u64, usize)>,
 }
 
 /// One shard: a pool plus its controller state.
@@ -252,6 +324,27 @@ pub struct FleetDrainReport {
     pub degraded: usize,
     /// Shards that stepped back up a rung this round.
     pub recovered: usize,
+    /// Sessions quarantined this round (their `push` panicked).
+    pub quarantined: usize,
+    /// Durability checkpoints sealed this round.
+    pub checkpoints: usize,
+}
+
+/// What one [`FleetRouter::recover`] call rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoverReport {
+    /// Sessions restored from a committed checkpoint generation.
+    pub restored: usize,
+    /// Sessions rebuilt from scratch (never checkpointed, or no store
+    /// attached) with a full escrow replay.
+    pub rebuilt: usize,
+    /// Corrupted generations skipped during restore walk-backs.
+    pub fallbacks: usize,
+    /// Escrowed reports re-queued for replay.
+    pub requeued_reports: usize,
+    /// Sessions whose every retained generation failed to open —
+    /// quarantined instead of restored.
+    pub quarantined: usize,
 }
 
 /// Router-lifetime counters.
@@ -278,6 +371,20 @@ pub struct FleetStats {
     pub peak_pending: usize,
     /// Drain rounds run.
     pub drains: usize,
+    /// Shard crashes simulated via [`FleetRouter::kill_shard`].
+    pub shard_kills: usize,
+    /// Sessions rebuilt by [`FleetRouter::recover`] (from a stored
+    /// generation or, for never-checkpointed sessions, from scratch
+    /// plus full escrow replay).
+    pub recoveries: usize,
+    /// Corrupted generations skipped during restore walk-backs — the
+    /// "a checkpoint was bad but we kept serving" signal.
+    pub restore_fallbacks: usize,
+    /// Sessions isolated with their escrowed reports (poisoned push,
+    /// or no retained generation would open).
+    pub quarantined: usize,
+    /// Durability checkpoints sealed over the router's lifetime.
+    pub checkpoints: usize,
 }
 
 /// The sharded fleet front door. See the module docs.
@@ -301,9 +408,21 @@ pub struct FleetRouter {
     config: FleetConfig,
     shards: Vec<Shard>,
     routes: Vec<Route>,
+    /// Parallel to `routes`: each session's configuration, kept so a
+    /// crashed session can be rebuilt without a live tracker to ask.
+    configs: Vec<PolarDrawConfig>,
+    /// Parallel to `routes`: the escrow ledgers (empty when no store
+    /// is attached, except for quarantined sessions' rescued queues).
+    escrows: Vec<Escrow>,
+    store: Option<CheckpointStore>,
     migrations: usize,
     peak_level: usize,
     drains: usize,
+    shard_kills: usize,
+    recoveries: usize,
+    restore_fallbacks: usize,
+    quarantined: usize,
+    checkpoints: usize,
 }
 
 impl FleetRouter {
@@ -323,7 +442,41 @@ impl FleetRouter {
                 recover_steps: 0,
             })
             .collect();
-        FleetRouter { config, shards, routes: Vec::new(), migrations: 0, peak_level: 0, drains: 0 }
+        FleetRouter {
+            config,
+            shards,
+            routes: Vec::new(),
+            configs: Vec::new(),
+            escrows: Vec::new(),
+            store: None,
+            migrations: 0,
+            peak_level: 0,
+            drains: 0,
+            shard_kills: 0,
+            recoveries: 0,
+            restore_fallbacks: 0,
+            quarantined: 0,
+            checkpoints: 0,
+        }
+    }
+
+    /// Attach a durability store; from now on the checkpoint policy
+    /// runs and every admitted report is escrowed until a checkpoint
+    /// covers it. Attach before offering reports — escrow only covers
+    /// what is admitted *after* the store is in place.
+    pub fn attach_store(&mut self, store: CheckpointStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached durability store, if any.
+    pub fn store(&self) -> Option<&CheckpointStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the attached durability store (the chaos
+    /// harness corrupts generations through this).
+    pub fn store_mut(&mut self) -> Option<&mut CheckpointStore> {
+        self.store.as_mut()
     }
 
     /// The router's configuration.
@@ -381,9 +534,13 @@ impl FleetRouter {
             requested: options,
             applied_level: 0,
             live: true,
+            crashed: false,
+            quarantined: false,
             offered: 0,
             admitted: 0,
         });
+        self.configs.push(config);
+        self.escrows.push(Escrow::default());
         self.shards[shard].sessions.push(id);
         self.apply_level(id);
         id
@@ -396,7 +553,18 @@ impl FleetRouter {
     /// a deferred report is still the producer's.
     pub fn offer(&mut self, id: FleetSessionId, reports: &[TagReport]) -> usize {
         let route = self.routes[id];
+        if route.quarantined {
+            // A quarantined session admits nothing; the producer keeps
+            // every report (its escrow stays frozen for inspection).
+            self.routes[id].offered += reports.len();
+            return 0;
+        }
         assert!(route.live, "session {id} already finished");
+        if route.crashed {
+            // Its shard is down: defer wholesale until `recover` runs.
+            self.routes[id].offered += reports.len();
+            return 0;
+        }
         let shard = &mut self.shards[route.shard];
         let budget = self.config.queue_cap.saturating_sub(shard.pending);
         let take = reports.len().min(budget);
@@ -406,6 +574,9 @@ impl FleetRouter {
             shard.pending += take;
             shard.peak_pending = shard.peak_pending.max(shard.pending);
             self.routes[id].admitted += take;
+            if self.store.is_some() {
+                self.escrows[id].reports.extend_from_slice(&reports[..take]);
+            }
         }
         take
     }
@@ -439,9 +610,192 @@ impl FleetRouter {
             report.reports += round.reports;
             report.newly_committed += round.newly_committed;
             report.max_level = report.max_level.max(shard.level);
+            // Isolate any session whose push panicked mid-drain before
+            // a checkpoint could seal its (now suspect) state.
+            let hosted: Vec<FleetSessionId> = self.shards[si].sessions.clone();
+            for id in hosted {
+                let local = self.routes[id].local;
+                if self.shards[si].pool.poisoned(local) {
+                    self.quarantine_session(id);
+                    report.quarantined += 1;
+                }
+            }
+            // Durability: this is a post-drain boundary (every queue
+            // empty), the only place the policy seals checkpoints.
+            let due = self.store.is_some()
+                && ((self.config.checkpoint.every_drains > 0
+                    && self.drains % self.config.checkpoint.every_drains == 0)
+                    || (changed && self.config.checkpoint.on_rung_change));
+            if due {
+                let hosted: Vec<FleetSessionId> = self.shards[si].sessions.clone();
+                for id in hosted {
+                    self.checkpoint_session(id);
+                    report.checkpoints += 1;
+                }
+            }
         }
         self.peak_level = self.peak_level.max(report.max_level);
         report
+    }
+
+    /// Seal one live session into the attached store and advance its
+    /// escrow marks: the new generation covers everything admitted
+    /// except what is still queued un-drained, and reports older than
+    /// the store's oldest retained generation are released.
+    fn checkpoint_session(&mut self, id: FleetSessionId) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        let route = self.routes[id];
+        let generation =
+            store.save(id as u64, self.shards[route.shard].pool.tracker(route.local));
+        let oldest = store.oldest(id as u64).unwrap_or(generation);
+        let queued = self.shards[route.shard].pool.pending(route.local);
+        let escrow = &mut self.escrows[id];
+        let covered = escrow.reports.len().saturating_sub(queued);
+        escrow.marks.push((generation, covered));
+        escrow.marks.retain(|&(g, _)| g >= oldest);
+        let base = escrow.marks.iter().map(|&(_, c)| c).min().unwrap_or(0);
+        escrow.reports.drain(..base);
+        for m in &mut escrow.marks {
+            m.1 -= base;
+        }
+        self.checkpoints += 1;
+    }
+
+    /// Isolate a poisoned session: pull its intact queue out of the
+    /// pool, drop it from its shard, and freeze its escrow for
+    /// inspection. The shard keeps serving everyone else.
+    fn quarantine_session(&mut self, id: FleetSessionId) {
+        let route = self.routes[id];
+        let rescued = self.shards[route.shard].pool.discard(route.local);
+        self.shards[route.shard].sessions.retain(|&s| s != id);
+        if self.store.is_none() {
+            // No escrow ledger was running; keep the rescued queue so
+            // inspection still sees what the session never consumed.
+            self.escrows[id].reports = rescued;
+        }
+        self.routes[id].live = false;
+        self.routes[id].quarantined = true;
+        self.quarantined += 1;
+    }
+
+    /// Simulate a process crash of one shard: its pool (trackers,
+    /// queues) and in-memory controller state vanish; only the
+    /// router's durable state (store + escrow) survives. Every hosted
+    /// session is marked crashed — offers for it defer wholesale until
+    /// [`recover`](Self::recover). Returns how many sessions were
+    /// lost. Cumulative counters (degrade/recover steps, peaks)
+    /// survive: they are the *router's* memory, not the shard's.
+    pub fn kill_shard(&mut self, si: usize) -> usize {
+        assert!(si < self.shards.len(), "no shard {si}");
+        let shard = &mut self.shards[si];
+        shard.pool = ServePool::new(self.config.threads_per_shard);
+        shard.pending = 0;
+        shard.level = 0;
+        shard.pressured_rounds = 0;
+        shard.calm_rounds = 0;
+        let lost = std::mem::take(&mut shard.sessions);
+        for &id in &lost {
+            self.routes[id].crashed = true;
+        }
+        self.shard_kills += 1;
+        lost.len()
+    }
+
+    /// Rebuild every crashed session of shard `si` from the attached
+    /// store and re-queue its escrowed tail, so the recovered tracker
+    /// observes exactly the push sequence of an uncrashed run:
+    ///
+    /// * newest generation that opens cleanly wins (walk-back over
+    ///   corrupted ones is counted in [`FleetStats::restore_fallbacks`]);
+    /// * a session with no committed generation (or no store at all)
+    ///   is rebuilt from scratch and replays its whole escrow;
+    /// * a session whose every retained generation fails to open is
+    ///   quarantined with its escrow intact — never a panic, and never
+    ///   the shard's problem.
+    ///
+    /// Idempotent: a second call finds no crashed sessions and is a
+    /// no-op. Escrow replay bypasses the ingest budget — those reports
+    /// were already admitted once.
+    pub fn recover(&mut self, si: usize) -> RecoverReport {
+        assert!(si < self.shards.len(), "no shard {si}");
+        let mut out = RecoverReport::default();
+        let crashed: Vec<FleetSessionId> = (0..self.routes.len())
+            .filter(|&id| {
+                let r = &self.routes[id];
+                r.live && r.crashed && r.shard == si
+            })
+            .collect();
+        for id in crashed {
+            let config = self.configs[id];
+            let requested = self.routes[id].requested;
+            let attempt = self.store.as_ref().map(|s| s.recover(id as u64, config));
+            let (tracker, replay_from) = match attempt {
+                None | Some(Err(RestoreError::Missing)) => {
+                    out.rebuilt += 1;
+                    (OnlineTracker::new(config, requested), 0)
+                }
+                Some(Ok(rec)) => {
+                    out.restored += 1;
+                    out.fallbacks += rec.fallbacks;
+                    self.restore_fallbacks += rec.fallbacks;
+                    let from = self.escrows[id]
+                        .marks
+                        .iter()
+                        .find(|&&(g, _)| g == rec.generation)
+                        .map(|&(_, covered)| covered)
+                        .unwrap_or(0);
+                    (rec.tracker, from)
+                }
+                Some(Err(_)) => {
+                    self.routes[id].live = false;
+                    self.routes[id].crashed = false;
+                    self.routes[id].quarantined = true;
+                    self.quarantined += 1;
+                    out.quarantined += 1;
+                    continue;
+                }
+            };
+            let local = self.shards[si].pool.adopt(tracker);
+            let tail = &self.escrows[id].reports[replay_from..];
+            if !tail.is_empty() {
+                self.shards[si].pool.enqueue_batch(local, tail);
+                self.shards[si].pending += tail.len();
+                self.shards[si].peak_pending =
+                    self.shards[si].peak_pending.max(self.shards[si].pending);
+                out.requeued_reports += tail.len();
+            }
+            self.shards[si].sessions.push(id);
+            self.routes[id].local = local;
+            self.routes[id].crashed = false;
+            self.recoveries += 1;
+            // Resync to the (freshly reset) shard rung whatever
+            // options the checkpoint carried; the sentinel defeats the
+            // applied-level short-circuit.
+            self.routes[id].applied_level = usize::MAX;
+            self.apply_level(id);
+        }
+        out
+    }
+
+    /// Whether a session's shard crashed and it awaits
+    /// [`recover`](Self::recover).
+    pub fn crashed(&self, id: FleetSessionId) -> bool {
+        self.routes[id].crashed
+    }
+
+    /// Whether a session has been quarantined (poisoned push, or no
+    /// retained generation would restore).
+    pub fn quarantined(&self, id: FleetSessionId) -> bool {
+        self.routes[id].quarantined
+    }
+
+    /// A quarantined session's escrowed reports — what it admitted but
+    /// never durably consumed, kept for inspection or re-driving.
+    pub fn quarantined_reports(&self, id: FleetSessionId) -> &[TagReport] {
+        assert!(self.routes[id].quarantined, "session {id} is not quarantined");
+        &self.escrows[id].reports
     }
 
     /// The watermark/hysteresis controller for one shard. Returns
@@ -521,10 +875,14 @@ impl FleetRouter {
         let (tracker, queued) = self.shards[route.shard].pool.release(route.local);
         let config = *tracker.config();
         let text = tracker.checkpoint_string();
-        drop(tracker);
-        let restored = OnlineTracker::restore_from_str(config, &text)
-            .expect("a live tracker's checkpoint always restores");
-        let local = self.shards[to_shard].pool.adopt(restored);
+        // Restore BEFORE letting go of the original: if the round trip
+        // ever failed, migration falls back to moving the live tracker
+        // itself — loss-free either way, never a panic.
+        let moved = match OnlineTracker::restore_from_str(config, &text) {
+            Ok(restored) => restored,
+            Err(_) => tracker,
+        };
+        let local = self.shards[to_shard].pool.adopt(moved);
         if !queued.is_empty() {
             self.shards[route.shard].pending -= queued.len();
             self.shards[to_shard].pool.enqueue_batch(local, &queued);
@@ -539,6 +897,9 @@ impl FleetRouter {
         self.migrations += 1;
         // The target may run a different rung than the source did.
         self.apply_level(id);
+        if self.store.is_some() && self.config.checkpoint.on_migrate {
+            self.checkpoint_session(id);
+        }
         text.len()
     }
 
@@ -596,6 +957,11 @@ impl FleetRouter {
             migrations: self.migrations,
             peak_level: self.peak_level,
             drains: self.drains,
+            shard_kills: self.shard_kills,
+            recoveries: self.recoveries,
+            restore_fallbacks: self.restore_fallbacks,
+            quarantined: self.quarantined,
+            checkpoints: self.checkpoints,
             ..FleetStats::default()
         };
         for r in &self.routes {
@@ -615,6 +981,7 @@ impl FleetRouter {
     pub fn finish_session(&mut self, id: FleetSessionId) -> TrackOutput {
         let route = self.routes[id];
         assert!(route.live, "session {id} already finished");
+        assert!(!route.crashed, "session {id} crashed; recover its shard first");
         let shard = &mut self.shards[route.shard];
         shard.pending = shard.pending.saturating_sub(shard.pool.pending(route.local));
         shard.sessions.retain(|&s| s != id);
@@ -623,11 +990,12 @@ impl FleetRouter {
     }
 
     /// Finalize every live session; trails in fleet-id order, paired
-    /// with their ids (sessions finished earlier are omitted).
+    /// with their ids (sessions finished earlier, quarantined, or
+    /// still crashed-unrecovered are omitted).
     pub fn finish(mut self) -> Vec<(FleetSessionId, TrackOutput)> {
         let mut out = Vec::new();
         for id in 0..self.routes.len() {
-            if self.routes[id].live {
+            if self.routes[id].live && !self.routes[id].crashed {
                 out.push((id, self.finish_session(id)));
             }
         }
@@ -778,6 +1146,145 @@ mod tests {
         assert_eq!(s.recover_steps, policy.max_level());
         assert_eq!(s.peak_level, policy.max_level());
         assert_eq!(s.live, 1, "no session was dropped");
+    }
+
+    #[test]
+    fn kill_and_recover_is_bit_identical_at_a_checkpoint_boundary() {
+        let config = FleetConfig {
+            shards: 1,
+            queue_cap: 100_000,
+            checkpoint: CheckpointPolicy { every_drains: 1, ..CheckpointPolicy::default() },
+            ..FleetConfig::default()
+        };
+        let run = |kill: bool| -> (String, FleetStats) {
+            let mut fleet = FleetRouter::new(config.clone());
+            fleet.attach_store(CheckpointStore::in_memory(3));
+            let id = fleet.add_session(coarse_config(), OnlineOptions::default());
+            for round in 0..6 {
+                fleet.offer(id, &stream(40, round as f64 * 0.4));
+                fleet.drain();
+                if kill && round == 3 {
+                    assert_eq!(fleet.kill_shard(0), 1);
+                    assert!(fleet.crashed(id));
+                    assert_eq!(fleet.offer(id, &stream(5, 99.0)), 0, "crashed defers");
+                    let rec = fleet.recover(0);
+                    assert_eq!(rec.restored, 1);
+                    assert_eq!(
+                        rec.requeued_reports, 0,
+                        "kill right after a checkpoint: escrow fully covered"
+                    );
+                    assert!(!fleet.crashed(id));
+                    // Duplicate recovery is a no-op.
+                    assert_eq!(fleet.recover(0), RecoverReport::default());
+                }
+            }
+            let text = fleet.tracker(id).checkpoint_string();
+            (text, fleet.stats())
+        };
+        let (calm, _) = run(false);
+        let (crashed, stats) = run(true);
+        assert_eq!(calm, crashed, "boundary-kill recovery is bitwise invisible");
+        assert_eq!(stats.shard_kills, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.restore_fallbacks, 0);
+    }
+
+    #[test]
+    fn mid_window_kill_replays_the_escrow_tail() {
+        let config = FleetConfig {
+            shards: 1,
+            queue_cap: 100_000,
+            // Checkpoint every 2nd drain: a kill after an odd drain
+            // lands one full round past the last sealed generation.
+            checkpoint: CheckpointPolicy { every_drains: 2, ..CheckpointPolicy::default() },
+            ..FleetConfig::default()
+        };
+        let run = |kill: bool| -> String {
+            let mut fleet = FleetRouter::new(config.clone());
+            fleet.attach_store(CheckpointStore::in_memory(3));
+            let id = fleet.add_session(coarse_config(), OnlineOptions::default());
+            for round in 0..6 {
+                fleet.offer(id, &stream(40, round as f64 * 0.4));
+                fleet.drain();
+                if kill && round == 2 {
+                    // drains == 3 (odd): the round-2 batch is past the
+                    // last checkpoint and must come back via escrow.
+                    fleet.kill_shard(0);
+                    let rec = fleet.recover(0);
+                    assert_eq!(rec.restored, 1);
+                    assert_eq!(rec.requeued_reports, 40, "one un-sealed round replayed");
+                }
+            }
+            fleet.tracker(id).checkpoint_string()
+        };
+        assert_eq!(run(false), run(true), "escrow replay reconstructs the push sequence");
+    }
+
+    #[test]
+    fn corrupt_latest_generation_falls_back_and_still_matches() {
+        let config = FleetConfig {
+            shards: 1,
+            queue_cap: 100_000,
+            checkpoint: CheckpointPolicy { every_drains: 1, ..CheckpointPolicy::default() },
+            ..FleetConfig::default()
+        };
+        let run = |corrupt: bool| -> String {
+            let mut fleet = FleetRouter::new(config.clone());
+            fleet.attach_store(CheckpointStore::in_memory(4));
+            let id = fleet.add_session(coarse_config(), OnlineOptions::default());
+            for round in 0..4 {
+                fleet.offer(id, &stream(40, round as f64 * 0.4));
+                fleet.drain();
+            }
+            if corrupt {
+                let store = fleet.store_mut().unwrap();
+                let newest = store.latest(id as u64).unwrap();
+                let mut bytes = store.read(id as u64, newest).unwrap();
+                bytes[60] ^= 0x04;
+                store.overwrite(id as u64, newest, &bytes);
+                fleet.kill_shard(0);
+                let rec = fleet.recover(0);
+                assert_eq!(rec.fallbacks, 1, "walked back over the rotten generation");
+                assert_eq!(
+                    rec.requeued_reports, 40,
+                    "the round the older generation had not seen is replayed"
+                );
+                assert_eq!(fleet.stats().restore_fallbacks, 1, "failure surfaced");
+            }
+            fleet.offer(id, &stream(40, 1.6));
+            fleet.drain();
+            fleet.tracker(id).checkpoint_string()
+        };
+        assert_eq!(run(false), run(true), "fallback + escrow replay is still bit-identical");
+    }
+
+    #[test]
+    fn poisoned_session_is_quarantined_and_the_fleet_keeps_serving() {
+        let mut fleet = FleetRouter::new(FleetConfig {
+            shards: 1,
+            queue_cap: 100_000,
+            ..FleetConfig::default()
+        });
+        let healthy = fleet.add_session(coarse_config(), OnlineOptions::default());
+        let mut bad_cfg = coarse_config();
+        bad_cfg.preprocess.window_s = 0.0; // first push panics
+        let bad = fleet.add_session(bad_cfg, OnlineOptions::default());
+        fleet.offer(healthy, &stream(40, 0.0));
+        fleet.offer(bad, &stream(25, 0.0));
+        let round = fleet.drain();
+        assert_eq!(round.quarantined, 1);
+        assert!(fleet.quarantined(bad));
+        assert_eq!(fleet.quarantined_reports(bad).len(), 25, "escrowed, not lost");
+        assert_eq!(fleet.offer(bad, &stream(5, 9.0)), 0, "quarantined admits nothing");
+        // The healthy session is unaffected and the fleet still serves.
+        fleet.offer(healthy, &stream(40, 0.4));
+        fleet.drain();
+        let stats = fleet.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.live, 1);
+        let trails = fleet.finish();
+        assert_eq!(trails.len(), 1);
+        assert_eq!(trails[0].0, healthy);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod distance;
+pub mod durability;
 pub mod fleet;
 pub mod hmm;
 pub mod model;
@@ -51,6 +52,7 @@ pub mod translation;
 
 mod pipeline;
 
+pub use durability::{open_checkpoint, seal_checkpoint, CheckpointStore, RestoreError};
 pub use fleet::{DegradePolicy, FleetConfig, FleetRouter, ShardKey};
 pub use online::{OnlineOptions, OnlineTracker};
 pub use serve::{ServePool, SupervisedFleet};

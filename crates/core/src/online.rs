@@ -48,6 +48,7 @@
 //! every cut point by `tests/online_equivalence.rs`.
 
 use crate::distance::{directional_displacement, expected_dtheta21, feasible_region};
+use crate::durability::RestoreError;
 use crate::hmm::{
     rotate_trajectory, AdaptiveBeam, BeamFrame, DecodeStats, FixedLagDecoder, Grid,
     KernelOptions, KernelPrecision, StepObservation, DEFAULT_BEAM_WIDTH,
@@ -255,6 +256,8 @@ impl OnlineTracker {
             }
             _ => {}
         }
+        // Invariant, not input validation: the match above always
+        // leaves `first_t` set (a fresh stream takes the `None` arm).
         let first = self.first_t.unwrap();
         let idx = ((r.t - first) / wlen).floor() as usize;
         if idx < self.next_window {
@@ -331,6 +334,8 @@ impl OnlineTracker {
     /// gap-bridge / step machinery.
     fn close_window(&mut self) {
         let i = self.next_window;
+        // Invariant, not input validation: every caller gates on a
+        // non-empty stream (`first_t` set by the first `push`).
         let first = self.first_t.expect("close_window with no stream");
         let wlen = self.config.preprocess.window_s;
 
@@ -722,19 +727,23 @@ impl OnlineTracker {
     /// configuration the checkpointed tracker ran (verified against the
     /// embedded fingerprint, bit-exact); the streaming options are
     /// restored from the checkpoint itself.
-    pub fn restore(config: PolarDrawConfig, v: &Json) -> Result<OnlineTracker, JsonError> {
+    ///
+    /// The document is treated as untrusted (it may have come off a
+    /// disk or wire): every malformation — wrong format tag, foreign
+    /// fingerprint, missing or mistyped fields, decoder state indexing
+    /// outside the rig's grid — returns a typed
+    /// [`RestoreError`](crate::durability::RestoreError); nothing
+    /// panics.
+    pub fn restore(config: PolarDrawConfig, v: &Json) -> Result<OnlineTracker, RestoreError> {
         let format = v.get("format").and_then(Json::as_str).unwrap_or("");
         if format != Self::CHECKPOINT_FORMAT {
-            return Err(jerr(format!(
-                "checkpoint format `{format}` is not `{}`",
-                Self::CHECKPOINT_FORMAT
-            )));
+            return Err(RestoreError::Format { found: format.to_string() });
         }
-        let fp = v.get("fingerprint").ok_or_else(|| jerr("missing `fingerprint`"))?;
+        let fp = v
+            .get("fingerprint")
+            .ok_or_else(|| RestoreError::Field("missing `fingerprint`".into()))?;
         if *fp != fingerprint_json(&config) {
-            return Err(jerr(
-                "checkpoint fingerprint does not match the supplied configuration",
-            ));
+            return Err(RestoreError::Fingerprint);
         }
         let opts = v.get("options").ok_or_else(|| jerr("missing `options`"))?;
         let options = OnlineOptions {
@@ -777,7 +786,7 @@ impl OnlineTracker {
         tracker.empty_run = req_usize(pre, "empty_run")?;
         let pm = req_arr(pre, "prev_measured")?;
         if pm.len() != 2 {
-            return Err(jerr("`prev_measured` must have 2 entries"));
+            return Err(jerr("`prev_measured` must have 2 entries").into());
         }
         tracker.prev_measured = [null_or_f64(&pm[0])?, null_or_f64(&pm[1])?];
 
@@ -850,6 +859,24 @@ impl OnlineTracker {
             req_arr(dec, "committed")?.iter().map(vec2_from).collect::<Result<Vec<_>, _>>()?;
         let stats = decode_stats_from(dec.get("stats").ok_or_else(|| jerr("missing `stats`"))?)?;
         let grid = Grid::covering(config.board_min, config.board_max, config.hmm.cell_m);
+
+        // The decoder trusts its cell ids (they index straight into
+        // the grid on backtrack), so a hostile checkpoint must not be
+        // able to smuggle out-of-range ones past restore.
+        let n_cells = grid.len() as u32;
+        if frontier.is_empty() {
+            return Err(RestoreError::Field("decoder frontier must not be empty".into()));
+        }
+        let cells_in_grid = |cells: &[u32]| cells.iter().all(|&c| c < n_cells);
+        if !cells_in_grid(&frontier.iter().map(|&(c, _)| c).collect::<Vec<_>>()) {
+            return Err(RestoreError::Field("frontier cell outside the rig's grid".into()));
+        }
+        for f in &frames {
+            if !cells_in_grid(&f.cells) || !cells_in_grid(&f.prevs) {
+                return Err(RestoreError::Field("frame cell outside the rig's grid".into()));
+            }
+        }
+
         tracker.decoder = FixedLagDecoder::from_parts(
             grid,
             config.antennas,
@@ -869,8 +896,8 @@ impl OnlineTracker {
     pub fn restore_from_str(
         config: PolarDrawConfig,
         text: &str,
-    ) -> Result<OnlineTracker, JsonError> {
-        OnlineTracker::restore(config, &Json::parse(text)?)
+    ) -> Result<OnlineTracker, RestoreError> {
+        OnlineTracker::restore(config, &Json::parse(text).map_err(RestoreError::Parse)?)
     }
 }
 
@@ -950,7 +977,9 @@ fn vec2_from(v: &Json) -> Result<Vec2, JsonError> {
     Ok(Vec2::new(x, y))
 }
 
-fn fingerprint_json(cfg: &PolarDrawConfig) -> Json {
+/// Canonical rig-identity document embedded in every checkpoint (and
+/// CRC'd into v2 envelopes by [`crate::durability::rig_crc`]).
+pub(crate) fn fingerprint_json(cfg: &PolarDrawConfig) -> Json {
     Json::obj([
         ("window_s", Json::num(cfg.preprocess.window_s)),
         ("spurious_threshold_rad", Json::num(cfg.preprocess.spurious_threshold_rad)),

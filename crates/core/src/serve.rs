@@ -107,6 +107,15 @@ struct Slot {
     /// and folded into the [`DrainReport`] after the round joins.
     last_reports: usize,
     last_committed: usize,
+    /// Set when this session's `push` panicked mid-drain. A poisoned
+    /// slot is never woken or finalized again (its tracker may be in
+    /// an inconsistent state); its queue is left exactly as it was so
+    /// a supervisor can move the reports elsewhere. Generalizes
+    /// `rfid_sim::session::run_isolated` up to the pool: one bad
+    /// session cannot take the drain round (or the process) down.
+    poisoned: bool,
+    /// Panic payload text from the poisoning push, for diagnostics.
+    poison_context: Option<String>,
 }
 
 /// A work-stealing worker pool over many [`OnlineTracker`] sessions.
@@ -171,6 +180,8 @@ impl ServePool {
             stats: SessionServeStats::default(),
             last_reports: 0,
             last_committed: 0,
+            poisoned: false,
+            poison_context: None,
         });
         self.slots.len() - 1
     }
@@ -228,7 +239,7 @@ impl ServePool {
         self.wake.clear();
         let mut live = 0;
         for (i, s) in self.slots.iter().enumerate() {
-            if s.tracker.is_some() {
+            if s.tracker.is_some() && !s.poisoned {
                 live += 1;
                 if !s.queue.is_empty() {
                     self.wake.push(i);
@@ -241,18 +252,44 @@ impl ServePool {
             ..DrainReport::default()
         };
         fn visit(slot: &mut Slot) {
+            let queue = &slot.queue;
             let tracker = slot.tracker.as_mut().expect("woken slots hold a tracker");
             let before = tracker.committed().len();
-            let n = slot.queue.len();
-            for r in slot.queue.drain(..) {
-                tracker.push(r);
-            }
-            let committed = tracker.committed().len();
-            slot.last_reports = n;
-            slot.last_committed = committed - before;
+            let n = queue.len();
+            // Pushed by index (not drained) so that a panic part-way
+            // through leaves the queue bytes intact — the supervisor
+            // can then quarantine the session with its reports instead
+            // of losing them with the unwound stack frame.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for r in queue.iter() {
+                    tracker.push(*r);
+                }
+            }));
             slot.stats.wakes += 1;
-            slot.stats.reports_processed += n;
-            slot.stats.points_committed = committed;
+            match outcome {
+                Ok(()) => {
+                    slot.queue.clear();
+                    let committed = slot.tracker.as_ref().expect("still present").committed().len();
+                    slot.last_reports = n;
+                    slot.last_committed = committed - before;
+                    slot.stats.reports_processed += n;
+                    slot.stats.points_committed = committed;
+                }
+                Err(payload) => {
+                    // Isolate, don't unwind further: the round (and
+                    // every other session in it) continues untouched.
+                    slot.poisoned = true;
+                    slot.poison_context = Some(
+                        payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string()),
+                    );
+                    slot.last_reports = 0;
+                    slot.last_committed = 0;
+                }
+            }
         }
         if self.threads == 1 || round.woken <= 1 {
             // Sequential fast path: visit woken slots in place through
@@ -266,7 +303,7 @@ impl ServePool {
             // visits, same per-session push order, so the bitwise
             // thread-count contract in the module docs holds unchanged.
             parallel_for_each_mut(&mut self.slots, self.threads, |slot| {
-                if slot.tracker.is_some() && !slot.queue.is_empty() {
+                if slot.tracker.is_some() && !slot.poisoned && !slot.queue.is_empty() {
                     visit(slot);
                 }
             });
@@ -319,6 +356,28 @@ impl ServePool {
         (tracker, std::mem::take(&mut slot.queue))
     }
 
+    /// Whether a session was poisoned (its `push` panicked mid-drain).
+    /// Poisoned sessions are never woken or finalized again.
+    pub fn poisoned(&self, id: SessionId) -> bool {
+        self.slots[id].poisoned
+    }
+
+    /// Panic payload text from a poisoned session, if any.
+    pub fn poison_context(&self, id: SessionId) -> Option<&str> {
+        self.slots[id].poison_context.as_deref()
+    }
+
+    /// Drop a session's tracker without finalizing it and return its
+    /// still-queued reports. This is the quarantine primitive: the
+    /// fleet router uses it to pull a poisoned session out of a shard
+    /// while keeping its reports (the tracker itself is unsalvageable
+    /// in-process — recovery goes through the durability store).
+    pub fn discard(&mut self, id: SessionId) -> Vec<TagReport> {
+        let slot = &mut self.slots[id];
+        slot.tracker = None;
+        std::mem::take(&mut slot.queue)
+    }
+
     /// Cumulative serving counters for one session.
     pub fn session_stats(&self, id: SessionId) -> SessionServeStats {
         self.slots[id].stats
@@ -351,8 +410,13 @@ impl ServePool {
     pub fn finish(mut self) -> Vec<TrackOutput> {
         self.drain();
         let threads = self.threads;
-        let mut cells: Vec<(Option<OnlineTracker>, Option<TrackOutput>)> =
-            self.slots.into_iter().map(|s| (s.tracker, None)).collect();
+        let mut cells: Vec<(Option<OnlineTracker>, Option<TrackOutput>)> = self
+            .slots
+            .into_iter()
+            // A poisoned tracker is in an unknown state; finalizing it
+            // could panic again. Quarantined sessions produce no trail.
+            .map(|s| (if s.poisoned { None } else { s.tracker }, None))
+            .collect();
         parallel_for_each_mut(&mut cells, threads, |cell| {
             if let Some(tracker) = cell.0.take() {
                 cell.1 = Some(tracker.finalize());
@@ -521,6 +585,36 @@ mod tests {
         let rest = pool.finish();
         assert_eq!(rest.len(), 1, "only b remains");
         assert_eq!(first.trail.points, rest[0].trail.points, "same stream, same trail");
+    }
+
+    #[test]
+    fn poisoned_session_is_isolated_and_the_pool_keeps_serving() {
+        let mut pool = ServePool::new(2);
+        let good = pool.add_session(coarse_config(), OnlineOptions::default());
+        // `window_s = 0` trips the tracker's first-push assertion — a
+        // deterministic stand-in for any mid-stream panic.
+        let mut bad_cfg = coarse_config();
+        bad_cfg.preprocess.window_s = 0.0;
+        let bad = pool.add_session(bad_cfg, OnlineOptions::default());
+
+        pool.enqueue_batch(good, &stream(60, 0.0));
+        pool.enqueue_batch(bad, &stream(60, 0.0));
+        let round = pool.drain();
+        assert_eq!(round.woken, 2, "both woke; one blew up in isolation");
+        assert!(pool.poisoned(bad));
+        assert!(!pool.poisoned(good));
+        assert_eq!(pool.pending(bad), 60, "poisoned queue left intact for escrow");
+        assert!(pool.poison_context(bad).unwrap().contains("window length"));
+
+        // The pool keeps serving; the poisoned slot never wakes again.
+        pool.enqueue_batch(good, &stream(60, 0.6));
+        let round2 = pool.drain();
+        assert_eq!(round2.woken, 1);
+
+        let escrow = pool.discard(bad);
+        assert_eq!(escrow.len(), 60, "quarantine hands back every report");
+        let trails = pool.finish();
+        assert_eq!(trails.len(), 1, "only the healthy session finalizes");
     }
 
     #[test]

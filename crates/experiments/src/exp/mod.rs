@@ -14,6 +14,7 @@ pub mod fig21;
 pub mod fleet;
 pub mod overload;
 pub mod polarization;
+pub mod recovery;
 pub mod streaming;
 pub mod table1;
 pub mod table5;

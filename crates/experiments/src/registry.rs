@@ -140,6 +140,12 @@ pub fn all_experiments() -> Vec<ExperimentDef> {
             title: "Reader polarization × tag reconfiguration under the Jones channel (not in paper)",
             run: crate::exp::polarization::run,
         },
+        ExperimentDef {
+            id: "recovery",
+            produces: &["recovery"],
+            title: "Crash recovery: checkpoint interval × kill point vs durability cost (not in paper)",
+            run: crate::exp::recovery::run,
+        },
     ]
 }
 
@@ -162,7 +168,7 @@ mod tests {
             "table1", "fig02", "fig03b", "fig03c", "fig09", "fig10", "fig13", "fig14",
             "fig15", "fig16", "fig18", "fig19", "fig20", "fig21", "fig22", "table5",
             "table6", "table7", "table8", "faults", "streaming", "fleet", "overload",
-            "polarization",
+            "polarization", "recovery",
         ] {
             assert!(produced.contains(&id), "missing {id}");
         }

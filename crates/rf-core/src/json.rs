@@ -168,7 +168,7 @@ impl Json {
     /// Parse a JSON document. The whole input must be one value (plus
     /// surrounding whitespace).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -219,7 +219,16 @@ fn write_escaped(s: &str, out: &mut String) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
+
+/// Containers may nest at most this deep. The parser recurses once per
+/// `[`/`{` level, so hostile input like `[[[[…` would otherwise turn a
+/// parse call into a stack overflow (an abort, not a catchable error).
+/// 128 levels is far beyond any document this workspace writes — the
+/// checkpoint format nests 5 deep — while keeping worst-case stack use
+/// a few tens of kilobytes.
+const MAX_DEPTH: usize = 128;
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> JsonError {
@@ -264,12 +273,26 @@ impl<'a> Parser<'a> {
             Some(b't') => self.eat_literal("true", Json::Bool(true)),
             Some(b'f') => self.eat_literal("false", Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b'-') | Some(b'0'..=b'9') => self.number(),
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
+    }
+
+    /// Run one container parse a level deeper, bounding total recursion.
+    fn nested(
+        &mut self,
+        f: fn(&mut Parser<'a>) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        let out = f(self);
+        self.depth -= 1;
+        out
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
@@ -490,6 +513,28 @@ mod tests {
 
     fn round_trip(v: &Json) -> Json {
         Json::parse(&v.to_json_string()).expect("self-written JSON must parse")
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Inside the limit: parses fine (round-trips, even).
+        let deep_ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&deep_ok).is_ok());
+
+        // One level past the limit: a typed error, not a stack overflow.
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = Json::parse(&over).unwrap_err();
+        assert!(err.message.contains("nesting"), "got: {err}");
+
+        // Hostile depth (would overflow the stack without the limit);
+        // mixed container kinds both count toward the same budget.
+        let hostile = "[{\"k\":".repeat(50_000) + "null" + &"}]".repeat(50_000);
+        let err = Json::parse(&hostile).unwrap_err();
+        assert!(err.message.contains("nesting"), "got: {err}");
+
+        // Siblings at the same level do not consume depth budget.
+        let wide = format!("[{}]", vec!["[1]"; 10_000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   multi-session serve pool.
 //! * [`json`] — a minimal JSON writer/parser so result dumps and
 //!   scenario configs need no external serialization crate.
+//! * [`crc`] — CRC-32 (IEEE) for checksummed checkpoint envelopes.
+//! * [`store`] — the [`store::BlobStore`] virtual key/bytes store the
+//!   durability layer persists through (with [`store::MemBlobStore`]
+//!   as the in-memory reference backend).
 //!
 //! Nothing in this crate knows about RFID, antennas, or pens; it is pure
 //! math. Higher layers are `rf-physics` (electromagnetics), `rfid-sim`
@@ -34,8 +38,10 @@
 
 pub mod angle;
 pub mod complex;
+pub mod crc;
 pub mod db;
 pub mod json;
+pub mod store;
 pub mod mat;
 pub mod par;
 pub mod rng;
@@ -44,11 +50,13 @@ pub mod vec;
 
 pub use angle::{deg_to_rad, rad_to_deg, wrap_pi, wrap_tau, Angle};
 pub use complex::Complex;
+pub use crc::crc32;
 pub use db::{db_to_ratio, dbm_to_mw, mw_to_dbm, ratio_to_db};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use mat::Mat2;
 pub use par::{chunk_bounds, parallel_for_each_mut, parallel_map};
 pub use rng::Rng64;
+pub use store::{BlobStore, MemBlobStore};
 pub use vec::{Vec2, Vec3};
 
 /// Speed of light in vacuum, metres per second.

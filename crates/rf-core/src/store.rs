@@ -1,0 +1,129 @@
+//! Virtual blob storage for durable state.
+//!
+//! [`BlobStore`] is the narrow waist between anything that wants to
+//! persist bytes (checkpoints, escrow ledgers) and where those bytes
+//! actually live. The trait is object-safe on purpose: the durability
+//! layer holds a `Box<dyn BlobStore>` so a router does not become
+//! generic over its storage backend, and the chaos harness can wrap
+//! any backend to inject corruption, torn writes, and lost commits
+//! without the code under test knowing.
+//!
+//! Keys are flat strings; hierarchical layouts use `/`-separated
+//! prefixes by convention (e.g. `ckpt/{session}/{generation}`) and
+//! [`BlobStore::keys`] returns lexicographically sorted keys so a
+//! fixed-width hex key scheme enumerates in logical order.
+//!
+//! [`MemBlobStore`] is the reference in-memory implementation; it is
+//! what the fleet tests and the chaos soak run against.
+
+use std::collections::BTreeMap;
+
+/// An ordered key → bytes store. See the module docs for the contract.
+///
+/// Implementations must make `put` replace atomically from the
+/// caller's point of view (`get` sees either the old or the new
+/// bytes, never a mix); write-then-commit sequencing across *keys* is
+/// the durability layer's job, not the store's.
+pub trait BlobStore: std::fmt::Debug {
+    /// Insert or replace the blob at `key`.
+    fn put(&mut self, key: &str, bytes: &[u8]);
+    /// Fetch a copy of the blob at `key`, if present.
+    fn get(&self, key: &str) -> Option<Vec<u8>>;
+    /// All keys, lexicographically sorted.
+    fn keys(&self) -> Vec<String>;
+    /// Remove the blob at `key`; returns whether it existed.
+    fn remove(&mut self, key: &str) -> bool;
+}
+
+/// In-memory [`BlobStore`] over a `BTreeMap` (keys come back sorted
+/// for free). Cloneable so tests can snapshot a store mid-scenario.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemBlobStore {
+    blobs: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemBlobStore {
+    /// New empty store.
+    pub fn new() -> MemBlobStore {
+        MemBlobStore::default()
+    }
+
+    /// Number of blobs held.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether the store holds no blobs.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Mutable access to a blob's bytes in place — the corruption
+    /// hook used by the chaos harness (a real backend would never
+    /// offer this).
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Vec<u8>> {
+        self.blobs.get_mut(key)
+    }
+}
+
+impl BlobStore for MemBlobStore {
+    fn put(&mut self, key: &str, bytes: &[u8]) {
+        self.blobs.insert(key.to_string(), bytes.to_vec());
+    }
+
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.blobs.get(key).cloned()
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.blobs.keys().cloned().collect()
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        self.blobs.remove(key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let mut s = MemBlobStore::new();
+        assert!(s.is_empty());
+        s.put("a/1", b"one");
+        s.put("a/2", b"two");
+        assert_eq!(s.get("a/1").as_deref(), Some(&b"one"[..]));
+        assert_eq!(s.get("missing"), None);
+        s.put("a/1", b"uno");
+        assert_eq!(s.get("a/1").as_deref(), Some(&b"uno"[..]));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove("a/1"));
+        assert!(!s.remove("a/1"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let mut s = MemBlobStore::new();
+        for k in ["b", "a/2", "a/10", "a/1", "c"] {
+            s.put(k, b"x");
+        }
+        let keys = s.keys();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // Fixed-width keys enumerate in numeric order; "10" < "2"
+        // lexicographically is exactly why the durability layer pads.
+        assert_eq!(keys, vec!["a/1", "a/10", "a/2", "b", "c"]);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut boxed: Box<dyn BlobStore> = Box::new(MemBlobStore::new());
+        boxed.put("k", b"v");
+        assert_eq!(boxed.get("k").as_deref(), Some(&b"v"[..]));
+        assert_eq!(boxed.keys(), vec!["k"]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Deterministic chaos plans for crash/soak testing the serving fleet.
+//!
+//! A [`ChaosPlan`] is a derived-seed schedule of faults against drain
+//! -round boundaries: shard kills (with immediate or duplicated
+//! recovery), corruption of the newest committed checkpoint before the
+//! kill, and stalled drains. The plan is *pure data* — this crate sits
+//! below the serving layer, so the harness that owns a fleet router
+//! (`tests/chaos.rs`) interprets the actions; the same seed always
+//! yields the same schedule, which is what makes a chaos soak a
+//! regression test rather than a flake generator.
+//!
+//! [`mutate_bytes`] is the companion corruption model: given sealed
+//! checkpoint bytes and a case seed it applies one of the mutation
+//! families real storage exhibits (bit rot, truncation, garbage
+//! extension, field rewrites, wholesale noise), mirroring the
+//! [`llrp`](crate::llrp) decode sweep so both untrusted-byte surfaces
+//! are exercised the same way.
+
+use rf_core::rng::{derive_seed_indexed, rng_from_seed, Rng64};
+
+/// One scheduled fault, attached to a drain-round boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Nothing this round — the fleet serves normally.
+    Calm,
+    /// After this round's drain: kill the shard, then recover it.
+    KillRecover {
+        /// Which shard dies.
+        shard: usize,
+    },
+    /// Like [`ChaosAction::KillRecover`], but recovery is invoked
+    /// twice — the second call must be a no-op (idempotence probe).
+    DuplicateRecover {
+        /// Which shard dies.
+        shard: usize,
+    },
+    /// Corrupt the newest committed generation of every session on the
+    /// shard (via [`mutate_bytes`] with `mutation` as the case seed),
+    /// then kill and recover it: restore must walk back, surface the
+    /// fallback, and still lose nothing.
+    CorruptLatest {
+        /// Which shard dies.
+        shard: usize,
+        /// Case seed fed to [`mutate_bytes`].
+        mutation: u64,
+    },
+    /// The consumer stalls: skip this round's drain entirely, letting
+    /// queues build against the ingest bound.
+    StallDrain,
+}
+
+/// A deterministic schedule of [`ChaosAction`]s, one per drain round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    actions: Vec<ChaosAction>,
+}
+
+impl ChaosPlan {
+    /// Derive a plan of `rounds` actions over a fleet of `shards`
+    /// shards from `seed`. Roughly two thirds of rounds are calm; the
+    /// rest draw uniformly from the fault families, so a soak of a few
+    /// dozen rounds exercises every family. Deterministic: equal
+    /// arguments yield equal plans.
+    pub fn generate(seed: u64, rounds: usize, shards: usize) -> ChaosPlan {
+        assert!(shards > 0, "a fleet has at least one shard");
+        let actions = (0..rounds)
+            .map(|round| {
+                let mut rng: Rng64 =
+                    rng_from_seed(derive_seed_indexed(seed, "chaos.round", round as u64));
+                let shard = rng.gen_index(shards);
+                match rng.gen_index(12) {
+                    0 | 1 => ChaosAction::KillRecover { shard },
+                    2 => ChaosAction::DuplicateRecover { shard },
+                    3 => ChaosAction::CorruptLatest { shard, mutation: rng.next_u64() },
+                    4 => ChaosAction::StallDrain,
+                    _ => ChaosAction::Calm,
+                }
+            })
+            .collect();
+        ChaosPlan { actions }
+    }
+
+    /// A plan that is calm everywhere except one
+    /// [`ChaosAction::KillRecover`] after round `kill_round` — the
+    /// building block for sweeping kill cut points.
+    pub fn kill_at(kill_round: usize, shard: usize, rounds: usize) -> ChaosPlan {
+        let mut actions = vec![ChaosAction::Calm; rounds];
+        if kill_round < rounds {
+            actions[kill_round] = ChaosAction::KillRecover { shard };
+        }
+        ChaosPlan { actions }
+    }
+
+    /// A plan from an explicit action schedule (for hand-built cases
+    /// the sweeps and generators do not cover).
+    pub fn from_actions(actions: Vec<ChaosAction>) -> ChaosPlan {
+        ChaosPlan { actions }
+    }
+
+    /// The action scheduled for `round` (calm past the plan's end).
+    pub fn action(&self, round: usize) -> ChaosAction {
+        self.actions.get(round).copied().unwrap_or(ChaosAction::Calm)
+    }
+
+    /// The full schedule.
+    pub fn actions(&self) -> &[ChaosAction] {
+        &self.actions
+    }
+
+    /// Number of scheduled rounds.
+    pub fn rounds(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Rounds at which a shard dies (any kill-family action).
+    pub fn kill_rounds(&self) -> Vec<usize> {
+        self.actions
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                matches!(
+                    a,
+                    ChaosAction::KillRecover { .. }
+                        | ChaosAction::DuplicateRecover { .. }
+                        | ChaosAction::CorruptLatest { .. }
+                )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Deterministically corrupt a byte string one of the ways storage
+/// rots: bit flips, truncation, garbage extension, ASCII field
+/// rewrites, splices, or wholesale noise. The same `(doc, case_seed)`
+/// always yields the same corruption; distinct case seeds sweep the
+/// families. The result may (rarely) equal the input — e.g. a
+/// truncation at full length — which a consumer must treat as the
+/// clean-restore case anyway.
+pub fn mutate_bytes(doc: &[u8], case_seed: u64) -> Vec<u8> {
+    let mut rng = rng_from_seed(derive_seed_indexed(case_seed, "chaos.mutate", 0));
+    let mut out = doc.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    match rng.gen_index(6) {
+        // Flip 1–8 random bits anywhere.
+        0 => {
+            for _ in 0..(1 + rng.gen_index(8)) {
+                let i = rng.gen_index(out.len());
+                out[i] ^= 1 << rng.gen_index(8);
+            }
+        }
+        // Truncate to a random prefix (torn write).
+        1 => out.truncate(rng.gen_index(out.len() + 1)),
+        // Append 1–64 garbage bytes.
+        2 => {
+            for _ in 0..(1 + rng.gen_index(64)) {
+                out.push((rng.next_u64() & 0xFF) as u8);
+            }
+        }
+        // Rewrite a run of ASCII digits in place — the "field
+        // mutation" family: generation counters, CRCs, and floats all
+        // serialize as digit runs, so this models a targeted edit that
+        // keeps the document JSON-shaped.
+        3 => {
+            let digits: Vec<usize> =
+                out.iter().enumerate().filter(|(_, b)| b.is_ascii_digit()).map(|(i, _)| i).collect();
+            if digits.is_empty() {
+                out[rng.gen_index(doc.len())] ^= 0x20;
+            } else {
+                for _ in 0..(1 + rng.gen_index(4)) {
+                    let i = digits[rng.gen_index(digits.len())];
+                    out[i] = b'0' + (rng.gen_index(10) as u8);
+                }
+            }
+        }
+        // Splice a noise window over a random interior range.
+        4 => {
+            let start = rng.gen_index(out.len());
+            let len = 1 + rng.gen_index((out.len() - start).min(32));
+            for b in &mut out[start..start + len] {
+                *b = (rng.next_u64() & 0xFF) as u8;
+            }
+        }
+        // Replace wholesale with noise of random length (0–2·doc).
+        5 => {
+            let n = rng.gen_index(2 * doc.len() + 1);
+            out = (0..n).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        }
+        _ => unreachable!(),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let a = ChaosPlan::generate(7, 64, 4);
+        let b = ChaosPlan::generate(7, 64, 4);
+        let c = ChaosPlan::generate(8, 64, 4);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_ne!(a, c, "different seed, different plan");
+        assert_eq!(a.rounds(), 64);
+    }
+
+    #[test]
+    fn a_long_plan_exercises_every_fault_family() {
+        let plan = ChaosPlan::generate(0xC4A05, 512, 3);
+        let mut calm = 0;
+        let (mut kill, mut dup, mut corrupt, mut stall) = (0, 0, 0, 0);
+        for &a in plan.actions() {
+            match a {
+                ChaosAction::Calm => calm += 1,
+                ChaosAction::KillRecover { shard } => {
+                    assert!(shard < 3);
+                    kill += 1;
+                }
+                ChaosAction::DuplicateRecover { shard } => {
+                    assert!(shard < 3);
+                    dup += 1;
+                }
+                ChaosAction::CorruptLatest { shard, .. } => {
+                    assert!(shard < 3);
+                    corrupt += 1;
+                }
+                ChaosAction::StallDrain => stall += 1,
+            }
+        }
+        assert!(calm > 512 / 2, "most rounds are calm ({calm})");
+        assert!(kill > 0 && dup > 0 && corrupt > 0 && stall > 0, "every family appears");
+        assert_eq!(plan.kill_rounds().len(), kill + dup + corrupt);
+    }
+
+    #[test]
+    fn kill_at_is_calm_everywhere_else() {
+        let plan = ChaosPlan::kill_at(3, 1, 6);
+        for round in 0..6 {
+            if round == 3 {
+                assert_eq!(plan.action(round), ChaosAction::KillRecover { shard: 1 });
+            } else {
+                assert_eq!(plan.action(round), ChaosAction::Calm);
+            }
+        }
+        assert_eq!(plan.action(99), ChaosAction::Calm, "calm past the end");
+    }
+
+    #[test]
+    fn mutate_bytes_is_deterministic_and_sweeps_families() {
+        let doc = br#"{"crc":123456,"format":"x.v2","generation":9,"payload":{"a":1.5}}"#;
+        assert_eq!(mutate_bytes(doc, 11), mutate_bytes(doc, 11), "deterministic");
+        let mut changed = 0;
+        let mut lengths = std::collections::BTreeSet::new();
+        for case in 0..200u64 {
+            let m = mutate_bytes(doc, case);
+            lengths.insert(m.len());
+            if m != doc.to_vec() {
+                changed += 1;
+            }
+        }
+        assert!(changed > 190, "mutations almost always change the bytes");
+        assert!(lengths.len() > 10, "truncation/extension vary the length");
+        assert!(mutate_bytes(b"", 1).is_empty(), "empty input stays empty");
+    }
+}

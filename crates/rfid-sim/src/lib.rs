@@ -24,6 +24,10 @@
 //!   outages, duplication, bounded reordering, clock jitter/drift,
 //!   per-channel phase steps) for degradation testing; an identity
 //!   [`faults::FaultPlan`] is a provable no-op.
+//! * [`chaos`] — deterministic chaos plans (shard kills at swept cut
+//!   points, checkpoint corruption, stalled drains) plus the
+//!   byte-corruption model, for the crash/soak harness over the
+//!   serving fleet.
 //! * [`traffic`] — deterministic synthetic *fleet* workloads (diurnal
 //!   arrival cycles, flash crowds, heavy-tail write durations, session
 //!   churn) for exercising the serving layers at scale.
@@ -33,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod faults;
 pub mod gen2;
 pub mod llrp;

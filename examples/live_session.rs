@@ -6,15 +6,19 @@
 //! hard mid-glyph outage and occasional wire garbage, supervised by a
 //! [`SessionSupervisor`] (watchdog, reconnect backoff, dead-port
 //! detection), feeding an [`OnlineTracker`] that commits trail points
-//! behind a fixed decision lag. Mid-session the process "dies": the
-//! tracker is checkpointed to JSON, dropped, restored, and the session
-//! resumes where the connection left off.
+//! behind a fixed decision lag. Mid-session the process "dies" — and
+//! worse, the newest checkpoint generation in the durability store has
+//! rotted on disk. [`CheckpointStore::recover`] rejects it with a
+//! typed checksum error, walks back to the previous good generation,
+//! and the session replays the gap from the reader link: kill and
+//! recover, losing nothing.
 //!
 //! ```sh
 //! cargo run --release --example live_session
 //! ```
 
 use experiments::setup::{polardraw_config_for, simulate_reports, TrialSetup};
+use polardraw_core::durability::{open_checkpoint, CheckpointStore};
 use polardraw_core::{OnlineOptions, OnlineTracker};
 use recognition::procrustes_distance;
 use rfid_sim::faults::FaultPlan;
@@ -41,36 +45,70 @@ fn main() {
         .with_garbage_every(6);
     let session_cfg = SessionConfig { seed, ..SessionConfig::default() };
 
-    // ---- First leg: supervise until the process "dies" mid-glyph. ----
+    // The durability store: checksummed checkpoint.v2 envelopes, last
+    // 3 generations retained. In-memory here; a real deployment plugs
+    // any `rf_core::store::BlobStore` into `CheckpointStore::new`.
+    let mut store = CheckpointStore::in_memory(3);
+    let session_id = 7u64;
+
+    // ---- First leg: supervise, sealing a generation mid-glyph. ----
     let mut sup = SessionSupervisor::new(session_cfg, link.clone());
     let mut tracker = OnlineTracker::new(cfg, OnlineOptions { lag: 64, hold: 2, ..OnlineOptions::default() });
+    let t_ckpt = 0.4 * t_hi;
     let t_kill = 0.65 * t_hi;
-    sup.run(&mut tracker, 0.0, t_kill);
+    sup.run(&mut tracker, 0.0, t_ckpt);
+    let gen1 = store.save(session_id, &tracker);
     println!(
-        "first leg  [0.0, {t_kill:.1}] s: {} reports delivered, {} committed points",
+        "first leg  [0.0, {t_ckpt:.1}] s: {} reports delivered, {} committed points; sealed generation {gen1}",
         sup.stats().reports_delivered,
         tracker.committed().len(),
     );
 
-    // Checkpoint the complete decoder state to JSON and "crash".
-    let checkpoint = tracker.checkpoint_string();
-    println!("checkpoint: {} bytes of JSON; killing the session\n", checkpoint.len());
-    drop(tracker);
+    // Continue to the kill point and seal a second generation.
+    let link_mid = link.clone().resume_after(sup.link());
+    let mut sup_mid = SessionSupervisor::new(session_cfg, link_mid);
+    sup_mid.run(&mut tracker, t_ckpt, t_kill);
+    let gen2 = store.save(session_id, &tracker);
+    println!(
+        "           [{t_ckpt:.1}, {t_kill:.1}] s: {} more reports, {} committed points; sealed generation {gen2}",
+        sup_mid.stats().reports_delivered,
+        tracker.committed().len(),
+    );
 
-    // ---- Second leg: restore and resume where the link left off. ----
-    let mut tracker = OnlineTracker::restore_from_str(cfg, &checkpoint).expect("restore");
+    // ---- The crash, with insult added to injury: the process dies
+    // AND the newest generation rots on disk (one flipped byte).
+    drop(tracker);
+    let mut rotten = store.read(session_id, gen2).expect("committed");
+    // Nudge one digit somewhere in the middle: the document stays
+    // well-formed JSON, so only the envelope CRC can tell.
+    let mid = rotten.len() / 2;
+    let digit = (mid..).find(|&i| rotten[i].is_ascii_digit() && rotten[i] != b'9').expect("a digit");
+    rotten[digit] += 1;
+    store.overwrite(session_id, gen2, &rotten);
+    let refused = open_checkpoint(cfg, std::str::from_utf8(&rotten).unwrap_or(""));
+    println!("\ncrash: session killed; generation {gen2} corrupted on disk");
+    println!("  open_checkpoint(gen {gen2}) -> {}", refused.err().map(|e| e.to_string()).unwrap_or_default());
+
+    // ---- Recover: walk back to the last good generation, then let
+    // the reader link replay everything that generation never saw.
+    let recovered = store.recover(session_id, cfg).expect("an older generation survives");
+    println!(
+        "  recover() -> generation {} after {} fallback(s); resuming from {:.1} s\n",
+        recovered.generation, recovered.fallbacks, t_ckpt,
+    );
+    let mut tracker = recovered.tracker;
     let link_b = link.clone().resume_after(sup.link());
     let mut sup_b = SessionSupervisor::new(session_cfg, link_b);
-    sup_b.run(&mut tracker, t_kill, t_hi + 2.0);
+    sup_b.run(&mut tracker, t_ckpt, t_hi + 2.0);
     println!(
-        "second leg [{t_kill:.1}, end] s: {} reports delivered, {} committed points",
+        "second leg [{t_ckpt:.1}, end] s: {} reports delivered, {} committed points",
         sup_b.stats().reports_delivered,
         tracker.committed().len(),
     );
 
     // What the supervisors saw, in order.
     println!("\nsession events:");
-    for (leg, events) in [("A", sup.events()), ("B", sup_b.events())] {
+    for (leg, events) in [("A", sup.events()), ("A'", sup_mid.events()), ("B", sup_b.events())] {
         for e in events {
             match e {
                 SessionEvent::Connected { t } => println!("  [{leg}] {t:6.2} s  connected"),
@@ -100,8 +138,9 @@ fn main() {
         }
     }
     println!(
-        "  bad wire frames rejected: {} (leg A) + {} (leg B)",
+        "  bad wire frames rejected: {} (leg A) + {} (leg A') + {} (leg B)",
         sup.stats().bad_frames,
+        sup_mid.stats().bad_frames,
         sup_b.stats().bad_frames,
     );
 

@@ -138,6 +138,15 @@ if [ "$SUITE" = fleet ] || [ "$SUITE" = all ]; then
         --min-speedup "$SCALE_FLOOR" \
         --ref fleet/lifecycle/sessions64/threads1 \
         --opt fleet/lifecycle/sessions64/threads8
+
+    # Absolute ceiling on per-session crash recovery (checkpoint open +
+    # CRC verify + tracker rebuild for a 128-report warm session):
+    # 20 ms. Recovery must stay interactive — a shard restart serving
+    # hundreds of sessions has to come back in seconds, not minutes.
+    echo "== bench: fleet recovery ceiling (recover() <= 20 ms/session) =="
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        BENCH_fleet.json \
+        --max-median "fleet/recover/session=20000000"
 fi
 
 if [ "$SUITE" = components ] || [ "$SUITE" = all ]; then

@@ -1,0 +1,204 @@
+//! Durability-layer integration suite (tier 1).
+//!
+//! * **Mutation sweep** — 2000 deterministic corruptions of a sealed
+//!   `checkpoint.v2` envelope through `rfid_sim::chaos::mutate_bytes`
+//!   (bit flips, truncation, garbage extension, field rewrites,
+//!   splices, wholesale noise). Restore must be total: every case is
+//!   either a clean `Ok` whose state is bit-identical to the original,
+//!   or a typed `RestoreError` that renders — never a panic. Mirrors
+//!   the `llrp::decode_report` wire sweep, so both untrusted-byte
+//!   surfaces get the same treatment.
+//! * **v1 → v2 migration golden** — a legacy `checkpoint.v1` document
+//!   opens as generation 0 and re-seals into a byte-pinned v2 envelope
+//!   (snapshot under `tests/snapshots/`; regenerate with
+//!   `GOLDEN_REGEN=1` and review the diff).
+//! * **Store crash semantics** — staged-but-uncommitted writes stay
+//!   invisible, walk-back recovery survives corrupted newest
+//!   generations, and a fully rotten store returns a typed error.
+
+use polardraw_core::{
+    durability, open_checkpoint, seal_checkpoint, CheckpointStore, OnlineOptions, OnlineTracker,
+    PolarDrawConfig, RestoreError,
+};
+use rfid_sim::chaos::mutate_bytes;
+use rfid_sim::TagReport;
+use std::path::PathBuf;
+
+fn coarse_config() -> PolarDrawConfig {
+    let mut cfg = PolarDrawConfig::default();
+    cfg.hmm.cell_m *= 8.0;
+    cfg
+}
+
+fn stream(n: usize, t0: f64) -> Vec<TagReport> {
+    (0..n)
+        .map(|i| TagReport {
+            t: t0 + i as f64 * 0.01,
+            antenna: i % 2,
+            rssi_dbm: -52.0 - (i % 5) as f64 * 0.5,
+            phase_rad: rf_core::wrap_tau(0.03 * i as f64),
+            channel: i % 4,
+            epc: 0xD0_0D5,
+        })
+        .collect()
+}
+
+/// A tracker with real decoded state (not a blank slate), so the sweep
+/// exercises the full payload surface: frames, frontier, preprocess
+/// windows, model state.
+fn warmed_tracker() -> OnlineTracker {
+    let mut tracker = OnlineTracker::new(coarse_config(), OnlineOptions::default());
+    for r in stream(120, 0.0) {
+        tracker.push(r);
+    }
+    tracker
+}
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots").join(name)
+}
+
+fn assert_matches_snapshot(name: &str, actual: &str) {
+    let path = snapshot_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing snapshot {} ({e}); run GOLDEN_REGEN=1", path.display()));
+    assert!(
+        expected == actual,
+        "{name}: the checkpoint envelope format drifted.\n\
+         If this change is intentional, regenerate with GOLDEN_REGEN=1, review the \
+         diff, and bump the format tag if old documents can no longer restore."
+    );
+}
+
+#[test]
+fn restore_survives_2000_mutated_envelopes() {
+    let tracker = warmed_tracker();
+    let reference = tracker.checkpoint_string();
+    let sealed = seal_checkpoint(&tracker, 3);
+
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for case in 0..2000u64 {
+        let mutated = mutate_bytes(sealed.as_bytes(), case);
+        let opened = match std::str::from_utf8(&mutated) {
+            Ok(text) => open_checkpoint(coarse_config(), text),
+            // Non-UTF-8 corruption is rejected before parsing, the
+            // same way `CheckpointStore::recover` rejects it.
+            Err(_) => Err(RestoreError::Field("not UTF-8".into())),
+        };
+        match opened {
+            Ok(restored) => {
+                // The CRC admits only semantically identical bytes
+                // (e.g. a truncation at full length): the restored
+                // state must be bit-identical to the original.
+                assert_eq!(restored.generation, 3, "case {case}");
+                assert_eq!(
+                    restored.tracker.checkpoint_string(),
+                    reference,
+                    "case {case}: corrupted bytes restored to different state"
+                );
+                accepted += 1;
+            }
+            Err(e) => {
+                // Typed errors must render without panicking.
+                let rendered = e.to_string();
+                assert!(!rendered.is_empty(), "case {case}");
+                rejected += 1;
+            }
+        }
+    }
+    // The sweep is only meaningful if the vast majority of corruptions
+    // are actually caught.
+    assert!(rejected > 1900, "only {rejected}/2000 rejected");
+    assert!(accepted + rejected == 2000);
+}
+
+#[test]
+fn v1_documents_migrate_to_a_pinned_v2_envelope() {
+    let tracker = warmed_tracker();
+    let v1 = tracker.checkpoint_string();
+    assert!(
+        v1.contains("polardraw.online.checkpoint.v1"),
+        "precondition: the legacy format tag is intact"
+    );
+
+    // A bare v1 document opens as generation 0 …
+    let restored = open_checkpoint(coarse_config(), &v1).expect("v1 opens");
+    assert_eq!(restored.generation, 0);
+    assert_eq!(restored.tracker.checkpoint_string(), v1, "v1 round trip is bitwise");
+
+    // … and re-seals into a v2 envelope whose exact bytes are pinned:
+    // any unreviewed format drift (field rename, CRC definition change,
+    // serialization change) fails here before it strands old stores.
+    let migrated = seal_checkpoint(&restored.tracker, 1);
+    assert_matches_snapshot("checkpoint_v2_migration.json", &migrated);
+
+    // The pinned envelope itself restores, to the same v1 payload.
+    let reopened = open_checkpoint(coarse_config(), &migrated).expect("v2 opens");
+    assert_eq!(reopened.generation, 1);
+    assert_eq!(reopened.tracker.checkpoint_string(), v1);
+
+    // And its recorded rig CRC matches the live computation.
+    assert!(migrated
+        .contains(&format!("\"rig_crc\":{}", durability::rig_crc(&coarse_config()))));
+}
+
+#[test]
+fn store_walks_back_over_chaos_corruption() {
+    let mut store = CheckpointStore::in_memory(3);
+    let mut tracker = OnlineTracker::new(coarse_config(), OnlineOptions::default());
+    let mut sealed_states = Vec::new();
+    for round in 0..4 {
+        for r in stream(60, round as f64 * 0.6) {
+            tracker.push(r);
+        }
+        let generation = store.save(9, &tracker);
+        sealed_states.push((generation, tracker.checkpoint_string()));
+    }
+    assert_eq!(store.generations(9), vec![2, 3, 4], "keep=3 pruned generation 1");
+
+    // Chaos-corrupt the newest two generations; recovery must land on
+    // generation 2 and reproduce exactly the state sealed then.
+    for (i, &generation) in [4u64, 3].iter().enumerate() {
+        let bytes = store.read(9, generation).unwrap();
+        let mut corrupt = mutate_bytes(&bytes, 1000 + i as u64);
+        if corrupt == bytes {
+            corrupt.truncate(bytes.len() / 2);
+        }
+        store.overwrite(9, generation, &corrupt);
+    }
+    let recovered = store.recover(9, coarse_config()).expect("walk-back");
+    assert_eq!(recovered.generation, 2);
+    assert_eq!(recovered.fallbacks, 2);
+    let expected = &sealed_states.iter().find(|(g, _)| *g == 2).unwrap().1;
+    assert_eq!(&recovered.tracker.checkpoint_string(), expected);
+
+    // Rot the last good one too: typed error, not a panic.
+    store.overwrite(9, 2, b"\xFF\xFEnot a checkpoint");
+    let err = store.recover(9, coarse_config()).unwrap_err();
+    assert!(!err.to_string().is_empty());
+    assert_eq!(store.recover(1234, coarse_config()).unwrap_err(), RestoreError::Missing);
+}
+
+#[test]
+fn a_torn_write_never_becomes_visible() {
+    let mut store = CheckpointStore::in_memory(2);
+    let tracker = warmed_tracker();
+    store.save(5, &tracker);
+
+    // Writer crashes after staging generation 2 but before commit.
+    let next = seal_checkpoint(&tracker, 2);
+    store.stage(5, 2, next.as_bytes());
+    assert_eq!(store.latest(5), Some(1), "staged bytes are invisible");
+    assert_eq!(store.recover(5, coarse_config()).expect("recover").generation, 1);
+
+    // The restarted writer completes the commit; only now it lands.
+    assert!(store.commit(5, 2));
+    assert_eq!(store.recover(5, coarse_config()).expect("recover").generation, 2);
+}

@@ -160,7 +160,7 @@ fn sweep_cuts(
         let text = first.checkpoint_string();
         drop(first);
         let mut resumed = OnlineTracker::restore_from_str(cfg, &text)
-            .unwrap_or_else(|e| panic!("{ctx}: restore at cut {cut}: {}", e.message));
+            .unwrap_or_else(|e| panic!("{ctx}: restore at cut {cut}: {e}"));
         resumed.extend(&reports[cut..]);
         assert_outputs_bitwise_equal(
             &resumed.finalize(),

@@ -253,7 +253,7 @@ fn checkpoint_restore_through_the_pool_is_bitwise_at_swept_cuts() {
             .iter()
             .map(|text| {
                 let tracker = OnlineTracker::restore_from_str(cfg, text)
-                    .unwrap_or_else(|e| panic!("restore at cut {cut}: {}", e.message));
+                    .unwrap_or_else(|e| panic!("restore at cut {cut}: {e}"));
                 second.adopt(tracker)
             })
             .collect();
