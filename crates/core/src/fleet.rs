@@ -524,6 +524,20 @@ impl FleetRouter {
         options: OnlineOptions,
     ) -> FleetSessionId {
         let key = ShardKey::of(&config);
+        if !self.routes.iter().any(|r| r.key == key) {
+            // First session on a never-seen rig fingerprint: build the
+            // shared decode artifacts now, at admission, so the
+            // emission-table cold start happens off the session's first
+            // measurement-bearing drain. Same cache entry the decoder
+            // resolves lazily (`hmm::artifacts_for`), so this is purely
+            // a *when*, never a *what*.
+            let grid = crate::hmm::Grid::covering(
+                config.board_min,
+                config.board_max,
+                config.hmm.cell_m,
+            );
+            crate::hmm::artifacts_for(&grid, config.antennas, config.hmm.wavelength_m).prewarm();
+        }
         let shard = self.place(key);
         let local = self.shards[shard].pool.add_session(config, options);
         let id = self.routes.len();

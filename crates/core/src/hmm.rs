@@ -63,7 +63,7 @@
 //! first-wins tie rule); the f32/adaptive paths are instead gated by
 //! the quantitative tolerance oracle in `tests/kernel_equivalence.rs`.
 
-use crate::distance::{expected_dtheta21, FeasibleRegion};
+use crate::distance::{expected_dtheta21, DthetaRowKernel, DthetaRowKernelF32, FeasibleRegion};
 use rf_core::{wrap_pi, Vec2, Vec3};
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -308,10 +308,25 @@ pub struct EmissionTable {
 
 impl EmissionTable {
     /// Precompute the expected Δθ²¹ for every cell of `grid`.
+    ///
+    /// Runs row-batched over the SoA distance kernels
+    /// ([`DthetaRowKernel`]): the cell-centre x coordinates are
+    /// materialized once, each row hoists its `Δy²`/`Δz²` terms, and
+    /// the per-cell `idx → (ix, iy)` divmod of [`Grid::center`]
+    /// disappears entirely. Every cell's value is still **bit-identical**
+    /// to `expected_dtheta21(grid.center(idx), …)` — the row kernel's
+    /// contract, pinned by `emission_table_matches_direct_computation`
+    /// below and `tests/channel_batch.rs`.
     pub fn build(grid: &Grid, antennas: [Vec3; 2], wavelength_m: f64) -> EmissionTable {
-        let values = (0..grid.len())
-            .map(|idx| expected_dtheta21(grid.center(idx), antennas, wavelength_m))
-            .collect();
+        let mut values = vec![0.0; grid.len()];
+        if grid.nx > 0 {
+            let xs = grid_xs(grid);
+            let mut kernel = DthetaRowKernel::new();
+            for (iy, row) in values.chunks_mut(grid.nx).enumerate() {
+                let y = grid.min.y + (iy as f64 + 0.5) * grid.cell_m;
+                kernel.row(&xs, y, antennas, wavelength_m, row);
+            }
+        }
         EmissionTable { grid: *grid, antennas, wavelength_m, values }
     }
 
@@ -355,20 +370,39 @@ impl EmissionTable {
         wavelength_m: f64,
         workers: usize,
     ) -> EmissionTable {
-        if workers.max(1) == 1 || grid.ny < 2 {
+        if workers.max(1) == 1 || grid.ny < 2 || grid.nx == 0 {
             return EmissionTable::build(grid, antennas, wavelength_m);
         }
+        // Contiguous row bands written through disjoint `&mut` slices of
+        // one preallocated buffer — no per-row `Vec` churn, no merge
+        // copy (the 1.15×-at-2-threads ceiling the old
+        // `parallel_map`-of-rows fan-out carried). Each cell's value
+        // never depends on its band, so the result stays bit-identical
+        // to the sequential build at any worker count.
         let nx = grid.nx;
-        let rows: Vec<Vec<f64>> =
-            rf_core::parallel_map((0..grid.ny).collect(), workers, |&iy| {
-                (0..nx)
-                    .map(|ix| expected_dtheta21(grid.center(iy * nx + ix), antennas, wavelength_m))
-                    .collect()
-            });
-        let mut values = Vec::with_capacity(grid.len());
-        for row in rows {
-            values.extend(row);
+        let workers = workers.min(grid.ny);
+        let xs = grid_xs(grid);
+        let mut values = vec![0.0; grid.len()];
+        let mut bands: Vec<(usize, &mut [f64])> = Vec::with_capacity(workers);
+        let mut rest: &mut [f64] = values.as_mut_slice();
+        for w in 0..workers {
+            let (lo, hi) = rf_core::chunk_bounds(grid.ny, workers, w);
+            let (band, tail) = rest.split_at_mut((hi - lo) * nx);
+            rest = tail;
+            bands.push((lo, band));
         }
+        std::thread::scope(|scope| {
+            for (lo, band) in bands {
+                let xs = &xs;
+                scope.spawn(move || {
+                    let mut kernel = DthetaRowKernel::new();
+                    for (r, row) in band.chunks_mut(nx).enumerate() {
+                        let y = grid.min.y + ((lo + r) as f64 + 0.5) * grid.cell_m;
+                        kernel.row(xs, y, antennas, wavelength_m, row);
+                    }
+                });
+            }
+        });
         EmissionTable { grid: *grid, antennas, wavelength_m, values }
     }
 
@@ -408,6 +442,59 @@ impl EmissionTableF32 {
     /// Cast every cell of an exact table.
     pub fn from_table(table: &EmissionTable) -> EmissionTableF32 {
         EmissionTableF32 { values: table.values.iter().map(|&v| v as f32).collect() }
+    }
+
+    /// Build the `f32` table *directly* over the single-precision row
+    /// kernels ([`DthetaRowKernelF32`]) — no `f64` table first, and the
+    /// distance sqrts run with twice the SIMD lanes. This is the
+    /// `F32Tolerance`-tier build: per-cell values differ from the
+    /// [`from_table`](Self::from_table) cast by ≲ 1e-5 rad (wrap-aware),
+    /// gated by the emission-delta + fig13 letter-parity oracle in
+    /// `tests/channel_batch.rs`. Opt-in only — the cast remains the
+    /// spec and the default; nothing routes here except
+    /// [`DecodeArtifacts::prewarm_f32_direct`] and the benches.
+    pub fn build_direct(
+        grid: &Grid,
+        antennas: [Vec3; 2],
+        wavelength_m: f64,
+        workers: usize,
+    ) -> EmissionTableF32 {
+        let mut values = vec![0.0f32; grid.len()];
+        if grid.nx == 0 {
+            return EmissionTableF32 { values };
+        }
+        let nx = grid.nx;
+        let xs = grid_xs(grid);
+        let workers = workers.max(1).min(grid.ny.max(1));
+        if workers == 1 || grid.ny < 2 {
+            let mut kernel = DthetaRowKernelF32::new();
+            for (iy, row) in values.chunks_mut(nx).enumerate() {
+                let y = grid.min.y + (iy as f64 + 0.5) * grid.cell_m;
+                kernel.row(&xs, y, antennas, wavelength_m, row);
+            }
+            return EmissionTableF32 { values };
+        }
+        let mut bands: Vec<(usize, &mut [f32])> = Vec::with_capacity(workers);
+        let mut rest: &mut [f32] = values.as_mut_slice();
+        for w in 0..workers {
+            let (lo, hi) = rf_core::chunk_bounds(grid.ny, workers, w);
+            let (band, tail) = rest.split_at_mut((hi - lo) * nx);
+            rest = tail;
+            bands.push((lo, band));
+        }
+        std::thread::scope(|scope| {
+            for (lo, band) in bands {
+                let xs = &xs;
+                scope.spawn(move || {
+                    let mut kernel = DthetaRowKernelF32::new();
+                    for (r, row) in band.chunks_mut(nx).enumerate() {
+                        let y = grid.min.y + ((lo + r) as f64 + 0.5) * grid.cell_m;
+                        kernel.row(xs, y, antennas, wavelength_m, row);
+                    }
+                });
+            }
+        });
+        EmissionTableF32 { values }
     }
 
     /// The cast `expected_dtheta21` of a cell.
@@ -482,10 +569,44 @@ impl DecodeArtifacts {
         self.emission32.get_or_init(|| Arc::new(EmissionTableF32::from_table(self.emission())))
     }
 
+    /// Force-build everything this entry serves lazily — the exact
+    /// emission table and its `f32` cast — right now, on the calling
+    /// thread. The fleet front door invokes this when a *new* rig
+    /// fingerprint first appears, so the cold-start build happens at
+    /// session-admission time instead of on the first session's first
+    /// measurement-bearing drain.
+    pub fn prewarm(&self) {
+        let _ = self.emission_f32();
+    }
+
+    /// Opt this entry into the **direct** `f32` emission build
+    /// ([`EmissionTableF32::build_direct`]) instead of the cast-of-f64
+    /// default. Only effective before anything resolved
+    /// [`emission_f32`](Self::emission_f32); returns whether the direct
+    /// table won the slot. Tolerance-tier only — callers that need the
+    /// cast contract must simply never call this.
+    pub fn prewarm_f32_direct(&self, workers: usize) -> bool {
+        self.emission32
+            .set(Arc::new(EmissionTableF32::build_direct(
+                &self.grid,
+                self.antennas,
+                self.wavelength_m,
+                workers,
+            )))
+            .is_ok()
+    }
+
     /// The grid this entry is keyed on.
     pub fn grid(&self) -> &Grid {
         &self.grid
     }
+}
+
+/// The cell-centre x coordinates of every column, exactly as
+/// [`Grid::center`] computes them — the shared SoA input of the
+/// row-batched emission builds.
+fn grid_xs(grid: &Grid) -> Vec<f64> {
+    (0..grid.nx).map(|ix| grid.min.x + (ix as f64 + 0.5) * grid.cell_m).collect()
 }
 
 /// Cells below which the row-parallel emission build cannot amortize

@@ -1,0 +1,991 @@
+//! Batched channel evaluation: rig-frozen factors + SoA kernels.
+//!
+//! Every caller of [`ChannelModel::evaluate`] used to walk the full
+//! forward model one link at a time, recomputing per-rig constants —
+//! Fresnel/Jones state vectors, antenna gain ratios, mirrored antenna
+//! images, depolarization rotations, the wavelength, the 1 m path-loss
+//! reference — on every call. For a *fixed* rig those factors never
+//! change; only the tag pose (and, for a moving bystander, time) does.
+//!
+//! [`RigFactors::freeze`] hoists everything pose-independent out of the
+//! per-link math once, and [`ChannelBatch`] evaluates many poses per
+//! call over structure-of-arrays buffers ([`PoseBatch`]) with chunked
+//! intra-batch parallelism mirroring the decoder's `KernelOptions`
+//! design (`polardraw-core`).
+//!
+//! # Precision tiers
+//!
+//! * **Scalar links are bitwise.** [`RigFactors::evaluate`] and the
+//!   scalar batch path replicate [`ChannelModel::evaluate`] operation
+//!   for operation — hoisting a value computed from the same inputs is
+//!   bit-neutral, so golden traces and checkpoint formats are
+//!   untouched. The single-link path is bitwise for *both*
+//!   polarimetries (the simulator's report stream rides on it).
+//! * **Jones batches are ≤ 1e-12 per link.** The batch Jones kernel
+//!   ([`BatchPrecision::F64Exact`]) restructures the per-path algebra —
+//!   direct linear amplitudes instead of the dB round-trip, reciprocal
+//!   path lengths reused across mirror legs, purely-real field states
+//!   short-circuiting the imaginary bounce — which reassociates
+//!   floating point at the 1e-15 level. `tests/channel_batch.rs` pins
+//!   the 1e-12 contract.
+//! * **[`BatchPrecision::F32Tolerance`]** selects the `f32` SoA grid
+//!   kernels ([`distances_row_f32`]) that back the direct `f32`
+//!   emission-table build in `polardraw-core`; that tier is gated by a
+//!   quantitative oracle (per-cell emission deltas + reduced-config
+//!   letter parity), not a bitwise contract. Per-link observation
+//!   batches are transcendental-bound (sin/cos/log per path), where
+//!   narrowing the scalar type buys nothing without cross-pose SIMD, so
+//!   link batches evaluate in `f64` under either tier — the tier choice
+//!   is about the grid kernels.
+
+use crate::antenna::{Antenna, Polarization};
+use crate::channel::{ChannelModel, LinkObservation, Polarimetry, TagPolarization};
+use crate::multipath::{fresnel_rp, fresnel_rs, Bystander, Reflector, Surface};
+use crate::polarization::{transverse_field, Jones, JonesVector, PolBasis, PolState};
+use crate::propagation::free_space_loss_db;
+use crate::spectrum::ChannelPlan;
+use rf_core::{db_to_ratio, wrap_tau, Complex, Vec3};
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, TAU};
+
+/// Numeric tier of the batched kernels (mirrors the decoder's
+/// `KernelPrecision`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPrecision {
+    /// `f64` throughout: scalar links bitwise vs [`ChannelModel`],
+    /// Jones links within 1e-12 per link. The default.
+    #[default]
+    F64Exact,
+    /// The tolerance tier: grid kernels run in `f32`
+    /// ([`distances_row_f32`]); link batches still evaluate in `f64`
+    /// (see the module docs). Gated by the emission-delta/letter-parity
+    /// oracle in `tests/channel_batch.rs`, not a bitwise contract.
+    F32Tolerance,
+}
+
+/// Options for one [`ChannelBatch`]: precision tier + intra-batch
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Numeric tier.
+    pub precision: BatchPrecision,
+    /// Worker ceiling for chunked intra-batch parallelism. Poses are
+    /// split into contiguous `rf_core::chunk_bounds` chunks, so the
+    /// result is bit-identical at any thread count within a tier.
+    pub threads: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions { precision: BatchPrecision::F64Exact, threads: 1 }
+    }
+}
+
+/// Structure-of-arrays pose buffer: positions, dipole orientations and
+/// timestamps of many tag poses, stored column-wise so batch kernels
+/// stream each component contiguously.
+#[derive(Debug, Clone, Default)]
+pub struct PoseBatch {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
+    ux: Vec<f64>,
+    uy: Vec<f64>,
+    uz: Vec<f64>,
+    ts: Vec<f64>,
+}
+
+impl PoseBatch {
+    /// An empty batch.
+    pub fn new() -> PoseBatch {
+        PoseBatch::default()
+    }
+
+    /// An empty batch with room for `n` poses.
+    pub fn with_capacity(n: usize) -> PoseBatch {
+        PoseBatch {
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+            zs: Vec::with_capacity(n),
+            ux: Vec::with_capacity(n),
+            uy: Vec::with_capacity(n),
+            uz: Vec::with_capacity(n),
+            ts: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append one pose.
+    pub fn push(&mut self, position: Vec3, dipole: Vec3, t: f64) {
+        self.xs.push(position.x);
+        self.ys.push(position.y);
+        self.zs.push(position.z);
+        self.ux.push(dipole.x);
+        self.uy.push(dipole.y);
+        self.uz.push(dipole.z);
+        self.ts.push(t);
+    }
+
+    /// Number of poses.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the batch holds no poses.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Position of pose `i`.
+    pub fn position(&self, i: usize) -> Vec3 {
+        Vec3::new(self.xs[i], self.ys[i], self.zs[i])
+    }
+
+    /// Dipole orientation of pose `i`.
+    pub fn dipole(&self, i: usize) -> Vec3 {
+        Vec3::new(self.ux[i], self.uy[i], self.uz[i])
+    }
+
+    /// Timestamp of pose `i`.
+    pub fn t(&self, i: usize) -> f64 {
+        self.ts[i]
+    }
+
+    /// Drop all poses, keeping the buffers.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.zs.clear();
+        self.ux.clear();
+        self.uy.clear();
+        self.uz.clear();
+        self.ts.clear();
+    }
+}
+
+/// The frame an antenna's radiated Jones state lives in — the frozen
+/// half of [`Antenna::jones_along`] (the state itself never depends on
+/// the ray, only the frame construction rule does).
+#[derive(Debug, Clone, Copy)]
+enum FrozenFrame {
+    /// `PolBasis::from_reference(axis, dir)` — linear and general Jones
+    /// patterns.
+    Reference(Vec3),
+    /// `PolBasis::any(dir)` — circular patterns.
+    Any,
+}
+
+/// One antenna with its pose-independent factors hoisted.
+#[derive(Debug, Clone)]
+struct FrozenAntenna {
+    ant: Antenna,
+    /// `db_to_ratio(gain_dbi)` — the boresight power ratio the pattern
+    /// scales (bit-identical reuse inside the gain expression).
+    gain_ratio: f64,
+    /// `gain_ratio.sqrt()` — the restructured kernel's amplitude gain
+    /// for `pattern_exponent == 2` collapses to `sqrt_gain · cos θ`.
+    sqrt_gain: f64,
+    /// Whether `pattern_exponent == 2.0` exactly (the default panels),
+    /// enabling the `powf`-free pattern in the restructured kernel.
+    pattern_is_square: bool,
+    /// `Antenna::linear_axis()`, frozen.
+    linear_axis: Option<Vec3>,
+    /// Frame construction rule + frozen radiated state — the
+    /// `PolState::jones()` trig paid once per rig instead of per link.
+    frame: FrozenFrame,
+    jv: JonesVector,
+    /// Whether `jv` is purely real (linear states): the imaginary field
+    /// leg of every Empirical bounce is identically zero and the
+    /// restructured kernel skips it.
+    jv_is_real: bool,
+    /// This antenna's image across each reflector, in reflector order —
+    /// what `Reflector::path(ant.position, ·)` re-mirrors per link.
+    mirrored: Vec<Vec3>,
+}
+
+/// One reflector with its depolarization rotation hoisted.
+#[derive(Debug, Clone)]
+struct FrozenReflector {
+    refl: Reflector,
+    /// `sin`/`cos` of the depolarization angle —
+    /// `Reflector::reflect_polarization` pays this trig per bounce.
+    depol_sin: f64,
+    depol_cos: f64,
+}
+
+/// Everything about a [`ChannelModel`] that does not depend on the tag
+/// pose, precomputed once. Freezing requires a time-invariant carrier
+/// ([`ChannelPlan::Fixed`]); hopping plans change wavelength per call
+/// and must keep using [`ChannelModel::evaluate`].
+///
+/// A moving bystander is *not* an obstacle: only its position depends
+/// on time, and that is resolved per call.
+#[derive(Debug, Clone)]
+pub struct RigFactors {
+    tx_power_dbm: f64,
+    tag_sensitivity_dbm: f64,
+    ple: f64,
+    /// `-ple / 2` — the distance exponent of the one-way amplitude.
+    neg_half_ple: f64,
+    /// Whether `ple == 2.0` exactly (free-space), enabling the
+    /// `powf`-free `1/d` amplitude in the restructured kernel.
+    ple_is_two: bool,
+    /// `db_to_ratio(tag_gain_dbi).sqrt()`.
+    g_tag: f64,
+    /// `db_to_ratio(-backscatter_loss_db).sqrt()`.
+    m: f64,
+    lambda: f64,
+    /// `free_space_loss_db(1.0, lambda)` — the 1 m reference of the
+    /// log-distance model (bit-identical reuse).
+    fs_ref_db: f64,
+    /// `10^(-fs_ref_db / 20)` — the same reference as a linear 1 m
+    /// amplitude, for the restructured kernel's `amp_1m · d^(-n/2)`.
+    amp_1m: f64,
+    /// `-TAU / lambda` — phase per metre of one-way path.
+    phase_k: f64,
+    cable_phase_rad: Vec<f64>,
+    polarimetry: Polarimetry,
+    tag: TagPolarization,
+    ants: Vec<FrozenAntenna>,
+    refls: Vec<FrozenReflector>,
+    /// The bystander plus hoisted `sin`/`cos` of its depolarization.
+    bystander: Option<(Bystander, f64, f64)>,
+}
+
+impl RigFactors {
+    /// Freeze a model's pose-independent factors. `None` when the plan
+    /// hops frequencies (wavelength is then a function of time and
+    /// nothing wavelength-derived can be hoisted).
+    pub fn freeze(model: &ChannelModel) -> Option<RigFactors> {
+        if !matches!(model.plan, ChannelPlan::Fixed(_)) {
+            return None;
+        }
+        let lambda = model.plan.wavelength_at(0.0);
+        let fs_ref_db = free_space_loss_db(1.0, lambda);
+        let refls: Vec<FrozenReflector> = model
+            .reflectors
+            .iter()
+            .map(|refl| {
+                let (depol_sin, depol_cos) = refl.depolarization.sin_cos();
+                FrozenReflector { refl: refl.clone(), depol_sin, depol_cos }
+            })
+            .collect();
+        let ants = model
+            .antennas
+            .iter()
+            .map(|ant| {
+                let gain_ratio = db_to_ratio(ant.gain_dbi);
+                let (frame, jv) = match ant.polarization {
+                    Polarization::Linear(axis) => (FrozenFrame::Reference(axis), JonesVector::H),
+                    Polarization::Circular => (
+                        FrozenFrame::Any,
+                        PolState::Circular { right_handed: true }.jones(),
+                    ),
+                    Polarization::Jones { axis, state } => {
+                        (FrozenFrame::Reference(axis), state.jones())
+                    }
+                };
+                FrozenAntenna {
+                    ant: *ant,
+                    gain_ratio,
+                    sqrt_gain: gain_ratio.sqrt(),
+                    pattern_is_square: ant.pattern_exponent == 2.0,
+                    linear_axis: ant.linear_axis(),
+                    frame,
+                    jv,
+                    jv_is_real: jv.h.im == 0.0 && jv.v.im == 0.0,
+                    mirrored: refls.iter().map(|fr| fr.refl.mirror(ant.position)).collect(),
+                }
+            })
+            .collect();
+        let bystander = model.bystander.as_ref().map(|by| {
+            let (s, c) = by.depolarization.sin_cos();
+            (by.clone(), s, c)
+        });
+        Some(RigFactors {
+            tx_power_dbm: model.tx_power_dbm,
+            tag_sensitivity_dbm: model.tag_sensitivity_dbm,
+            ple: model.path_loss_exponent,
+            neg_half_ple: -model.path_loss_exponent * 0.5,
+            ple_is_two: model.path_loss_exponent == 2.0,
+            g_tag: db_to_ratio(model.tag_gain_dbi).sqrt(),
+            m: db_to_ratio(-model.backscatter_loss_db).sqrt(),
+            lambda,
+            fs_ref_db,
+            amp_1m: 10f64.powf(-fs_ref_db / 20.0),
+            phase_k: -TAU / lambda,
+            cable_phase_rad: model.cable_phase_rad.clone(),
+            polarimetry: model.polarimetry,
+            tag: model.tag,
+            ants,
+            refls,
+            bystander,
+        })
+    }
+
+    /// Number of antennas in the frozen rig.
+    pub fn antenna_count(&self) -> usize {
+        self.ants.len()
+    }
+
+    /// The frozen carrier wavelength, metres.
+    pub fn wavelength_m(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Evaluate a single link — **bitwise identical** to
+    /// [`ChannelModel::evaluate`] on the model this was frozen from,
+    /// for both polarimetries and both tag modes. Every hoisted factor
+    /// is the same value (same bits) the per-link path recomputes, and
+    /// the op sequence around it is unchanged, so this is the drop-in
+    /// the simulator's report generation uses without disturbing golden
+    /// traces.
+    pub fn evaluate(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        match self.tag {
+            TagPolarization::Dipole => self.evaluate_oriented(antenna_idx, tag_pos, dipole, t),
+            TagPolarization::Reconfigurable => {
+                let u = dipole.normalized().unwrap_or(Vec3::Z);
+                let primary = self.evaluate_oriented(antenna_idx, tag_pos, u, t);
+                let alt = self.evaluate_oriented(antenna_idx, tag_pos, orthogonal_dipole(u), t);
+                if alt.forward_power_dbm > primary.forward_power_dbm {
+                    alt
+                } else {
+                    primary
+                }
+            }
+        }
+    }
+
+    fn evaluate_oriented(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        match self.polarimetry {
+            Polarimetry::Scalar => self.evaluate_scalar(antenna_idx, tag_pos, dipole, t),
+            Polarimetry::Jones => self.evaluate_jones(antenna_idx, tag_pos, dipole, t),
+        }
+    }
+
+    // ---- bitwise per-link kernels (hoisted constants only) ----
+
+    /// `Antenna::amplitude_gain_towards` with the dB→ratio conversion
+    /// hoisted (same bits).
+    fn amp_gain(&self, fa: &FrozenAntenna, target: Vec3) -> f64 {
+        let dir = match (target - fa.ant.position).normalized() {
+            Some(d) => d,
+            None => return 0.0,
+        };
+        let cos_theta = fa.ant.boresight.dot(dir);
+        if cos_theta <= 0.0 {
+            return 0.0;
+        }
+        let pattern = cos_theta.powf(fa.ant.pattern_exponent);
+        (fa.gain_ratio * pattern).sqrt()
+    }
+
+    /// `log_distance_amplitude` with the 1 m free-space reference
+    /// hoisted (same bits).
+    fn log_dist_amp(&self, distance_m: f64) -> f64 {
+        let loss = if distance_m <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.fs_ref_db + 10.0 * self.ple * distance_m.log10()
+        };
+        if loss.is_infinite() {
+            0.0
+        } else {
+            10f64.powf(-loss / 20.0)
+        }
+    }
+
+    /// `Antenna::jones_along` with the radiated state frozen.
+    fn frozen_jones_along(&self, fa: &FrozenAntenna, dir: Vec3) -> Option<(PolBasis, JonesVector)> {
+        match fa.frame {
+            FrozenFrame::Reference(axis) => Some((PolBasis::from_reference(axis, dir)?, fa.jv)),
+            FrozenFrame::Any => Some((PolBasis::any(dir), fa.jv)),
+        }
+    }
+
+    fn evaluate_scalar(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        let fa = &self.ants[antenna_idx];
+        let ant = &fa.ant;
+        let u = dipole.normalized().unwrap_or(Vec3::Z);
+
+        let mut f = Complex::ZERO;
+
+        let d_los = ant.position.distance(tag_pos);
+        let los_amp = self.amp_gain(fa, tag_pos) * self.g_tag * self.log_dist_amp(d_los);
+        let los_coupling = ant.polarization_coupling(tag_pos, u);
+        f += Complex::from_polar(los_amp * los_coupling, -TAU * d_los / self.lambda);
+
+        for (ri, fr) in self.refls.iter().enumerate() {
+            if let Some(term) = self.reflector_term(fa, fr, ri, tag_pos, u) {
+                f += term;
+            }
+        }
+
+        if let Some((by, s, c)) = &self.bystander {
+            if let Some(term) = self.bystander_term(fa, by, *s, *c, tag_pos, u, t) {
+                f += term;
+            }
+        }
+
+        self.observe(f, antenna_idx, ant.mismatch_angle(tag_pos, u))
+    }
+
+    fn evaluate_jones(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        let fa = &self.ants[antenna_idx];
+        let ant = &fa.ant;
+        let u = dipole.normalized().unwrap_or(Vec3::Z);
+
+        let mut f = Complex::ZERO;
+
+        let d_los = ant.position.distance(tag_pos);
+        let los_amp = self.amp_gain(fa, tag_pos) * self.g_tag * self.log_dist_amp(d_los);
+        if let Some((basis, jv)) =
+            (tag_pos - ant.position).normalized().and_then(|dir| self.frozen_jones_along(fa, dir))
+        {
+            f += jv.couple(&basis, u) * Complex::from_polar(los_amp, -TAU * d_los / self.lambda);
+        }
+
+        for (ri, fr) in self.refls.iter().enumerate() {
+            if let Some(term) = self.jones_reflector_term(fa, fr, ri, tag_pos, u) {
+                f += term;
+            }
+        }
+
+        if let Some((by, s, c)) = &self.bystander {
+            if let Some(term) = self.jones_bystander_term(fa, by, *s, *c, tag_pos, u, t) {
+                f += term;
+            }
+        }
+
+        self.observe(f, antenna_idx, ant.mismatch_angle(tag_pos, u))
+    }
+
+    /// `Reflector::reflect_polarization` with its depolarization trig
+    /// hoisted (same bits given the same `sin`/`cos`).
+    fn reflect_sc(fr: &FrozenReflector, e: Vec3, k_out: Vec3) -> Vec3 {
+        rotate_sc(fr.refl.mirror_dir(e), k_out, fr.depol_sin, fr.depol_cos) * fr.refl.reflectivity
+    }
+
+    fn reflector_term(
+        &self,
+        fa: &FrozenAntenna,
+        fr: &FrozenReflector,
+        ri: usize,
+        tag_pos: Vec3,
+        u: Vec3,
+    ) -> Option<Complex> {
+        // `Reflector::path(ant.position, tag_pos)` with the antenna's
+        // image frozen.
+        let delta = tag_pos - fa.mirrored[ri];
+        let len = delta.norm();
+        let arrive_dir = delta.normalized().unwrap_or(Vec3::Z);
+        let image = fr.refl.mirror(tag_pos);
+        let emit_dir = (image - fa.ant.position).normalized()?;
+        let e0 = match fa.linear_axis {
+            Some(axis) => transverse_field(axis, emit_dir)?,
+            None => transverse_field(Vec3::X, emit_dir)? * FRAC_1_SQRT_2,
+        };
+        let e1 = Self::reflect_sc(fr, e0, arrive_dir);
+        let coupling = e1.dot(u);
+        let amp = self.amp_gain(fa, image) * self.g_tag * self.log_dist_amp(len);
+        Some(Complex::from_polar(amp * coupling, -TAU * len / self.lambda))
+    }
+
+    fn jones_reflector_term(
+        &self,
+        fa: &FrozenAntenna,
+        fr: &FrozenReflector,
+        ri: usize,
+        tag_pos: Vec3,
+        u: Vec3,
+    ) -> Option<Complex> {
+        let delta = tag_pos - fa.mirrored[ri];
+        let len = delta.norm();
+        let arrive_dir = delta.normalized().unwrap_or(Vec3::Z);
+        let image = fr.refl.mirror(tag_pos);
+        let emit_dir = (image - fa.ant.position).normalized()?;
+        let (emission_basis, jv) = self.frozen_jones_along(fa, emit_dir)?;
+        let coupling = match fr.refl.surface {
+            Surface::Empirical => {
+                let (re, im) = jv.field(&emission_basis);
+                let re_out = Self::reflect_sc(fr, re, arrive_dir);
+                let im_out = Self::reflect_sc(fr, im, arrive_dir);
+                Complex::new(re_out.dot(u), im_out.dot(u))
+            }
+            Surface::Fresnel { rel_permittivity } => {
+                let cos_i = emit_dir.dot(fr.refl.normal).abs();
+                let s = emit_dir
+                    .cross(fr.refl.normal)
+                    .normalized()
+                    .unwrap_or(emission_basis.h);
+                let in_basis = PolBasis { h: s, v: emit_dir.cross(s), k: emit_dir };
+                let out_basis = PolBasis { h: s, v: arrive_dir.cross(s), k: arrive_dir };
+                let rs = fresnel_rs(rel_permittivity, cos_i);
+                let rp = fresnel_rp(rel_permittivity, cos_i);
+                let bounce = Jones::diag(Complex::new(rs, 0.0), Complex::new(rp, 0.0))
+                    .compose(Jones::basis_change(&emission_basis, &in_basis));
+                bounce.apply(jv).couple(&out_basis, u)
+            }
+        };
+        let amp = self.amp_gain(fa, image) * self.g_tag * self.log_dist_amp(len);
+        Some(coupling * Complex::from_polar(amp, -TAU * len / self.lambda))
+    }
+
+    fn bystander_term(
+        &self,
+        fa: &FrozenAntenna,
+        by: &Bystander,
+        depol_sin: f64,
+        depol_cos: f64,
+        tag_pos: Vec3,
+        u: Vec3,
+        t: f64,
+    ) -> Option<Complex> {
+        let body = by.position_at(t);
+        let (l1, l2, arrive_dir) = by.path(fa.ant.position, tag_pos, t);
+        let emit_dir = (body - fa.ant.position).normalized()?;
+        let e0 = match fa.linear_axis {
+            Some(axis) => transverse_field(axis, emit_dir)?,
+            None => transverse_field(Vec3::X, emit_dir)? * FRAC_1_SQRT_2,
+        };
+        let e1 = rotate_sc(e0, arrive_dir, depol_sin, depol_cos) * by.scattering;
+        let coupling = e1.dot(u);
+        let total = l1 + l2;
+        let amp = self.amp_gain(fa, body) * self.g_tag * self.log_dist_amp(total);
+        Some(Complex::from_polar(amp * coupling, -TAU * total / self.lambda))
+    }
+
+    fn jones_bystander_term(
+        &self,
+        fa: &FrozenAntenna,
+        by: &Bystander,
+        depol_sin: f64,
+        depol_cos: f64,
+        tag_pos: Vec3,
+        u: Vec3,
+        t: f64,
+    ) -> Option<Complex> {
+        let body = by.position_at(t);
+        let (l1, l2, arrive_dir) = by.path(fa.ant.position, tag_pos, t);
+        let emit_dir = (body - fa.ant.position).normalized()?;
+        let (basis, jv) = self.frozen_jones_along(fa, emit_dir)?;
+        let (re, im) = jv.field(&basis);
+        let re_out = rotate_sc(re, arrive_dir, depol_sin, depol_cos) * by.scattering;
+        let im_out = rotate_sc(im, arrive_dir, depol_sin, depol_cos) * by.scattering;
+        let coupling = Complex::new(re_out.dot(u), im_out.dot(u));
+        let total = l1 + l2;
+        let amp = self.amp_gain(fa, body) * self.g_tag * self.log_dist_amp(total);
+        Some(coupling * Complex::from_polar(amp, -TAU * total / self.lambda))
+    }
+
+    /// `ChannelModel::observe` with the backscatter amplitude hoisted
+    /// (same bits).
+    fn observe(&self, f: Complex, antenna_idx: usize, mismatch_rad: f64) -> LinkObservation {
+        let forward_power_dbm = self.tx_power_dbm + amp_to_db(f.abs());
+        let tag_powered = forward_power_dbm >= self.tag_sensitivity_dbm;
+
+        let h = (f * f).scale(self.m);
+        let rx_power_dbm = self.tx_power_dbm + amp_to_db(h.abs());
+        let cable = self.cable_phase_rad.get(antenna_idx).copied().unwrap_or(0.0);
+        let phase_rad = wrap_tau(-h.arg() + cable);
+
+        LinkObservation {
+            forward_power_dbm,
+            rx_power_dbm,
+            phase_rad,
+            tag_powered,
+            round_trip: h,
+            mismatch_rad,
+        }
+    }
+
+    // ---- restructured Jones kernel (batch tier, ≤ 1e-12 per link) ----
+
+    /// The restructured amplitude-gain × path-loss product: for the
+    /// default panels (`pattern_exponent = 2`) and free-space loss
+    /// (`n = 2`) this is `√G₀ · cos θ · g_tag · A₁ₘ / d` — no `powf`,
+    /// no `log10` — and falls back to the general exponents otherwise.
+    #[inline]
+    fn fast_path_amp(&self, fa: &FrozenAntenna, cos_theta: f64, d: f64, inv_d: f64) -> f64 {
+        let pattern_amp = if fa.pattern_is_square {
+            cos_theta
+        } else {
+            cos_theta.powf(fa.ant.pattern_exponent * 0.5)
+        };
+        let dist_amp = if self.ple_is_two { inv_d } else { d.powf(self.neg_half_ple) };
+        fa.sqrt_gain * pattern_amp * self.g_tag * self.amp_1m * dist_amp
+    }
+
+    /// One Jones link through the restructured kernel. Same physics as
+    /// [`Self::evaluate_jones`], reassociated for throughput: direct
+    /// linear amplitudes, mirror-leg lengths reused (a mirror is an
+    /// isometry), purely-real states skipping the imaginary bounce.
+    /// Agrees with the per-link path to ≤ 1e-12 per observable.
+    fn evaluate_jones_fast(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        let fa = &self.ants[antenna_idx];
+        let ant = &fa.ant;
+        let u = dipole.normalized().unwrap_or(Vec3::Z);
+
+        let mut f = Complex::ZERO;
+        // Mismatch follows `Antenna::mismatch_angle`'s conventions: a
+        // circular antenna has no mismatch concept (0 by definition),
+        // everything else defaults to π/2 on a degenerate geometry.
+        let circular = matches!(ant.polarization, Polarization::Circular);
+        let mut mismatch = if circular { 0.0 } else { FRAC_PI_2 };
+
+        // Line of sight.
+        let delta = tag_pos - ant.position;
+        let d_los = delta.norm();
+        if d_los > 0.0 {
+            let inv_d = 1.0 / d_los;
+            let dir = delta * inv_d;
+            if let Some((basis, jv)) = self.frozen_jones_along(fa, dir) {
+                // The RSS-visible mismatch reuses the LoS frame instead
+                // of rebuilding it from scratch.
+                if !circular {
+                    if let Some(u_t) = u.reject_from(dir).normalized() {
+                        mismatch = jv.couple(&basis, u_t).abs().clamp(0.0, 1.0).acos();
+                    }
+                }
+                let cos_theta = ant.boresight.dot(dir);
+                if cos_theta > 0.0 {
+                    let amp = self.fast_path_amp(fa, cos_theta, d_los, inv_d);
+                    f += jv.couple(&basis, u) * Complex::from_polar(amp, self.phase_k * d_los);
+                }
+            }
+        }
+
+        // Wall reflections: the antenna-image leg and the tag-image leg
+        // have the same length (mirroring is an isometry), so one norm
+        // serves both the arrival direction and the emission direction.
+        for (ri, fr) in self.refls.iter().enumerate() {
+            let delta = tag_pos - fa.mirrored[ri];
+            let len = delta.norm();
+            if len <= 0.0 {
+                continue;
+            }
+            let inv_len = 1.0 / len;
+            let arrive_dir = delta * inv_len;
+            let image = fr.refl.mirror(tag_pos);
+            let emit_dir = (image - ant.position) * inv_len;
+            let cos_theta = ant.boresight.dot(emit_dir);
+            if cos_theta <= 0.0 {
+                continue;
+            }
+            let Some((emission_basis, jv)) = self.frozen_jones_along(fa, emit_dir) else {
+                continue;
+            };
+            let coupling = match fr.refl.surface {
+                Surface::Empirical => {
+                    let re = emission_basis.h * jv.h.re + emission_basis.v * jv.v.re;
+                    let re_out = Self::reflect_sc(fr, re, arrive_dir);
+                    if fa.jv_is_real {
+                        Complex::new(re_out.dot(u), 0.0)
+                    } else {
+                        let im = emission_basis.h * jv.h.im + emission_basis.v * jv.v.im;
+                        let im_out = Self::reflect_sc(fr, im, arrive_dir);
+                        Complex::new(re_out.dot(u), im_out.dot(u))
+                    }
+                }
+                Surface::Fresnel { rel_permittivity } => {
+                    let cos_i = emit_dir.dot(fr.refl.normal).abs();
+                    let s = emit_dir
+                        .cross(fr.refl.normal)
+                        .normalized()
+                        .unwrap_or(emission_basis.h);
+                    let in_basis = PolBasis { h: s, v: emit_dir.cross(s), k: emit_dir };
+                    let out_basis = PolBasis { h: s, v: arrive_dir.cross(s), k: arrive_dir };
+                    let rs = fresnel_rs(rel_permittivity, cos_i);
+                    let rp = fresnel_rp(rel_permittivity, cos_i);
+                    let bounce = Jones::diag(Complex::new(rs, 0.0), Complex::new(rp, 0.0))
+                        .compose(Jones::basis_change(&emission_basis, &in_basis));
+                    bounce.apply(jv).couple(&out_basis, u)
+                }
+            };
+            let amp = self.fast_path_amp(fa, cos_theta, len, inv_len);
+            f += coupling * Complex::from_polar(amp, self.phase_k * len);
+        }
+
+        // Bystander scatter: rare and time-dependent; the bitwise term
+        // is already cheap relative to the reflector sum.
+        if let Some((by, s, c)) = &self.bystander {
+            if let Some(term) = self.jones_bystander_term(fa, by, *s, *c, tag_pos, u, t) {
+                f += term;
+            }
+        }
+
+        self.observe(f, antenna_idx, mismatch)
+    }
+
+    /// Batch-tier single-pose dispatch: scalar links stay on the
+    /// bitwise kernel, Jones links take the restructured one.
+    fn evaluate_batched(&self, antenna_idx: usize, tag_pos: Vec3, dipole: Vec3, t: f64) -> LinkObservation {
+        match self.polarimetry {
+            Polarimetry::Scalar => match self.tag {
+                TagPolarization::Dipole => self.evaluate_scalar(antenna_idx, tag_pos, dipole, t),
+                TagPolarization::Reconfigurable => self.evaluate(antenna_idx, tag_pos, dipole, t),
+            },
+            Polarimetry::Jones => match self.tag {
+                TagPolarization::Dipole => {
+                    self.evaluate_jones_fast(antenna_idx, tag_pos, dipole, t)
+                }
+                TagPolarization::Reconfigurable => {
+                    let u = dipole.normalized().unwrap_or(Vec3::Z);
+                    let primary = self.evaluate_jones_fast(antenna_idx, tag_pos, u, t);
+                    let alt =
+                        self.evaluate_jones_fast(antenna_idx, tag_pos, orthogonal_dipole(u), t);
+                    if alt.forward_power_dbm > primary.forward_power_dbm {
+                        alt
+                    } else {
+                        primary
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// A batch evaluator over one frozen rig: many poses per call, chunked
+/// across workers, deterministic at any thread count within a tier.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelBatch<'r> {
+    rig: &'r RigFactors,
+    opts: BatchOptions,
+}
+
+impl<'r> ChannelBatch<'r> {
+    /// A batch evaluator with the given options.
+    pub fn new(rig: &'r RigFactors, opts: BatchOptions) -> ChannelBatch<'r> {
+        ChannelBatch { rig, opts }
+    }
+
+    /// The frozen rig this batch evaluates.
+    pub fn rig(&self) -> &RigFactors {
+        self.rig
+    }
+
+    /// Evaluate every pose on one antenna port, returning observations
+    /// in pose order.
+    pub fn evaluate(&self, antenna_idx: usize, poses: &PoseBatch) -> Vec<LinkObservation> {
+        let mut out = Vec::new();
+        self.evaluate_into(antenna_idx, poses, &mut out);
+        out
+    }
+
+    /// [`Self::evaluate`] into a caller-owned buffer (cleared first).
+    /// Poses are split into contiguous `chunk_bounds` chunks across up
+    /// to `opts.threads` scoped workers; each pose's value never
+    /// depends on its chunk, so the result is bit-identical at any
+    /// worker count.
+    pub fn evaluate_into(
+        &self,
+        antenna_idx: usize,
+        poses: &PoseBatch,
+        out: &mut Vec<LinkObservation>,
+    ) {
+        let n = poses.len();
+        out.clear();
+        let workers = self.opts.threads.max(1).min(n.max(1));
+        if workers == 1 {
+            out.extend((0..n).map(|i| self.eval_pose(antenna_idx, poses, i)));
+            return;
+        }
+        out.resize_with(n, placeholder_observation);
+        let mut chunks: Vec<(usize, &mut [LinkObservation])> = Vec::with_capacity(workers);
+        let mut rest: &mut [LinkObservation] = out.as_mut_slice();
+        for w in 0..workers {
+            let (lo, hi) = rf_core::chunk_bounds(n, workers, w);
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            chunks.push((lo, chunk));
+        }
+        std::thread::scope(|scope| {
+            for (lo, chunk) in chunks {
+                scope.spawn(move || {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        *slot = self.eval_pose(antenna_idx, poses, lo + off);
+                    }
+                });
+            }
+        });
+    }
+
+    #[inline]
+    fn eval_pose(&self, antenna_idx: usize, poses: &PoseBatch, i: usize) -> LinkObservation {
+        // Link batches evaluate in f64 under either tier — see the
+        // module docs; the F32Tolerance tier selects the f32 *grid*
+        // kernels, which have their own entry points.
+        self.rig
+            .evaluate_batched(antenna_idx, poses.position(i), poses.dipole(i), poses.t(i))
+    }
+}
+
+/// The second dipole state of a reconfigurable tag (same rule as the
+/// per-link channel): the in-board-plane orthogonal of `u`, falling
+/// back to X for a board-normal dipole.
+fn orthogonal_dipole(u: Vec3) -> Vec3 {
+    Vec3::new(-u.y, u.x, 0.0).normalized().unwrap_or(Vec3::X)
+}
+
+/// `polarization::rotate_about_axis` with the trig supplied by the
+/// caller — bit-identical given the same `sin`/`cos`.
+#[inline]
+fn rotate_sc(e: Vec3, k: Vec3, s: f64, c: f64) -> Vec3 {
+    e * c + k.cross(e) * s + k * (k.dot(e) * (1.0 - c))
+}
+
+fn amp_to_db(a: f64) -> f64 {
+    if a <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * a.log10()
+    }
+}
+
+fn placeholder_observation() -> LinkObservation {
+    LinkObservation {
+        forward_power_dbm: f64::NEG_INFINITY,
+        rx_power_dbm: f64::NEG_INFINITY,
+        phase_rad: 0.0,
+        tag_powered: false,
+        round_trip: Complex::ZERO,
+        mismatch_rad: 0.0,
+    }
+}
+
+// ---- SoA grid kernels ----
+
+/// Distances from `src` to the row of points `(xs[i], y, z)`, written
+/// into `out` (lengths must match). The per-row `Δy²`/`Δz²` terms are
+/// hoisted; the per-point expression `((Δx² + Δy²) + Δz²).sqrt()`
+/// associates exactly like `Vec3::distance`, so each output is
+/// **bit-identical** to `Vec3::new(xs[i], y, z).distance(src)` — this
+/// is the kernel under the emission-table build in `polardraw-core`.
+///
+/// # Panics
+/// Panics if `xs` and `out` lengths differ.
+pub fn distances_row(src: Vec3, xs: &[f64], y: f64, z: f64, out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "xs/out length mismatch");
+    let dy = y - src.y;
+    let dy2 = dy * dy;
+    let dz = z - src.z;
+    let dz2 = dz * dz;
+    for (o, &x) in out.iter_mut().zip(xs) {
+        let dx = x - src.x;
+        *o = ((dx * dx + dy2) + dz2).sqrt();
+    }
+}
+
+/// [`distances_row`] in `f32` — the [`BatchPrecision::F32Tolerance`]
+/// grid kernel (twice the SIMD lanes of the `f64` row). Inputs are
+/// cast once per call/row; accuracy is gated by the emission-delta
+/// oracle in `tests/channel_batch.rs`, not a bitwise contract.
+///
+/// # Panics
+/// Panics if `xs` and `out` lengths differ.
+pub fn distances_row_f32(src: Vec3, xs: &[f32], y: f32, z: f32, out: &mut [f32]) {
+    assert_eq!(xs.len(), out.len(), "xs/out length mismatch");
+    let sx = src.x as f32;
+    let dy = y - src.y as f32;
+    let dy2 = dy * dy;
+    let dz = z - src.z as f32;
+    let dz2 = dz * dz;
+    for (o, &x) in out.iter_mut().zip(xs) {
+        let dx = x - sx;
+        *o = ((dx * dx + dy2) + dz2).sqrt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelModel;
+    use rf_core::rng::{derive_seed_indexed, rng_from_seed};
+
+    fn whiteboard(jones: bool) -> ChannelModel {
+        let mut ch = ChannelModel::two_antenna_whiteboard(15f64.to_radians(), 0.56, 0.30);
+        if jones {
+            ch.polarimetry = Polarimetry::Jones;
+        }
+        ch
+    }
+
+    fn sample_pose(rng: &mut rf_core::Rng64) -> (Vec3, Vec3) {
+        let pos = Vec3::new(
+            rng.gen_range(-0.3..0.3),
+            rng.gen_range(0.5..1.0),
+            rng.gen_range(-0.05..0.05),
+        );
+        let dip = loop {
+            let v = Vec3::new(
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+                rng.gen_range(-1.0..1.0),
+            );
+            if let Some(u) = v.normalized() {
+                break u;
+            }
+        };
+        (pos, dip)
+    }
+
+    #[test]
+    fn freeze_requires_a_fixed_plan() {
+        let mut ch = whiteboard(false);
+        assert!(RigFactors::freeze(&ch).is_some());
+        ch.plan = ChannelPlan::Hopping { sequence: vec![10, 20, 30], dwell_s: 0.2 };
+        assert!(RigFactors::freeze(&ch).is_none());
+    }
+
+    #[test]
+    fn frozen_single_link_is_bitwise_scalar_and_jones() {
+        for jones in [false, true] {
+            let ch = whiteboard(jones);
+            let rig = RigFactors::freeze(&ch).expect("fixed plan");
+            let mut rng = rng_from_seed(derive_seed_indexed(7, "batch-unit", jones as u64));
+            for i in 0..24 {
+                let (pos, dip) = sample_pose(&mut rng);
+                let port = i % 2;
+                let a = ch.evaluate(port, pos, dip, 0.1 * i as f64);
+                let b = rig.evaluate(port, pos, dip, 0.1 * i as f64);
+                assert_eq!(a.forward_power_dbm.to_bits(), b.forward_power_dbm.to_bits());
+                assert_eq!(a.rx_power_dbm.to_bits(), b.rx_power_dbm.to_bits());
+                assert_eq!(a.phase_rad.to_bits(), b.phase_rad.to_bits());
+                assert_eq!(a.mismatch_rad.to_bits(), b.mismatch_rad.to_bits());
+                assert_eq!(a.tag_powered, b.tag_powered);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_row_matches_vec3_bitwise() {
+        let src = Vec3::new(-0.28, 0.15, 0.30);
+        let xs: Vec<f64> = (0..64).map(|i| -0.3 + 0.01 * i as f64).collect();
+        let mut out = vec![0.0; xs.len()];
+        distances_row(src, &xs, 0.72, 0.0, &mut out);
+        for (i, &x) in xs.iter().enumerate() {
+            let want = Vec3::new(x, 0.72, 0.0).distance(src);
+            assert_eq!(want.to_bits(), out[i].to_bits(), "col {i}");
+        }
+    }
+
+    #[test]
+    fn batch_threads_do_not_change_bits() {
+        let ch = whiteboard(true);
+        let rig = RigFactors::freeze(&ch).expect("fixed plan");
+        let mut rng = rng_from_seed(11);
+        let mut poses = PoseBatch::with_capacity(33);
+        for i in 0..33 {
+            let (pos, dip) = sample_pose(&mut rng);
+            poses.push(pos, dip, 0.05 * i as f64);
+        }
+        let base = ChannelBatch::new(&rig, BatchOptions::default()).evaluate(0, &poses);
+        for threads in [2, 3, 8] {
+            let opts = BatchOptions { threads, ..BatchOptions::default() };
+            let got = ChannelBatch::new(&rig, opts).evaluate(0, &poses);
+            assert_eq!(base.len(), got.len());
+            for (a, b) in base.iter().zip(&got) {
+                assert_eq!(a.rx_power_dbm.to_bits(), b.rx_power_dbm.to_bits());
+                assert_eq!(a.phase_rad.to_bits(), b.phase_rad.to_bits());
+            }
+        }
+    }
+}

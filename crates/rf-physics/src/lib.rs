@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod antenna;
+pub mod batch;
 pub mod channel;
 pub mod multipath;
 pub mod noise;
@@ -46,6 +47,7 @@ pub mod propagation;
 pub mod spectrum;
 
 pub use antenna::{Antenna, Polarization};
+pub use batch::{BatchOptions, BatchPrecision, ChannelBatch, PoseBatch, RigFactors};
 pub use channel::{ChannelModel, LinkObservation, Polarimetry, TagPolarization};
 pub use multipath::{fresnel_rp, fresnel_rs, Bystander, BystanderMotion, Reflector, Surface};
 pub use noise::NoiseModel;

@@ -11,6 +11,7 @@ use crate::gen2::Gen2Config;
 use crate::TagReport;
 use rf_core::rng::{gaussian, rng_from_seed};
 use rf_core::wrap_tau;
+use rf_physics::batch::RigFactors;
 use rf_physics::ChannelModel;
 
 /// Reader configuration.
@@ -70,6 +71,26 @@ impl Reader {
         Reader { channel, config: ReaderConfig::default() }
     }
 
+    /// One link observation, through the rig-frozen factors when the
+    /// plan allows freezing (fixed carrier — the paper's mode), else
+    /// the plain per-link model. `RigFactors::evaluate` is bitwise
+    /// identical to `ChannelModel::evaluate`, so the report stream —
+    /// and every golden snapshot derived from it — is unchanged; only
+    /// the per-report forward-model cost drops.
+    #[inline]
+    fn observe(
+        &self,
+        frozen: Option<&RigFactors>,
+        port: usize,
+        pose: TagPose,
+        t: f64,
+    ) -> rf_physics::LinkObservation {
+        match frozen {
+            Some(rig) => rig.evaluate(port, pose.position, pose.dipole, t),
+            None => self.channel.evaluate(port, pose.position, pose.dipole, t),
+        }
+    }
+
     /// Run the inventory loop across a pose trajectory, producing the
     /// LLRP-visible report stream. Deterministic in `seed`.
     ///
@@ -83,6 +104,7 @@ impl Reader {
             _ => return reports,
         };
         let mut rng = rng_from_seed(seed);
+        let frozen = RigFactors::freeze(&self.channel);
         let n_ant = self.channel.antenna_count().max(1);
         let mut t = first;
         let mut pose_idx = 0usize;
@@ -94,7 +116,7 @@ impl Reader {
                 pose_idx += 1;
             }
             let pose = poses[pose_idx];
-            let obs = self.channel.evaluate(port, pose.position, pose.dipole, t);
+            let obs = self.observe(frozen.as_ref(), port, pose, t);
 
             let round = if obs.tag_powered {
                 let snr = self.channel.noise.snr_db(obs.rx_power_dbm);
@@ -161,6 +183,7 @@ impl Reader {
             return reports;
         }
         let mut rng = rng_from_seed(seed);
+        let frozen = RigFactors::freeze(&self.channel);
         let n_ant = self.channel.antenna_count().max(1);
         let mut q = crate::gen2::QAlgorithm::new((tags.len() as f64).log2().ceil() as u32);
         let mut t = first;
@@ -178,7 +201,7 @@ impl Reader {
                 if pose.t > t || poses.last().map_or(true, |p| p.t < t) {
                     continue;
                 }
-                let obs = self.channel.evaluate(port, pose.position, pose.dipole, t);
+                let obs = self.observe(frozen.as_ref(), port, *pose, t);
                 if obs.tag_powered {
                     live.push((ti, *pose, obs.rx_power_dbm));
                 }
@@ -197,7 +220,7 @@ impl Reader {
                         .scheme
                         .packet_success(snr, crate::gen2::frame::EPC_BITS);
                     if rng.gen_bool(p_ok) {
-                        let obs = self.channel.evaluate(port, pose.position, pose.dipole, t);
+                        let obs = self.observe(frozen.as_ref(), port, pose, t);
                         let rssi =
                             obs.rx_power_dbm + self.channel.noise.sample_rssi_noise(&mut rng, rx);
                         let phase =

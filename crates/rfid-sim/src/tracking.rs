@@ -5,6 +5,12 @@
 //! board coordinates. Keeping the trait here — next to [`TagReport`] —
 //! lets `polardraw-core` and `baselines` stay independent of each other
 //! while the `experiments` harness drives them interchangeably.
+//!
+//! The report streams trackers consume come out of [`crate::Reader`]'s
+//! inventory loops, which evaluate the forward model through the
+//! rig-frozen batch path (`rf_physics::batch::RigFactors`) on
+//! fixed-carrier plans — bit-identical observations to the per-link
+//! model, produced without re-deriving per-rig factors on every round.
 
 use crate::TagReport;
 use rf_core::Vec2;

@@ -43,8 +43,19 @@
 #   Jones layer must not tax the legacy cos²β path the committed
 #   artifacts were produced under. The jones row rides along as the
 #   measured cost of `--channel jones` per link.
+# * channel — the batched channel-evaluation engine. Copies the report
+#   to BENCH_channel.json and enforces three gates at the paper-fidelity
+#   emission workload (the default board at 2.5 mm) plus one link gate:
+#   - the F32Tolerance-tier direct emission build must beat the
+#     retained per-link build ≥ 4× (the headline batch payoff);
+#   - the bitwise f64 row build must beat per-link ≥ 1.5× on its own;
+#   - the restructured Jones batch kernel must beat per-link Jones
+#     link evaluation ≥ 2×.
+#   Also re-runs the components channel rows and holds them to the
+#   committed BENCH_components.json at 1.1× WITHOUT refreshing that
+#   baseline: the batch engine must not tax the per-link paths.
 #
-# Usage: scripts/bench.sh [--suite decode|throughput|fleet|components|all] [--min-speedup X]
+# Usage: scripts/bench.sh [--suite decode|throughput|fleet|components|channel|all] [--min-speedup X]
 #   --suite        which suite(s) to run (default all)
 #   --min-speedup  decode opt-vs-ref floor (default 8.0)
 set -euo pipefail
@@ -60,8 +71,8 @@ while [ $# -gt 0 ]; do
     esac
 done
 case "$SUITE" in
-    decode|throughput|fleet|components|all) ;;
-    *) echo "unknown suite: $SUITE (want decode|throughput|fleet|components|all)" >&2; exit 2 ;;
+    decode|throughput|fleet|components|channel|all) ;;
+    *) echo "unknown suite: $SUITE (want decode|throughput|fleet|components|channel|all)" >&2; exit 2 ;;
 esac
 
 # The thread-scaling floor is a property of the host's core count; the
@@ -167,4 +178,53 @@ if [ "$SUITE" = components ] || [ "$SUITE" = all ]; then
 
     cp results/components/bench_components.json BENCH_components.json
     echo "== bench: wrote BENCH_components.json =="
+fi
+
+if [ "$SUITE" = channel ] || [ "$SUITE" = all ]; then
+    echo "== bench: channel suite (batched engine, full methodology) =="
+    mkdir -p results/channel
+    cargo bench --offline -p polardraw-bench --bench channel -- \
+        --out "$(pwd)/results/channel"
+
+    # Headline batch payoff: the F32Tolerance-tier direct emission build
+    # against the retained per-link build at paper fidelity.
+    echo "== bench: emission f32 batch gate (>= 4x per-link at 2.5 mm) =="
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        results/channel/bench_channel.json \
+        --min-speedup 4.0 \
+        --ref channel/emission/per_link/cell2.5mm \
+        --opt channel/emission/batch_f32/cell2.5mm
+
+    # The bitwise f64 row build must pay on its own (hoisting + SoA,
+    # same bits).
+    echo "== bench: emission exact batch gate (>= 1.5x per-link at 2.5 mm) =="
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        results/channel/bench_channel.json \
+        --min-speedup 1.5 \
+        --ref channel/emission/per_link/cell2.5mm \
+        --opt channel/emission/batch/cell2.5mm
+
+    # The restructured Jones batch kernel against per-link Jones links.
+    echo "== bench: jones link batch gate (>= 2x per-link) =="
+    cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+        results/channel/bench_channel.json \
+        --min-speedup 2.0 \
+        --ref channel/link/jones/per_link/poses512 \
+        --opt channel/link/jones/batch/poses512
+
+    # No-regression on the per-link paths: re-measure the components
+    # channel rows and hold them to the committed baseline — but do NOT
+    # refresh it here (that is the components suite's job).
+    if [ -f BENCH_components.json ]; then
+        echo "== bench: per-link no-collapse gate (1.1x of committed components baseline) =="
+        mkdir -p results/channel-components
+        cargo bench --offline -p polardraw-bench --bench components -- \
+            --filter "channel/" --out "$(pwd)/results/channel-components"
+        cargo run --release --offline -p polardraw-bench --bin bench_check -- \
+            results/channel-components/bench_components.json \
+            --baseline BENCH_components.json --max-regression 1.1
+    fi
+
+    cp results/channel/bench_channel.json BENCH_channel.json
+    echo "== bench: wrote BENCH_channel.json =="
 fi

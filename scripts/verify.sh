@@ -71,6 +71,21 @@ cargo test -q --offline --release -p rf-physics
 cargo test -q --offline --release --test golden golden_report_polarization
 cargo test -q --offline --release --test golden golden_trace_letter_trial_jones
 
+echo "== verify: batched channel engine =="
+# Explicit tier-1 gates for the SoA batch evaluation engine:
+# - tests/channel_batch.rs pins the three precision contracts: the
+#   scalar batch (and the rig-frozen single-link path for both
+#   polarimetries) bit-identical to the per-link ChannelModel, the
+#   restructured Jones batch within 1e-12 per observable across
+#   Fresnel/circular/elliptical/reconfigurable variants, and the
+#   F32Tolerance grid tier inside its quantitative oracle (wrap-aware
+#   emission deltas vs the cast spec + fig13 reduced-config letter
+#   parity) — with thread counts 1/2/8 bit-identical inside each tier,
+# - the RigFactors freeze/evaluate unit tests live in rf-physics
+#   (already run above), the row-kernel bitwise pins in polardraw-core.
+cargo test -q --offline --release --test channel_batch
+cargo test -q --offline --release -p polardraw-core dtheta_row
+
 echo "== verify: online engine + supervised sessions =="
 # Explicit tier-1 gates for the streaming layer:
 # - tests/online_equivalence.rs pins batch == online bit-for-bit (lag ≥

@@ -63,6 +63,57 @@ fn assert_outputs_bitwise_equal(a: &TrackOutput, b: &TrackOutput, ctx: &str) {
     assert_eq!(a.degradation, b.degradation, "{ctx}: degradation report");
 }
 
+/// Admitting the first session on a never-seen rig fingerprint must
+/// build the shared decode artifacts *at admission* — the first
+/// measurement-bearing drain finds a warm cache instead of paying the
+/// emission-table cold start on the session's critical path.
+#[test]
+fn new_rig_admission_prewarms_decode_artifacts() {
+    // A cell scale no other test in this binary uses, so this artifact
+    // entry is provably cold before the admission below.
+    let config = polardraw_config_for(&TrialSetup::letter('O').with_cell_scale(9.0));
+    let grid = polardraw_core::hmm::Grid::covering(
+        config.board_min,
+        config.board_max,
+        config.hmm.cell_m,
+    );
+    let arts =
+        polardraw_core::hmm::artifacts_for(&grid, config.antennas, config.hmm.wavelength_m);
+    assert!(
+        arts.emission_if_built().is_none(),
+        "rig must start cold for the prewarm assertion to mean anything"
+    );
+
+    let mut fleet = FleetRouter::new(FleetConfig::default());
+    let id = fleet.add_session(config, OnlineOptions::batch());
+    assert!(
+        arts.emission_if_built().is_some(),
+        "admission on a new ShardKey must leave the emission table warm before any drain"
+    );
+
+    // The warm cache serves the session normally: feed a real stream
+    // and check the fleet output matches a lone tracker's.
+    let setup = TrialSetup::letter('O').with_cell_scale(9.0);
+    let reports = simulate_reports(&setup, derive_seed_indexed(0xF1EE7, "fleet.warm", 0)).1;
+    let mut offered = 0;
+    while offered < reports.len() {
+        offered += fleet.offer(id, &reports[offered..]);
+        fleet.drain();
+    }
+    let fleet_out = fleet.finish_session(id);
+    let mut solo = OnlineTracker::new(config, OnlineOptions::batch());
+    solo.extend(&reports);
+    assert_outputs_bitwise_equal(&fleet_out, &solo.finalize(), "prewarmed fleet vs solo");
+
+    // A second session on the *same* key must not rebuild: same Arc,
+    // now additionally held by this test and the cache.
+    let before = std::sync::Arc::as_ptr(&arts);
+    fleet.add_session(config, OnlineOptions::batch());
+    let again =
+        polardraw_core::hmm::artifacts_for(&grid, config.antennas, config.hmm.wavelength_m);
+    assert_eq!(before, std::sync::Arc::as_ptr(&again), "repeat admission reuses the entry");
+}
+
 /// A router whose queue bound never bites and whose controller
 /// therefore never degrades — migration must be provable in isolation.
 fn unpressured_router(threads: usize) -> FleetRouter {
